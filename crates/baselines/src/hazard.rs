@@ -1,0 +1,353 @@
+//! `HazardArray`: RCUArray's block/snapshot structure with old snapshots
+//! protected by **hazard pointers** (Michael, 2004) instead of EBR/QSBR.
+//!
+//! §I of the paper: "Mechanisms such as Hazard Pointers can provide a safe
+//! non-blocking approach for memory reclamation with a balanced but
+//! noticeable overhead to both read and write operations … unsuitable when
+//! the performance of reads is far more important than the performance of
+//! writes." This variant exists to measure that trade-off on the *same*
+//! data structure: every read publishes the snapshot pointer it is about
+//! to dereference into a shared hazard slot, validates it, and clears it
+//! afterwards — two extra stores and one extra load per read, plus the
+//! store→load fence the validation needs.
+//!
+//! Unlike RCUArray this variant keeps a single (non-privatized) snapshot:
+//! hazard slots are per-thread, so per-locale replication would buy
+//! nothing for the comparison while complicating the scan.
+
+use parking_lot::Mutex;
+use rcuarray::{Block, BlockRegistry, Element, Snapshot};
+use rcuarray_runtime::{Cluster, RoundRobinCounter};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Maximum threads that may ever touch one `HazardArray`.
+const MAX_THREADS: usize = 256;
+
+/// Unique array ids for the TLS slot cache.
+static NEXT_ARRAY_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// One-slot cache: (array id, hazard slot index) most recently used by
+    /// this thread.
+    static SLOT_CACHE: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
+}
+
+#[repr(align(64))]
+struct HazardSlot<T: Element> {
+    ptr: AtomicPtr<Snapshot<T>>,
+}
+
+/// A resizable block-cyclic array reclaimed with hazard pointers.
+pub struct HazardArray<T: Element> {
+    id: u64,
+    cluster: Arc<Cluster>,
+    block_size: usize,
+    account_comm: bool,
+    blocks: BlockRegistry<T>,
+    snapshot: AtomicPtr<Snapshot<T>>,
+    hazards: Box<[HazardSlot<T>]>,
+    next_slot: AtomicUsize,
+    next_locale: RoundRobinCounter,
+    resize_lock: Mutex<()>,
+    capacity: AtomicUsize,
+}
+
+unsafe impl<T: Element> Send for HazardArray<T> {}
+unsafe impl<T: Element> Sync for HazardArray<T> {}
+
+impl<T: Element> HazardArray<T> {
+    /// An empty array over `cluster` with the given block size.
+    pub fn new(cluster: &Arc<Cluster>, block_size: usize, account_comm: bool) -> Self {
+        assert!(block_size > 0);
+        HazardArray {
+            id: NEXT_ARRAY_ID.fetch_add(1, Ordering::Relaxed),
+            cluster: Arc::clone(cluster),
+            block_size,
+            account_comm,
+            blocks: BlockRegistry::new(),
+            snapshot: AtomicPtr::new(Box::into_raw(Box::new(Snapshot::empty()))),
+            hazards: (0..MAX_THREADS)
+                .map(|_| HazardSlot {
+                    ptr: AtomicPtr::new(std::ptr::null_mut()),
+                })
+                .collect(),
+            next_slot: AtomicUsize::new(0),
+            next_locale: RoundRobinCounter::new(cluster.num_locales()),
+            resize_lock: Mutex::new(()),
+            capacity: AtomicUsize::new(0),
+        }
+    }
+
+    /// The calling thread's hazard slot for this array (assigned once).
+    fn slot(&self) -> usize {
+        let (cached_id, cached_slot) = SLOT_CACHE.with(|c| c.get());
+        if cached_id == self.id {
+            return cached_slot;
+        }
+        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            slot < MAX_THREADS,
+            "more than {MAX_THREADS} threads touched one HazardArray"
+        );
+        SLOT_CACHE.with(|c| c.set((self.id, slot)));
+        slot
+    }
+
+    /// Michael's protect-validate loop: pin the current snapshot into this
+    /// thread's hazard slot and return it. Caller must clear the slot.
+    fn protect(&self, slot: usize) -> *mut Snapshot<T> {
+        loop {
+            let p = self.snapshot.load(Ordering::Acquire);
+            self.hazards[slot].ptr.store(p, Ordering::SeqCst);
+            // The hazard store must be visible before the re-validation,
+            // or a concurrent resize could both miss the hazard and have
+            // us miss the swap — the same store→load requirement as the
+            // EBR increment-verify (the "balanced overhead" the paper
+            // mentions, paid by *readers*).
+            if self.snapshot.load(Ordering::SeqCst) == p {
+                return p;
+            }
+        }
+    }
+
+    #[inline]
+    fn clear(&self, slot: usize) {
+        self.hazards[slot].ptr.store(std::ptr::null_mut(), Ordering::Release);
+    }
+
+    fn with_snapshot<R>(&self, f: impl FnOnce(&Snapshot<T>) -> R) -> R {
+        struct ClearOnDrop<'a, T: Element> {
+            array: &'a HazardArray<T>,
+            slot: usize,
+        }
+        impl<T: Element> Drop for ClearOnDrop<'_, T> {
+            fn drop(&mut self) {
+                self.array.clear(self.slot);
+            }
+        }
+        let slot = self.slot();
+        let p = self.protect(slot);
+        // Clear the hazard even if `f` panics (e.g. out-of-bounds index);
+        // a leaked hazard would spin every future resize forever.
+        let _clear = ClearOnDrop { array: self, slot };
+        // SAFETY: `p` is hazard-protected: the resizer scans slots and
+        // waits before freeing.
+        f(unsafe { &*p })
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Acquire)
+    }
+
+    /// Alias of [`capacity`](Self::capacity).
+    pub fn len(&self) -> usize {
+        self.capacity()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.capacity() == 0
+    }
+
+    /// Read element `idx`.
+    pub fn read(&self, idx: usize) -> T {
+        let bs = self.block_size;
+        self.with_snapshot(|snap| {
+            let block = snap
+                .try_block(idx / bs)
+                .unwrap_or_else(|| panic!("index {idx} out of bounds"));
+            // SAFETY: registry-owned block.
+            let b = unsafe { block.get() };
+            if self.account_comm {
+                self.cluster.get_from(b.home(), T::byte_size());
+            }
+            b.load(idx % bs)
+        })
+    }
+
+    /// Update element `idx`.
+    pub fn write(&self, idx: usize, v: T) {
+        let bs = self.block_size;
+        self.with_snapshot(|snap| {
+            let block = snap
+                .try_block(idx / bs)
+                .unwrap_or_else(|| panic!("index {idx} out of bounds"));
+            // SAFETY: registry-owned block.
+            let b = unsafe { block.get() };
+            if self.account_comm {
+                self.cluster.put_to(b.home(), T::byte_size());
+            }
+            b.store(idx % bs, v);
+        })
+    }
+
+    /// Grow by at least `additional` elements (rounded up to blocks),
+    /// recycling existing blocks exactly like RCUArray; the *old snapshot*
+    /// is freed after a hazard scan shows no reader holds it.
+    pub fn resize(&self, additional: usize) -> usize {
+        let add = additional.div_ceil(self.block_size) * self.block_size;
+        if add == 0 {
+            return self.capacity();
+        }
+        let _g = self.resize_lock.lock();
+        let nblocks = add / self.block_size;
+        let new_blocks: Vec<_> = (0..nblocks)
+            .map(|_| {
+                let home = self.next_locale.take();
+                self.blocks.adopt(Block::new(home, self.block_size))
+            })
+            .collect();
+        let old_ptr = self.snapshot.load(Ordering::Acquire);
+        // SAFETY: resize lock held; snapshot stable.
+        let new_snap = unsafe { &*old_ptr }.clone_recycled(&new_blocks);
+        let new_ptr = Box::into_raw(Box::new(new_snap));
+        self.snapshot.store(new_ptr, Ordering::Release);
+        // Hazard scan: wait until no reader still holds the old snapshot.
+        let claimed = self.next_slot.load(Ordering::Acquire).min(MAX_THREADS);
+        for slot in 0..claimed {
+            while self.hazards[slot].ptr.load(Ordering::SeqCst) == old_ptr {
+                std::hint::spin_loop();
+            }
+        }
+        // SAFETY: unlinked and no hazard references it; late readers
+        // re-validate against the new pointer and retry.
+        drop(unsafe { Box::from_raw(old_ptr) });
+        let cap = self.capacity.fetch_add(add, Ordering::AcqRel) + add;
+        cap
+    }
+
+    /// Snapshot current values.
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.capacity()).map(|i| self.read(i)).collect()
+    }
+}
+
+impl<T: Element> Drop for HazardArray<T> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access.
+        drop(unsafe { Box::from_raw(*self.snapshot.get_mut()) });
+    }
+}
+
+impl<T: Element> std::fmt::Debug for HazardArray<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HazardArray")
+            .field("capacity", &self.capacity())
+            .field("block_size", &self.block_size)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuarray_runtime::Topology;
+    use std::sync::atomic::AtomicBool;
+
+    fn cluster(n: usize) -> Arc<Cluster> {
+        Cluster::new(Topology::new(n, 1))
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = cluster(2);
+        let a: HazardArray<u64> = HazardArray::new(&c, 8, false);
+        assert_eq!(a.resize(10), 16);
+        a.write(9, 77);
+        assert_eq!(a.read(9), 77);
+        assert_eq!(a.read(0), 0);
+    }
+
+    #[test]
+    fn values_survive_resizes() {
+        let c = cluster(3);
+        let a: HazardArray<u32> = HazardArray::new(&c, 4, false);
+        a.resize(4);
+        a.write(1, 5);
+        for _ in 0..10 {
+            a.resize(4);
+        }
+        assert_eq!(a.read(1), 5);
+        assert_eq!(a.capacity(), 44);
+    }
+
+    #[test]
+    fn concurrent_reads_during_resizes() {
+        let c = cluster(2);
+        let a = Arc::new(HazardArray::<u64>::new(&c, 8, false));
+        a.resize(32);
+        for i in 0..32 {
+            a.write(i, i as u64);
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let a = Arc::clone(&a);
+                let stop = &stop;
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for i in 0..32 {
+                            assert_eq!(a.read(i), i as u64);
+                        }
+                    }
+                });
+            }
+            let a2 = Arc::clone(&a);
+            let stop2 = &stop;
+            s.spawn(move || {
+                for _ in 0..50 {
+                    a2.resize(8);
+                }
+                stop2.store(true, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(a.capacity(), 32 + 50 * 8);
+    }
+
+    #[test]
+    fn slots_are_stable_per_thread() {
+        let c = cluster(1);
+        let a: HazardArray<u64> = HazardArray::new(&c, 8, false);
+        a.resize(8);
+        let s1 = a.slot();
+        let _ = a.read(0);
+        assert_eq!(a.slot(), s1, "same thread keeps its slot");
+    }
+
+    #[test]
+    fn oob_panic_does_not_wedge_resizes() {
+        // Regression: the OOB panic fires while the hazard slot is
+        // published; without clear-on-drop the next resize would spin on
+        // the stale hazard forever.
+        let c = cluster(1);
+        let a = Arc::new(HazardArray::<u64>::new(&c, 8, false));
+        a.resize(8);
+        let a2 = Arc::clone(&a);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            a2.read(999);
+        }));
+        assert!(r.is_err());
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let a3 = Arc::clone(&a);
+        std::thread::spawn(move || {
+            a3.resize(8);
+            done_tx.send(()).unwrap();
+        });
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("resize wedged by leaked hazard");
+        assert_eq!(a.capacity(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_panics() {
+        let c = cluster(1);
+        let a: HazardArray<u64> = HazardArray::new(&c, 8, false);
+        a.resize(8);
+        a.read(8);
+    }
+}

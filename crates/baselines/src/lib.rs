@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # rcuarray-baselines — every comparator from the paper's evaluation
+//!
+//! The RCUArray paper evaluates against, or motivates itself by, several
+//! other designs. All of them are implemented here, from scratch, on the
+//! same simulated runtime so comparisons are apples-to-apples:
+//!
+//! * [`UnsafeArray`] — the paper's *ChapelArray*: an unsynchronized array
+//!   over Chapel's standard `BlockDist` (contiguous chunk per locale).
+//!   Reads/updates are raw; a resize deep-copies every element into a
+//!   larger allocation and is **not** safe to run concurrently with
+//!   anything (the very problem RCUArray solves).
+//! * [`SyncArray`] — the paper's *SyncArray*: "a safer variant … that uses
+//!   mutual exclusion via sync variables". Every operation, including
+//!   reads, takes a cluster-wide full/empty lock.
+//! * [`RwLockArray`] — the §I motivation strawman: "reader-writer locks
+//!   take a step in the right direction by allowing concurrent readers,
+//!   but have the drawback of enforcing mutual exclusion with a single
+//!   writer".
+//! * [`LockFreeVector`] — the §II related work of Dechev, Pirkelbauer &
+//!   Stroustrup: a lock-free dynamically resizable array using two-level
+//!   indexing, operation descriptors and a helping scheme.
+//! * [`HazardArray`] — §I's alternative reclamation: the same
+//!   block/snapshot structure as RCUArray, but old snapshots protected and
+//!   reclaimed with Michael's hazard pointers instead of EBR/QSBR,
+//!   quantifying "a balanced but noticeable overhead to both read and
+//!   write operations".
+
+pub mod hazard;
+pub mod lockfree_vector;
+pub mod rwlock_array;
+pub mod sync_array;
+pub mod unsafe_array;
+
+pub use hazard::HazardArray;
+pub use lockfree_vector::LockFreeVector;
+pub use rwlock_array::RwLockArray;
+pub use sync_array::SyncArray;
+pub use unsafe_array::UnsafeArray;

@@ -1,0 +1,451 @@
+//! A lock-free dynamically resizable array in the style of Dechev,
+//! Pirkelbauer & Stroustrup ("Lock-free dynamically resizable arrays",
+//! OPODIS 2006) — the §II related work the paper contrasts RCUArray with.
+//!
+//! Structure, faithful to the original:
+//!
+//! * **Two-level indexing**: a fixed table of buckets whose sizes double
+//!   (8, 16, 32, …), so elements never move once written — the same
+//!   "no relocation" property RCUArray gets from block recycling.
+//! * **Operation descriptors + helping**: `push_back` installs a new
+//!   `Descriptor { size, pending }` with a single CAS; any thread that
+//!   observes an incomplete pending write *helps* complete it before
+//!   proceeding.
+//!
+//! Two documented deviations from the 2006 paper:
+//!
+//! 1. Elements live in atomic cells (`Element::Repr`), so the pending
+//!    write is completed with an idempotent store guarded by a `done`
+//!    flag rather than a value CAS (the original's value CAS has the ABA
+//!    window the authors acknowledge; the done-flag keeps helping
+//!    race-free for same-value duplicate stores).
+//! 2. Superseded descriptors go to a graveyard freed at drop. The
+//!    original leaks them or assumes GC; bounding their reclamation is
+//!    exactly the problem RCUArray's EBR/QSBR machinery exists to solve,
+//!    which is rather the point of the comparison.
+
+use parking_lot::Mutex;
+use rcuarray::Element;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+/// log2 of the first bucket's capacity.
+const FIRST_BUCKET_BITS: u32 = 3;
+/// Capacity of bucket 0.
+const FIRST_BUCKET_SIZE: usize = 1 << FIRST_BUCKET_BITS;
+/// Buckets 0..N with doubling sizes cover any usize index.
+const NUM_BUCKETS: usize = (usize::BITS - FIRST_BUCKET_BITS) as usize;
+
+/// A pending element write being installed by a `push_back`.
+struct WriteDescriptor<T> {
+    pos: usize,
+    value: T,
+    done: AtomicBool,
+}
+
+/// The vector's atomic state: its size plus at most one pending write.
+struct Descriptor<T> {
+    size: usize,
+    pending: Option<WriteDescriptor<T>>,
+}
+
+/// Map an element index to `(bucket, index within bucket)`.
+#[inline]
+fn locate(i: usize) -> (usize, usize) {
+    let pos = i + FIRST_BUCKET_SIZE;
+    let hibit = usize::BITS - 1 - pos.leading_zeros();
+    let bucket = (hibit - FIRST_BUCKET_BITS) as usize;
+    let idx = pos ^ (1usize << hibit);
+    (bucket, idx)
+}
+
+/// Capacity of bucket `b`.
+#[inline]
+fn bucket_len(b: usize) -> usize {
+    FIRST_BUCKET_SIZE << b
+}
+
+/// The Dechev-style lock-free vector.
+pub struct LockFreeVector<T: Element> {
+    buckets: Box<[AtomicPtr<T::Repr>]>,
+    descriptor: AtomicPtr<Descriptor<T>>,
+    /// Superseded descriptors, freed at drop (see module docs).
+    graveyard: Mutex<Vec<Box<Descriptor<T>>>>,
+}
+
+// SAFETY: buckets hold atomic cells; the descriptor pointer is CASed and
+// retired-not-freed; `T` values inside descriptors are `Copy + Send`.
+unsafe impl<T: Element> Send for LockFreeVector<T> {}
+unsafe impl<T: Element> Sync for LockFreeVector<T> {}
+
+impl<T: Element> Default for LockFreeVector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Element> LockFreeVector<T> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        let desc = Box::into_raw(Box::new(Descriptor::<T> {
+            size: 0,
+            pending: None,
+        }));
+        LockFreeVector {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+            descriptor: AtomicPtr::new(desc),
+            graveyard: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A vector pre-extended to `n` default elements.
+    pub fn with_len(n: usize) -> Self {
+        let v = Self::new();
+        v.extend_default(n);
+        v
+    }
+
+    #[inline]
+    fn desc(&self) -> &Descriptor<T> {
+        // SAFETY: descriptors are retired to the graveyard, never freed
+        // while the vector lives.
+        unsafe { &*self.descriptor.load(Ordering::Acquire) }
+    }
+
+    /// Help an observed pending write to completion (the 2006 paper's
+    /// `CompleteWrite`).
+    fn complete_write(&self, desc: &Descriptor<T>) {
+        if let Some(wd) = &desc.pending {
+            if !wd.done.load(Ordering::Acquire) {
+                // Idempotent: concurrent helpers store the same value.
+                T::store(self.cell(wd.pos), wd.value);
+                wd.done.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Ensure the bucket covering element `i` is allocated.
+    fn ensure_bucket(&self, i: usize) {
+        let (b, _) = locate(i);
+        if !self.buckets[b].load(Ordering::Acquire).is_null() {
+            return;
+        }
+        let len = bucket_len(b);
+        let storage: Box<[T::Repr]> = (0..len).map(|_| T::new_repr(T::default())).collect();
+        let ptr = Box::into_raw(storage) as *mut T::Repr;
+        if self.buckets[b]
+            .compare_exchange(std::ptr::null_mut(), ptr, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // Lost the allocation race; free ours.
+            // SAFETY: `ptr` is ours, published nowhere.
+            unsafe { drop_bucket::<T>(ptr, len) };
+        }
+    }
+
+    #[inline]
+    fn cell(&self, i: usize) -> &T::Repr {
+        let (b, idx) = locate(i);
+        let base = self.buckets[b].load(Ordering::Acquire);
+        assert!(!base.is_null(), "access to unallocated bucket {b}");
+        // SAFETY: buckets are never freed while the vector lives; idx is
+        // within bucket_len(b) by construction of `locate`.
+        unsafe { &*base.add(idx) }
+    }
+
+    /// Current number of elements (completed `push_back`s).
+    pub fn len(&self) -> usize {
+        let d = self.desc();
+        match &d.pending {
+            Some(wd) if !wd.done.load(Ordering::Acquire) => d.size - 1,
+            _ => d.size,
+        }
+    }
+
+    /// True when no element was pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append `value`, lock-free with helping.
+    pub fn push_back(&self, value: T) {
+        loop {
+            let cur_ptr = self.descriptor.load(Ordering::Acquire);
+            // SAFETY: retired descriptors outlive the vector.
+            let cur = unsafe { &*cur_ptr };
+            self.complete_write(cur);
+            let size = cur.size;
+            self.ensure_bucket(size);
+            let next = Box::into_raw(Box::new(Descriptor {
+                size: size + 1,
+                pending: Some(WriteDescriptor {
+                    pos: size,
+                    value,
+                    done: AtomicBool::new(false),
+                }),
+            }));
+            match self.descriptor.compare_exchange(
+                cur_ptr,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // SAFETY: we just installed `next`; it stays alive.
+                    self.complete_write(unsafe { &*next });
+                    // SAFETY: `cur_ptr` is unlinked; graveyard keeps it
+                    // alive for still-reading threads until drop.
+                    self.graveyard.lock().push(unsafe { Box::from_raw(cur_ptr) });
+                    return;
+                }
+                Err(_) => {
+                    // SAFETY: `next` never got published.
+                    drop(unsafe { Box::from_raw(next) });
+                }
+            }
+        }
+    }
+
+    /// Remove and return the last element, lock-free.
+    pub fn pop_back(&self) -> Option<T> {
+        loop {
+            let cur_ptr = self.descriptor.load(Ordering::Acquire);
+            // SAFETY: see push_back.
+            let cur = unsafe { &*cur_ptr };
+            self.complete_write(cur);
+            if cur.size == 0 {
+                return None;
+            }
+            let value = T::load(self.cell(cur.size - 1));
+            let next = Box::into_raw(Box::new(Descriptor::<T> {
+                size: cur.size - 1,
+                pending: None,
+            }));
+            match self.descriptor.compare_exchange(
+                cur_ptr,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.graveyard.lock().push(unsafe { Box::from_raw(cur_ptr) });
+                    return Some(value);
+                }
+                Err(_) => {
+                    drop(unsafe { Box::from_raw(next) });
+                }
+            }
+        }
+    }
+
+    /// Grow to `current + n` default-initialized elements. A bulk
+    /// convenience the 2006 paper lacks; used by the resize benchmark so
+    /// growth is one descriptor CAS per call rather than per element.
+    pub fn extend_default(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        loop {
+            let cur_ptr = self.descriptor.load(Ordering::Acquire);
+            // SAFETY: see push_back.
+            let cur = unsafe { &*cur_ptr };
+            self.complete_write(cur);
+            let new_size = cur.size + n;
+            // Allocate every bucket covering [cur.size, new_size): the
+            // first element of bucket b sits at FBS * (2^b - 1).
+            let (first_b, _) = locate(cur.size);
+            let (last_b, _) = locate(new_size - 1);
+            for b in first_b..=last_b {
+                self.ensure_bucket(FIRST_BUCKET_SIZE * ((1usize << b) - 1));
+            }
+            let next = Box::into_raw(Box::new(Descriptor::<T> {
+                size: new_size,
+                pending: None,
+            }));
+            match self.descriptor.compare_exchange(
+                cur_ptr,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.graveyard.lock().push(unsafe { Box::from_raw(cur_ptr) });
+                    return;
+                }
+                Err(_) => drop(unsafe { Box::from_raw(next) }),
+            }
+        }
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn read(&self, i: usize) -> T {
+        assert!(i < self.len(), "index {i} out of bounds (len {})", self.len());
+        T::load(self.cell(i))
+    }
+
+    /// Update element `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn write(&self, i: usize, v: T) {
+        assert!(i < self.len(), "index {i} out of bounds (len {})", self.len());
+        T::store(self.cell(i), v);
+    }
+
+    /// Snapshot the current values (not atomic as a whole).
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.read(i)).collect()
+    }
+}
+
+/// Free a bucket allocation of `len` cells.
+///
+/// # Safety
+/// `ptr` must come from `Box::into_raw` of a `Box<[T::Repr]>` of exactly
+/// `len` cells, not shared anywhere.
+unsafe fn drop_bucket<T: Element>(ptr: *mut T::Repr, len: usize) {
+    drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len)) });
+}
+
+impl<T: Element> Drop for LockFreeVector<T> {
+    fn drop(&mut self) {
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            let ptr = bucket.load(Ordering::Acquire);
+            if !ptr.is_null() {
+                // SAFETY: allocated by ensure_bucket with bucket_len(b).
+                unsafe { drop_bucket::<T>(ptr, bucket_len(b)) };
+            }
+        }
+        // SAFETY: exclusive access; final descriptor unlinked.
+        drop(unsafe { Box::from_raw(*self.descriptor.get_mut()) });
+    }
+}
+
+impl<T: Element> std::fmt::Debug for LockFreeVector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockFreeVector").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn locate_math() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(7), (0, 7));
+        assert_eq!(locate(8), (1, 0));
+        assert_eq!(locate(23), (1, 15));
+        assert_eq!(locate(24), (2, 0));
+        assert_eq!(bucket_len(0), 8);
+        assert_eq!(bucket_len(1), 16);
+        assert_eq!(bucket_len(2), 32);
+    }
+
+    #[test]
+    fn push_read_pop_round_trip() {
+        let v: LockFreeVector<u64> = LockFreeVector::new();
+        assert!(v.is_empty());
+        for i in 0..100 {
+            v.push_back(i);
+        }
+        assert_eq!(v.len(), 100);
+        for i in 0..100 {
+            assert_eq!(v.read(i as usize), i);
+        }
+        for i in (0..100).rev() {
+            assert_eq!(v.pop_back(), Some(i));
+        }
+        assert_eq!(v.pop_back(), None);
+    }
+
+    #[test]
+    fn write_updates_in_place() {
+        let v = LockFreeVector::with_len(10);
+        v.write(3, 42u32);
+        assert_eq!(v.read(3), 42);
+        assert_eq!(v.read(4), 0);
+    }
+
+    #[test]
+    fn extend_default_grows_with_zeroes() {
+        let v: LockFreeVector<u64> = LockFreeVector::new();
+        v.extend_default(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.to_vec().iter().all(|&x| x == 0));
+        v.extend_default(24);
+        assert_eq!(v.len(), 1024);
+    }
+
+    #[test]
+    fn elements_never_move_across_growth() {
+        let v: LockFreeVector<u64> = LockFreeVector::with_len(8);
+        v.write(0, 7);
+        let cell_before = v.cell(0) as *const _;
+        v.extend_default(10_000);
+        assert_eq!(v.cell(0) as *const _, cell_before, "no relocation");
+        assert_eq!(v.read(0), 7);
+    }
+
+    #[test]
+    fn concurrent_pushes_lose_nothing() {
+        let v: Arc<LockFreeVector<u64>> = Arc::new(LockFreeVector::new());
+        const THREADS: u64 = 4;
+        const PER: u64 = 500;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let v = Arc::clone(&v);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        v.push_back(t * PER + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(v.len(), (THREADS * PER) as usize);
+        let seen: HashSet<u64> = v.to_vec().into_iter().collect();
+        assert_eq!(seen.len(), (THREADS * PER) as usize, "every push present exactly once");
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_elements() {
+        let v: Arc<LockFreeVector<u64>> = Arc::new(LockFreeVector::new());
+        for i in 0..100 {
+            v.push_back(i);
+        }
+        let popped = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            let v1 = Arc::clone(&v);
+            s.spawn(move || {
+                for i in 100..200 {
+                    v1.push_back(i);
+                }
+            });
+            let v2 = Arc::clone(&v);
+            let popped = &popped;
+            s.spawn(move || {
+                for _ in 0..50 {
+                    if let Some(x) = v2.pop_back() {
+                        popped.lock().unwrap().push(x);
+                    }
+                }
+            });
+        });
+        let popped = popped.into_inner().unwrap();
+        assert_eq!(v.len() + popped.len(), 200, "pushes - pops must balance");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_past_len_panics() {
+        let v: LockFreeVector<u8> = LockFreeVector::with_len(2);
+        v.read(2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Ablation: the `BlockSize` constant.
+//!
+//! Small blocks mean finer-grained distribution and cheaper resize
+//! increments but more blocks per snapshot (bigger clones); large blocks
+//! amortize metadata but coarsen placement. The paper fixes
+//! BlockSize = 1024; this bench shows the trade-off curve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use rcuarray::{Config, QsbrArray};
+use rcuarray_bench::runner::{run_indexing, run_resize, IndexingParams, ResizeParams};
+use rcuarray_bench::workload::IndexPattern;
+use rcuarray_runtime::{Cluster, Topology};
+use std::time::Duration;
+
+const CAPACITY: usize = 1 << 16;
+
+fn reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocksize_random_updates");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let cluster = Cluster::new(Topology::new(2, 2));
+    for bs in [64usize, 256, 1024, 4096] {
+        let array = QsbrArray::<u64>::with_config(
+            &cluster,
+            Config {
+                block_size: bs,
+                account_comm: false,
+                ..Config::default()
+            },
+        );
+        array.resize(CAPACITY);
+        let params = IndexingParams {
+            tasks_per_locale: 2,
+            ops_per_task: 8192,
+            pattern: IndexPattern::Random,
+            capacity: CAPACITY,
+            checkpoint_every: None,
+                read_percent: 0,
+            seed: 42,
+        };
+        group.throughput(Throughput::Elements((2 * 2 * 8192) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, _| {
+            b.iter(|| run_indexing(&array, &cluster, &params));
+        });
+    }
+    group.finish();
+}
+
+fn resizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocksize_resize_to_64k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let cluster = Cluster::new(Topology::new(2, 1));
+    for bs in [64usize, 256, 1024, 4096] {
+        // Same total growth, increment = one block.
+        let increments = CAPACITY / bs;
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            b.iter_batched(
+                || {
+                    QsbrArray::<u64>::with_config(
+                        &cluster,
+                        Config {
+                            block_size: bs,
+                            account_comm: false,
+                            ..Config::default()
+                        },
+                    )
+                },
+                |array| {
+                    run_resize(
+                        &array,
+                        &ResizeParams {
+                            increments,
+                            increment: bs,
+                        },
+                    )
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(blocksize_group, reads, resizes);
+criterion_main!(blocksize_group);

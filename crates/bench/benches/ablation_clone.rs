@@ -1,0 +1,72 @@
+//! Ablation: block *recycling* vs *deep copy* when cloning a snapshot.
+//!
+//! §III-C claims "recycling blocks of memory proves to be significantly
+//! faster than copying by value into larger memory". This bench measures
+//! both strategies on the same snapshot as the block count grows: the
+//! recycling clone copies one pointer per block, the deep-copy clone
+//! allocates fresh blocks and copies every element value (what a
+//! Chapel-style realloc does).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcuarray::{Block, BlockRegistry, Snapshot};
+use rcuarray_runtime::LocaleId;
+use std::time::Duration;
+
+const BLOCK_SIZE: usize = 1024;
+
+fn build_snapshot(
+    registry: &BlockRegistry<u64>,
+    blocks: usize,
+) -> Snapshot<u64> {
+    let refs: Vec<_> = (0..blocks)
+        .map(|i| registry.adopt(Block::new(LocaleId::new((i % 4) as u32), BLOCK_SIZE)))
+        .collect();
+    Snapshot::from_blocks(refs, 0)
+}
+
+/// The deep-copy alternative: new blocks, every value copied.
+fn clone_deep(registry: &BlockRegistry<u64>, snap: &Snapshot<u64>) -> Snapshot<u64> {
+    let refs: Vec<_> = snap
+        .blocks()
+        .iter()
+        .map(|old| {
+            // SAFETY: registry-owned blocks, alive for the bench.
+            let old = unsafe { old.get() };
+            let new = Block::new(old.home(), old.capacity());
+            new.copy_from(old);
+            registry.adopt(new)
+        })
+        .collect();
+    Snapshot::from_blocks(refs, snap.version() + 1)
+}
+
+fn ablation_clone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_clone_recycle_vs_deepcopy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for blocks in [16usize, 128, 1024] {
+        group.throughput(Throughput::Elements((blocks * BLOCK_SIZE) as u64));
+        let registry = BlockRegistry::new();
+        let snap = build_snapshot(&registry, blocks);
+
+        group.bench_with_input(BenchmarkId::new("recycle", blocks), &blocks, |b, _| {
+            b.iter(|| std::hint::black_box(snap.clone_recycled(&[])));
+        });
+
+        // Deep copy adopts blocks into a scratch registry per iteration so
+        // memory is bounded; the adopt cost is itself part of what a
+        // reallocating array pays.
+        group.bench_with_input(BenchmarkId::new("deep_copy", blocks), &blocks, |b, _| {
+            b.iter_with_large_drop(|| {
+                let scratch = BlockRegistry::new();
+                clone_deep(&scratch, &snap)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(clone_group, ablation_clone);
+criterion_main!(clone_group);

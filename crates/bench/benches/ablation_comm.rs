@@ -1,0 +1,58 @@
+//! Ablation: sensitivity to injected remote-access latency.
+//!
+//! The simulated network charges remote PUT/GET through a configurable
+//! latency model. Sweeping it shows how the gap between the privatized
+//! RCUArray (mostly node-local metadata, block-cyclic data) and the
+//! lock-based baselines widens as remote operations get more expensive —
+//! the effect that dominates the paper's 32-node Aries numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcuarray_bench::arrays::{make_array, ArrayKind};
+use rcuarray_bench::runner::{run_indexing, IndexingParams};
+use rcuarray_bench::workload::IndexPattern;
+use rcuarray_runtime::{Cluster, LatencyModel, Topology};
+use std::time::Duration;
+
+const CAPACITY: usize = 1 << 14;
+const OPS: usize = 2048;
+
+fn latency_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_latency_sensitivity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for latency_ns in [0u64, 200, 1000] {
+        let model = if latency_ns == 0 {
+            LatencyModel::None
+        } else {
+            LatencyModel::SpinNanos(latency_ns)
+        };
+        let cluster = Cluster::with_latency(Topology::new(2, 2), model);
+        group.throughput(Throughput::Elements((2 * 2 * OPS) as u64));
+        for kind in [ArrayKind::Qsbr, ArrayKind::Sync] {
+            let array = make_array(kind, &cluster, 1024);
+            array.resize(CAPACITY);
+            let params = IndexingParams {
+                tasks_per_locale: 2,
+                ops_per_task: OPS,
+                pattern: IndexPattern::Random,
+                capacity: CAPACITY,
+                checkpoint_every: None,
+                read_percent: 0,
+                seed: 42,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), latency_ns),
+                &latency_ns,
+                |b, _| {
+                    b.iter(|| run_indexing(array.as_ref(), &cluster, &params));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(comm_group, latency_sweep);
+criterion_main!(comm_group);

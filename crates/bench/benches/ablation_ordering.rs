@@ -1,0 +1,122 @@
+//! Ablation: memory ordering of the EpochReaders protocol.
+//!
+//! §V-B blames EBR's cost on "the contention and sequential consistency
+//! memory ordering of the Fetch-And-Add and Fetch-And-Sub atomic
+//! operations on the EpochReaders counters". This bench separates the two
+//! factors: pin/unpin cycles under `SeqCst` vs `AcqRel`+fence vs the
+//! unsound-but-instructive `Relaxed` lower bound, uncontended and
+//! contended.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcuarray_ebr::{EpochZone, OrderingMode, ShardedEpochZone};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn modes() -> [(&'static str, OrderingMode); 3] {
+    [
+        ("seqcst", OrderingMode::SeqCst),
+        ("acqrel_fence", OrderingMode::AcqRelFence),
+        ("relaxed_unsound", OrderingMode::Relaxed),
+    ]
+}
+
+fn uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering_pin_unpin_uncontended");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, mode) in modes() {
+        let zone = EpochZone::with_mode(mode);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let t = zone.pin();
+                std::hint::black_box(&t);
+                zone.unpin(t);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering_pin_unpin_contended");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, mode) in modes() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_custom(|iters| {
+                let zone = EpochZone::with_mode(mode);
+                let stop = AtomicBool::new(false);
+                let mut elapsed = Duration::ZERO;
+                std::thread::scope(|s| {
+                    // Two background readers keep the counters hot.
+                    for _ in 0..2 {
+                        let zone = &zone;
+                        let stop = &stop;
+                        s.spawn(move || {
+                            while !stop.load(Ordering::Relaxed) {
+                                let t = zone.pin();
+                                zone.unpin(t);
+                            }
+                        });
+                    }
+                    let start = std::time::Instant::now();
+                    for _ in 0..iters {
+                        let t = zone.pin();
+                        zone.unpin(t);
+                    }
+                    elapsed = start.elapsed();
+                    stop.store(true, Ordering::Relaxed);
+                });
+                elapsed
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The future-work sharded zone vs the base two-counter zone, contended:
+/// readers spread across shard cache lines; the writer pays a longer scan.
+fn sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_vs_base_contended");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for shards in [1usize, 4, 16] {
+        group.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter_custom(|iters| {
+                let zone = ShardedEpochZone::new(shards);
+                let stop = AtomicBool::new(false);
+                let mut elapsed = Duration::ZERO;
+                std::thread::scope(|s| {
+                    for _ in 0..2 {
+                        let zone = &zone;
+                        let stop = &stop;
+                        s.spawn(move || {
+                            while !stop.load(Ordering::Relaxed) {
+                                let t = zone.pin();
+                                zone.unpin(t);
+                            }
+                        });
+                    }
+                    let start = std::time::Instant::now();
+                    for _ in 0..iters {
+                        let t = zone.pin();
+                        zone.unpin(t);
+                    }
+                    elapsed = start.elapsed();
+                    stop.store(true, Ordering::Relaxed);
+                });
+                elapsed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ordering_group, uncontended, contended, sharded);
+criterion_main!(ordering_group);

@@ -1,0 +1,57 @@
+//! Ablation: the reclamation-scheme zoo.
+//!
+//! The same read/update workload across every variant this workspace
+//! implements — EBR, QSBR, unsynchronized, sync-variable lock,
+//! reader-writer lock, hazard pointers and the Dechev lock-free vector —
+//! quantifying §I's qualitative comparison of synchronization strategies
+//! on one data structure and one workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcuarray_bench::arrays::{make_array_config, ArrayKind};
+use rcuarray_bench::runner::{run_indexing, IndexingParams};
+use rcuarray_bench::workload::IndexPattern;
+use rcuarray_ebr::OrderingMode;
+use rcuarray_runtime::{Cluster, Topology};
+use std::time::Duration;
+
+const CAPACITY: usize = 1 << 16;
+const OPS: usize = 8192;
+
+fn zoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reclaimer_zoo_random_updates");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for locales in [1usize, 2] {
+        let cluster = Cluster::new(Topology::new(locales, 2));
+        group.throughput(Throughput::Elements((locales * 2 * OPS) as u64));
+        for kind in ArrayKind::ALL {
+            // SyncArray at full op count is painfully slow by design;
+            // shorten it so the bench suite stays usable.
+            let ops = if kind == ArrayKind::Sync { OPS / 8 } else { OPS };
+            let array = make_array_config(kind, &cluster, 1024, false, OrderingMode::SeqCst);
+            array.resize(CAPACITY);
+            let params = IndexingParams {
+                tasks_per_locale: 2,
+                ops_per_task: ops,
+                pattern: IndexPattern::Random,
+                capacity: CAPACITY,
+                checkpoint_every: None,
+                read_percent: 0,
+                seed: 42,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), locales),
+                &locales,
+                |b, _| {
+                    b.iter(|| run_indexing(array.as_ref(), &cluster, &params));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(zoo_group, zoo);
+criterion_main!(zoo_group);

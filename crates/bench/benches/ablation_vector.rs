@@ -1,0 +1,143 @@
+//! Ablation: growable-vector designs — the paper's §VI "distributed
+//! vector" on the RCUArray backbone vs the §II related-work Dechev
+//! lock-free vector vs a mutex-protected `Vec`.
+//!
+//! Three shapes: pure concurrent pushes (growth-heavy), pure indexed
+//! reads on a grown vector, and a mixed push+read workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use parking_lot::Mutex;
+use rcuarray::Config;
+use rcuarray_baselines::LockFreeVector;
+use rcuarray_collections::DistVector;
+use rcuarray_runtime::{Cluster, Topology};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PUSHES: usize = 4096;
+const THREADS: usize = 2;
+
+/// Uniform driver over the three vector designs.
+trait Vecish: Send + Sync {
+    fn push(&self, v: u64);
+    fn get(&self, i: usize) -> u64;
+    fn len(&self) -> usize;
+}
+
+impl Vecish for DistVector<u64> {
+    fn push(&self, v: u64) {
+        DistVector::push(self, v);
+    }
+    fn get(&self, i: usize) -> u64 {
+        DistVector::get(self, i)
+    }
+    fn len(&self) -> usize {
+        DistVector::len(self)
+    }
+}
+
+impl Vecish for LockFreeVector<u64> {
+    fn push(&self, v: u64) {
+        self.push_back(v);
+    }
+    fn get(&self, i: usize) -> u64 {
+        self.read(i)
+    }
+    fn len(&self) -> usize {
+        LockFreeVector::len(self)
+    }
+}
+
+struct MutexVec(Mutex<Vec<u64>>);
+
+impl Vecish for MutexVec {
+    fn push(&self, v: u64) {
+        self.0.lock().push(v);
+    }
+    fn get(&self, i: usize) -> u64 {
+        self.0.lock()[i]
+    }
+    fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+}
+
+fn designs(cluster: &Arc<Cluster>) -> Vec<(&'static str, Box<dyn Vecish>)> {
+    let cfg = Config {
+        block_size: 256,
+        account_comm: false,
+        ..Config::default()
+    };
+    vec![
+        ("DistVector", Box::new(DistVector::<u64>::with_config(cluster, cfg)) as Box<dyn Vecish>),
+        ("LockFreeVec", Box::new(LockFreeVector::<u64>::new())),
+        ("MutexVec", Box::new(MutexVec(Mutex::new(Vec::new())))),
+    ]
+}
+
+fn concurrent_pushes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_concurrent_push");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements((PUSHES * THREADS) as u64));
+    let cluster = Cluster::new(Topology::new(2, 1));
+    for name in ["DistVector", "LockFreeVec", "MutexVec"] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || {
+                    designs(&cluster)
+                        .into_iter()
+                        .find(|(n, _)| *n == name)
+                        .expect("known design")
+                        .1
+                },
+                |v| {
+                    std::thread::scope(|s| {
+                        for t in 0..THREADS as u64 {
+                            let v = &v;
+                            s.spawn(move || {
+                                for k in 0..PUSHES as u64 {
+                                    v.push(t * PUSHES as u64 + k);
+                                }
+                            });
+                        }
+                    });
+                    assert_eq!(v.len(), PUSHES * THREADS);
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn indexed_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_indexed_read");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    const READS: usize = 16_384;
+    group.throughput(Throughput::Elements(READS as u64));
+    let cluster = Cluster::new(Topology::new(2, 1));
+    for (name, v) in designs(&cluster) {
+        for k in 0..PUSHES as u64 {
+            v.push(k);
+        }
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..READS {
+                    acc = acc.wrapping_add(v.get(i % PUSHES));
+                }
+                std::hint::black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(vector_group, concurrent_pushes, indexed_reads);
+criterion_main!(vector_group);

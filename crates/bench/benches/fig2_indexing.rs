@@ -1,0 +1,75 @@
+//! Figures 2a–2d: random/sequential indexing throughput across locale
+//! counts for EBRArray, QSBRArray, ChapelArray (and SyncArray for the
+//! 1024-op variants, exactly as the paper includes it only there).
+//!
+//! Parameters are scaled down from the paper's (1M ops/task, 44
+//! tasks/locale, 32 locales) so a laptop regenerates the *shape* in
+//! minutes; `paper_tables --full` runs the paper-sized sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcuarray_bench::arrays::{make_array, ArrayKind};
+use rcuarray_bench::runner::{run_indexing, IndexingParams};
+use rcuarray_bench::workload::IndexPattern;
+use rcuarray_runtime::{Cluster, Topology};
+use std::time::Duration;
+
+const TASKS_PER_LOCALE: usize = 2;
+const LOCALES: [usize; 3] = [1, 2, 4];
+const CAPACITY: usize = 1 << 16;
+
+fn bench_variant(c: &mut Criterion, fig: &str, pattern: IndexPattern, ops: usize, sync: bool) {
+    let mut group = c.benchmark_group(fig);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for locales in LOCALES {
+        let cluster = Cluster::new(Topology::new(locales, TASKS_PER_LOCALE));
+        let total_ops = (locales * TASKS_PER_LOCALE * ops) as u64;
+        group.throughput(Throughput::Elements(total_ops));
+        let kinds: Vec<ArrayKind> = ArrayKind::PAPER
+            .into_iter()
+            .filter(|k| sync || *k != ArrayKind::Sync)
+            .collect();
+        for kind in kinds {
+            let array = make_array(kind, &cluster, 1024);
+            array.resize(CAPACITY);
+            let params = IndexingParams {
+                tasks_per_locale: TASKS_PER_LOCALE,
+                ops_per_task: ops,
+                pattern,
+                capacity: CAPACITY,
+                checkpoint_every: None,
+                read_percent: 0,
+                seed: 42,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), locales),
+                &locales,
+                |b, _| {
+                    b.iter(|| run_indexing(array.as_ref(), &cluster, &params));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig2a(c: &mut Criterion) {
+    bench_variant(c, "fig2a_random_1024", IndexPattern::Random, 1024, true);
+}
+
+fn fig2b(c: &mut Criterion) {
+    bench_variant(c, "fig2b_sequential_1024", IndexPattern::Sequential, 1024, true);
+}
+
+fn fig2c(c: &mut Criterion) {
+    bench_variant(c, "fig2c_random_big", IndexPattern::Random, 16_384, false);
+}
+
+fn fig2d(c: &mut Criterion) {
+    bench_variant(c, "fig2d_sequential_big", IndexPattern::Sequential, 16_384, false);
+}
+
+criterion_group!(fig2, fig2a, fig2b, fig2c, fig2d);
+criterion_main!(fig2);

@@ -1,0 +1,50 @@
+//! Figure 3: incremental resizes (paper: 1024 resizes of +1024 elements,
+//! zero capacity to ~1M). RCUArray's recycling clone avoids ChapelArray's
+//! deep copy, which is where its >4x advantage comes from.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use rcuarray_bench::arrays::{make_array, ArrayKind};
+use rcuarray_bench::runner::{run_resize, ResizeParams};
+use rcuarray_runtime::{Cluster, Topology};
+use std::time::Duration;
+
+/// Scaled: 128 resizes of +1024 per measured iteration.
+const INCREMENTS: usize = 128;
+const INCREMENT: usize = 1024;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_resize");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(INCREMENTS as u64));
+    for locales in [1usize, 2, 4] {
+        let cluster = Cluster::new(Topology::new(locales, 1));
+        for kind in [ArrayKind::Ebr, ArrayKind::Qsbr, ArrayKind::Chapel] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), locales),
+                &locales,
+                |b, _| {
+                    b.iter_batched(
+                        || make_array(kind, &cluster, INCREMENT),
+                        |array| {
+                            run_resize(
+                                array.as_ref(),
+                                &ResizeParams {
+                                    increments: INCREMENTS,
+                                    increment: INCREMENT,
+                                },
+                            )
+                        },
+                        BatchSize::PerIteration,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(fig3_group, fig3);
+criterion_main!(fig3_group);

@@ -1,0 +1,56 @@
+//! Figure 4: QSBR checkpoint overhead. One locale, sequential updates,
+//! a checkpoint every N operations, with EBRArray's throughput as the
+//! flat baseline the paper overlays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcuarray_bench::arrays::{make_array, ArrayKind};
+use rcuarray_bench::runner::{run_indexing, IndexingParams};
+use rcuarray_bench::workload::IndexPattern;
+use rcuarray_runtime::{Cluster, Topology};
+use std::time::Duration;
+
+const TASKS: usize = 2;
+const OPS: usize = 16_384;
+const CAPACITY: usize = 1 << 16;
+
+fn params(checkpoint_every: Option<usize>) -> IndexingParams {
+    IndexingParams {
+        tasks_per_locale: TASKS,
+        ops_per_task: OPS,
+        pattern: IndexPattern::Sequential,
+        capacity: CAPACITY,
+        checkpoint_every,
+        read_percent: 0,
+        seed: 42,
+    }
+}
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_checkpoint_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements((TASKS * OPS) as u64));
+    let cluster = Cluster::new(Topology::new(1, TASKS));
+
+    for every in [1usize, 16, 256, 4096, OPS] {
+        let array = make_array(ArrayKind::Qsbr, &cluster, 1024);
+        array.resize(CAPACITY);
+        group.bench_with_input(BenchmarkId::new("qsbr", every), &every, |b, &every| {
+            b.iter(|| run_indexing(array.as_ref(), &cluster, &params(Some(every))));
+        });
+    }
+
+    // EBR baseline: no checkpoints exist; its protocol cost is per-read.
+    let ebr = make_array(ArrayKind::Ebr, &cluster, 1024);
+    ebr.resize(CAPACITY);
+    group.bench_function("ebr_baseline", |b| {
+        b.iter(|| run_indexing(ebr.as_ref(), &cluster, &params(None)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(fig4_group, fig4);
+criterion_main!(fig4_group);

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # rcuarray-bench — the harness that regenerates every figure
+//!
+//! The paper's evaluation (§V) consists of Figures 2a–d (random/sequential
+//! indexing at 1024 and 1M ops per task), Figure 3 (1024 incremental
+//! resizes to ~1M elements) and Figure 4 (QSBR checkpoint-frequency
+//! sweep). This crate provides:
+//!
+//! * [`workload`] — the index streams the benchmarks drive arrays with;
+//! * [`arrays`] — one object-safe facade over every array variant
+//!   (EBRArray, QSBRArray, ChapelArray/UnsafeArray, SyncArray, plus the
+//!   extra comparators RwLockArray, HazardArray, LockFreeVector);
+//! * [`runner`] — measured loops for the indexing, resize and checkpoint
+//!   workloads, spawning the paper's "N tasks per locale" shape through
+//!   the simulated cluster;
+//! * [`report`] — series/table formatting for `paper_tables` output.
+//!
+//! Criterion benches under `benches/` regenerate each figure
+//! statistically; the `paper_tables` binary prints the same rows/series
+//! the paper plots (x = locales, y = operations per second).
+
+pub mod arrays;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use arrays::{make_array, ArrayKind, BenchArray};
+pub use report::{Series, Table};
+pub use runner::{run_checkpoint_sweep, run_indexing, run_resize, IndexingParams, ResizeParams};
+pub use workload::{sequential_indices, shuffled_indices, IndexPattern, IndexStream};

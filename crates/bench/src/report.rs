@@ -1,0 +1,194 @@
+//! Output formatting for `paper_tables`: the series the paper plots,
+//! rendered as aligned text tables (and optionally JSON via serde).
+
+use serde::Serialize;
+
+/// One line of a figure: a named series of `(x, ops/sec)` points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend name (e.g. "QSBRArray").
+    pub name: String,
+    /// `(x, throughput)` points, x typically the locale count.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: usize, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if present.
+    pub fn at(&self, x: usize) -> Option<f64> {
+        self.points.iter().find(|&&(px, _)| px == x).map(|&(_, y)| y)
+    }
+}
+
+/// A rendered figure: a title, an x-axis label and several series over the
+/// same x values.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Figure title (e.g. "Fig. 2a Random Indexing (1024 ops/task)").
+    pub title: String,
+    /// X-axis label (e.g. "locales").
+    pub x_label: String,
+    /// X values, in row order.
+    pub xs: Vec<usize>,
+    /// One column per array variant.
+    pub series: Vec<Series>,
+}
+
+impl Table {
+    /// An empty table over the given x values.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, xs: Vec<usize>) -> Self {
+        Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            xs,
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series (must cover the table's x values; missing cells render
+    /// as "-").
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Ratio `a / b` at `x` — the harness uses this to report the paper's
+    /// headline factors (e.g. "EBR at N% of ChapelArray").
+    pub fn ratio_at(&self, a: &str, b: &str, x: usize) -> Option<f64> {
+        let ya = self.series.iter().find(|s| s.name == a)?.at(x)?;
+        let yb = self.series.iter().find(|s| s.name == b)?.at(x)?;
+        if yb == 0.0 {
+            None
+        } else {
+            Some(ya / yb)
+        }
+    }
+
+    /// Minimal JSON rendering (hand-rolled; avoids a serde_json
+    /// dependency for one output path).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"title\":{:?},\"x_label\":{:?},\"series\":[",
+            self.title, self.x_label
+        ));
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"name\":{:?},\"points\":[", s.name));
+            for (j, (x, y)) in s.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{x},{y}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Human format for a throughput cell.
+pub fn fmt_throughput(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1e9 {
+        format!("{:.2}G", ops_per_sec / 1e9)
+    } else if ops_per_sec >= 1e6 {
+        format!("{:.2}M", ops_per_sec / 1e6)
+    } else if ops_per_sec >= 1e3 {
+        format!("{:.1}k", ops_per_sec / 1e3)
+    } else {
+        format!("{ops_per_sec:.0}")
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        // Header.
+        let mut widths = vec![self.x_label.len().max(7)];
+        for s in &self.series {
+            widths.push(s.name.len().max(10));
+        }
+        write!(f, "{:>w$}", self.x_label, w = widths[0])?;
+        for (i, s) in self.series.iter().enumerate() {
+            write!(f, "  {:>w$}", s.name, w = widths[i + 1])?;
+        }
+        writeln!(f)?;
+        // Rows.
+        for &x in &self.xs {
+            write!(f, "{:>w$}", x, w = widths[0])?;
+            for (i, s) in self.series.iter().enumerate() {
+                let cell = s.at(x).map(fmt_throughput).unwrap_or_else(|| "-".into());
+                write!(f, "  {:>w$}", cell, w = widths[i + 1])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("Fig X", "locales", vec![1, 2, 4]);
+        let mut a = Series::new("QSBRArray");
+        a.push(1, 1e6);
+        a.push(2, 2e6);
+        a.push(4, 4e6);
+        let mut b = Series::new("EBRArray");
+        b.push(1, 5e5);
+        b.push(2, 4e5);
+        t.push_series(a);
+        t.push_series(b);
+        t
+    }
+
+    #[test]
+    fn series_at_lookup() {
+        let t = sample_table();
+        assert_eq!(t.series[0].at(2), Some(2e6));
+        assert_eq!(t.series[1].at(4), None);
+    }
+
+    #[test]
+    fn ratio_at_computes() {
+        let t = sample_table();
+        let r = t.ratio_at("EBRArray", "QSBRArray", 2).unwrap();
+        assert!((r - 0.2).abs() < 1e-9);
+        assert!(t.ratio_at("EBRArray", "QSBRArray", 4).is_none());
+        assert!(t.ratio_at("Nope", "QSBRArray", 1).is_none());
+    }
+
+    #[test]
+    fn display_renders_all_rows_and_dashes() {
+        let out = sample_table().to_string();
+        assert!(out.contains("Fig X"));
+        assert!(out.contains("QSBRArray"));
+        assert!(out.contains("1.00M"));
+        assert!(out.contains('-'), "missing cell must render as dash");
+        assert_eq!(out.lines().count(), 5); // title + header + 3 rows
+    }
+
+    #[test]
+    fn throughput_formatting() {
+        assert_eq!(fmt_throughput(3.2e9), "3.20G");
+        assert_eq!(fmt_throughput(1.5e6), "1.50M");
+        assert_eq!(fmt_throughput(2500.0), "2.5k");
+        assert_eq!(fmt_throughput(42.0), "42");
+    }
+}

@@ -1,0 +1,258 @@
+//! Measured benchmark loops, spawning the paper's "N tasks per locale"
+//! shape through the simulated cluster.
+
+use crate::arrays::BenchArray;
+use crate::workload::{IndexPattern, IndexStream};
+use rcuarray_runtime::Cluster;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Parameters of a Figure-2-style indexing run.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexingParams {
+    /// Tasks spawned on every locale (paper: 44).
+    pub tasks_per_locale: usize,
+    /// Update operations per task (paper: 1024 or 1M).
+    pub ops_per_task: usize,
+    /// Random or sequential indices.
+    pub pattern: IndexPattern,
+    /// Array capacity the run indexes into.
+    pub capacity: usize,
+    /// `Some(n)`: invoke a checkpoint after every `n` operations
+    /// (Figure 4). `None`: never checkpoint (the paper's QSBRArray
+    /// "best-case").
+    pub checkpoint_every: Option<usize>,
+    /// Percentage of operations that are reads (0–100). The paper's
+    /// figures use pure updates (`0`); the extended reclaimer-zoo
+    /// ablation sweeps this to show where read-optimized designs pull
+    /// ahead.
+    pub read_percent: u8,
+    /// PRNG seed for the random pattern.
+    pub seed: u64,
+}
+
+impl Default for IndexingParams {
+    fn default() -> Self {
+        IndexingParams {
+            tasks_per_locale: 4,
+            ops_per_task: 1024,
+            pattern: IndexPattern::Random,
+            capacity: 1 << 20,
+            checkpoint_every: None,
+            read_percent: 0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Run an indexing benchmark: every task performs `ops_per_task` update
+/// operations against `array`. Returns throughput in operations/second.
+///
+/// The array is grown to `capacity` first (outside the timed region).
+pub fn run_indexing(array: &dyn BenchArray, cluster: &Arc<Cluster>, p: &IndexingParams) -> f64 {
+    assert!(p.capacity > 0 && p.ops_per_task > 0 && p.tasks_per_locale > 0);
+    if array.capacity() < p.capacity {
+        array.resize(p.capacity - array.capacity());
+    }
+    let total_ops = (cluster.num_locales() * p.tasks_per_locale * p.ops_per_task) as f64;
+
+    let start = Instant::now();
+    cluster.spawn_tasks(p.tasks_per_locale, |loc, task| {
+        let task_id = (loc.index() * p.tasks_per_locale + task) as u64;
+        let mut stream = IndexStream::new(p.pattern, p.capacity, p.seed, task_id);
+        // Deterministic read/write interleave from the percentage: every
+        // op whose counter lands below read_percent (mod 100) reads.
+        let rp = p.read_percent.min(100) as usize;
+        let mut sink = 0u64;
+        match p.checkpoint_every {
+            None => {
+                for k in 0..p.ops_per_task {
+                    let idx = stream.next_index();
+                    if k % 100 < rp {
+                        sink = sink.wrapping_add(array.read(idx));
+                    } else {
+                        array.write(idx, k as u64);
+                    }
+                }
+            }
+            Some(every) => {
+                let every = every.max(1);
+                for k in 0..p.ops_per_task {
+                    let idx = stream.next_index();
+                    if k % 100 < rp {
+                        sink = sink.wrapping_add(array.read(idx));
+                    } else {
+                        array.write(idx, k as u64);
+                    }
+                    if (k + 1) % every == 0 {
+                        array.checkpoint();
+                    }
+                }
+            }
+        }
+        std::hint::black_box(sink);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    total_ops / elapsed
+}
+
+/// Parameters of the Figure 3 resize benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ResizeParams {
+    /// Number of resize operations (paper: 1024).
+    pub increments: usize,
+    /// Elements added per resize (paper: 1024, one block).
+    pub increment: usize,
+}
+
+impl Default for ResizeParams {
+    fn default() -> Self {
+        ResizeParams {
+            increments: 1024,
+            increment: 1024,
+        }
+    }
+}
+
+/// Run the resize benchmark: `increments` sequential resizes of
+/// `increment` elements, "starting with zero-capacity". Returns
+/// throughput in resize operations/second.
+pub fn run_resize(array: &dyn BenchArray, p: &ResizeParams) -> f64 {
+    assert_eq!(array.capacity(), 0, "Fig. 3 starts from an empty array");
+    let start = Instant::now();
+    for _ in 0..p.increments {
+        array.resize(p.increment);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    // Reclaim whatever the resizes deferred so runs don't accumulate.
+    array.checkpoint();
+    p.increments as f64 / elapsed
+}
+
+/// Figure 4: sweep checkpoint frequency on a QSBR-style array. For each
+/// `ops_per_checkpoint` value, runs `base` with `checkpoint_every` set and
+/// returns `(ops_per_checkpoint, ops_per_sec)` points.
+pub fn run_checkpoint_sweep(
+    make: impl Fn() -> Box<dyn BenchArray>,
+    cluster: &Arc<Cluster>,
+    base: &IndexingParams,
+    frequencies: &[usize],
+) -> Vec<(usize, f64)> {
+    frequencies
+        .iter()
+        .map(|&every| {
+            let array = make();
+            let p = IndexingParams {
+                checkpoint_every: Some(every),
+                ..*base
+            };
+            (every, run_indexing(array.as_ref(), cluster, &p))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrays::{make_array_config, ArrayKind};
+    use rcuarray_ebr::OrderingMode;
+    use rcuarray_runtime::Topology;
+
+    fn quick_cluster() -> Arc<Cluster> {
+        Cluster::new(Topology::new(2, 1))
+    }
+
+    fn quick_params() -> IndexingParams {
+        IndexingParams {
+            tasks_per_locale: 2,
+            ops_per_task: 200,
+            capacity: 512,
+            ..IndexingParams::default()
+        }
+    }
+
+    #[test]
+    fn indexing_runs_every_paper_variant() {
+        let cluster = quick_cluster();
+        for kind in ArrayKind::PAPER {
+            let a = make_array_config(kind, &cluster, 64, false, OrderingMode::SeqCst);
+            let tput = run_indexing(a.as_ref(), &cluster, &quick_params());
+            assert!(tput > 0.0, "{kind} produced no throughput");
+            assert!(a.capacity() >= 512);
+        }
+    }
+
+    #[test]
+    fn sequential_pattern_runs() {
+        let cluster = quick_cluster();
+        let a = make_array_config(ArrayKind::Qsbr, &cluster, 64, false, OrderingMode::SeqCst);
+        let p = IndexingParams {
+            pattern: IndexPattern::Sequential,
+            ..quick_params()
+        };
+        assert!(run_indexing(a.as_ref(), &cluster, &p) > 0.0);
+    }
+
+    #[test]
+    fn read_mix_runs_and_counts_all_ops() {
+        let cluster = quick_cluster();
+        let a = make_array_config(ArrayKind::Qsbr, &cluster, 64, false, OrderingMode::SeqCst);
+        for rp in [0u8, 50, 90, 100] {
+            let p = IndexingParams {
+                read_percent: rp,
+                ..quick_params()
+            };
+            assert!(run_indexing(a.as_ref(), &cluster, &p) > 0.0, "rp={rp}");
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_reclaims() {
+        let cluster = quick_cluster();
+        let a = make_array_config(ArrayKind::Qsbr, &cluster, 64, false, OrderingMode::SeqCst);
+        let p = IndexingParams {
+            checkpoint_every: Some(10),
+            ..quick_params()
+        };
+        assert!(run_indexing(a.as_ref(), &cluster, &p) > 0.0);
+    }
+
+    #[test]
+    fn resize_benchmark_counts_increments() {
+        let cluster = quick_cluster();
+        for kind in [ArrayKind::Qsbr, ArrayKind::Chapel] {
+            let a = make_array_config(kind, &cluster, 64, false, OrderingMode::SeqCst);
+            let p = ResizeParams {
+                increments: 16,
+                increment: 64,
+            };
+            let tput = run_resize(a.as_ref(), &p);
+            assert!(tput > 0.0);
+            assert_eq!(a.capacity(), 16 * 64, "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty array")]
+    fn resize_benchmark_requires_fresh_array() {
+        let cluster = quick_cluster();
+        let a = make_array_config(ArrayKind::Qsbr, &cluster, 64, false, OrderingMode::SeqCst);
+        a.resize(64);
+        run_resize(a.as_ref(), &ResizeParams::default());
+    }
+
+    #[test]
+    fn checkpoint_sweep_returns_one_point_per_frequency() {
+        let cluster = quick_cluster();
+        let base = quick_params();
+        let points = run_checkpoint_sweep(
+            || make_array_config(ArrayKind::Qsbr, &cluster, 64, false, OrderingMode::SeqCst),
+            &cluster,
+            &base,
+            &[1, 10, 100],
+        );
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].0, 1);
+        assert!(points.iter().all(|&(_, t)| t > 0.0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Index streams for the Figure 2 indexing benchmarks.
+//!
+//! §V-A: tasks "perform update operations … on randomized and sequential
+//! indices of the array". Random streams are generated per task from a
+//! deterministic seed so runs are reproducible; sequential streams start
+//! at a per-task offset and walk the array with wraparound, which is the
+//! cache-friendly, predictable pattern where the paper's QSBRArray
+//! overtakes ChapelArray (Fig. 2d).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which index pattern a benchmark drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexPattern {
+    /// Uniformly random indices (Fig. 2a / 2c).
+    Random,
+    /// Per-task sequential walk with wraparound (Fig. 2b / 2d).
+    Sequential,
+}
+
+impl IndexPattern {
+    /// Short label used in series names ("rand" / "seq").
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexPattern::Random => "rand",
+            IndexPattern::Sequential => "seq",
+        }
+    }
+}
+
+impl std::fmt::Display for IndexPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A lazily generated stream of indices into `[0, capacity)`.
+///
+/// Streaming (rather than materializing a `Vec`) keeps the 1M-ops-per-task
+/// configurations from allocating gigabytes and keeps the measured loop's
+/// memory traffic on the *array*, not the workload.
+#[derive(Debug, Clone)]
+pub enum IndexStream {
+    /// PRNG-driven uniform indices.
+    Random {
+        /// Per-task deterministic generator.
+        rng: StdRng,
+        /// Exclusive index bound.
+        capacity: usize,
+    },
+    /// `start, start+1, …` mod capacity.
+    Sequential {
+        /// Next index to yield.
+        next: usize,
+        /// Exclusive index bound (wraps).
+        capacity: usize,
+    },
+}
+
+impl IndexStream {
+    /// A stream for `pattern`, deterministic in `(seed, task_id)`.
+    pub fn new(pattern: IndexPattern, capacity: usize, seed: u64, task_id: u64) -> Self {
+        assert!(capacity > 0, "cannot index an empty array");
+        match pattern {
+            IndexPattern::Random => IndexStream::Random {
+                // Distinct, well-mixed stream per task.
+                rng: StdRng::seed_from_u64(seed ^ task_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                capacity,
+            },
+            IndexPattern::Sequential => IndexStream::Sequential {
+                // Tasks start at spread offsets so they do not convoy on
+                // the same block.
+                next: (task_id as usize).wrapping_mul(capacity / 64 + 1) % capacity,
+                capacity,
+            },
+        }
+    }
+
+    /// Next index.
+    #[inline]
+    pub fn next_index(&mut self) -> usize {
+        match self {
+            IndexStream::Random { rng, capacity } => rng.random_range(0..*capacity),
+            IndexStream::Sequential { next, capacity } => {
+                let i = *next;
+                *next = (i + 1) % *capacity;
+                i
+            }
+        }
+    }
+}
+
+/// Materialize `n` sequential indices starting at `start` (test helper).
+pub fn sequential_indices(start: usize, n: usize, capacity: usize) -> Vec<usize> {
+    (0..n).map(|k| (start + k) % capacity).collect()
+}
+
+/// Materialize `n` random indices from the deterministic stream
+/// (test helper).
+pub fn shuffled_indices(seed: u64, n: usize, capacity: usize) -> Vec<usize> {
+    let mut s = IndexStream::new(IndexPattern::Random, capacity, seed, 0);
+    (0..n).map(|_| s.next_index()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_stream_is_deterministic_per_seed_and_task() {
+        let a = shuffled_indices(7, 100, 1000);
+        let b = shuffled_indices(7, 100, 1000);
+        assert_eq!(a, b);
+        let c = shuffled_indices(8, 100, 1000);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn random_tasks_get_distinct_streams() {
+        let mut t0 = IndexStream::new(IndexPattern::Random, 1 << 20, 1, 0);
+        let mut t1 = IndexStream::new(IndexPattern::Random, 1 << 20, 1, 1);
+        let a: Vec<usize> = (0..50).map(|_| t0.next_index()).collect();
+        let b: Vec<usize> = (0..50).map(|_| t1.next_index()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_indices_in_bounds() {
+        for idx in shuffled_indices(3, 10_000, 257) {
+            assert!(idx < 257);
+        }
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        assert_eq!(sequential_indices(8, 4, 10), vec![8, 9, 0, 1]);
+    }
+
+    #[test]
+    fn sequential_stream_matches_helper() {
+        let mut s = IndexStream::new(IndexPattern::Sequential, 10, 0, 0);
+        let first = s.next_index();
+        let got: Vec<usize> = std::iter::once(first)
+            .chain((0..3).map(|_| s.next_index()))
+            .collect();
+        assert_eq!(got, sequential_indices(first, 4, 10));
+    }
+
+    #[test]
+    fn sequential_tasks_start_at_spread_offsets() {
+        let mut a = IndexStream::new(IndexPattern::Sequential, 1024, 0, 0);
+        let mut b = IndexStream::new(IndexPattern::Sequential, 1024, 0, 1);
+        assert_ne!(a.next_index(), b.next_index());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty array")]
+    fn zero_capacity_rejected() {
+        IndexStream::new(IndexPattern::Random, 0, 0, 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(IndexPattern::Random.label(), "rand");
+        assert_eq!(IndexPattern::Sequential.to_string(), "seq");
+    }
+}

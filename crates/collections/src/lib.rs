@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # rcuarray-collections — the vector and table on the RCUArray backbone
+//!
+//! The paper's conclusion (§VI): "RCUArray can serve as the ideal
+//! backbone for a random-access data structure such as a distributed
+//! vector or table which both benefit from the ability to be resized and
+//! indexed with parallel-safety." This crate ships both:
+//!
+//! * [`DistVector`] — an append-only distributed vector: `push` claims a
+//!   slot with one fetch-add and grows the backing RCUArray on demand;
+//!   pushes, reads and the resizes they trigger all run concurrently.
+//! * [`DistTable`] — an open-addressing distributed hash table whose slot
+//!   storage is a pair of RCUArrays; inserts claim key slots with element
+//!   CAS and run concurrently with lookups and with capacity growth.
+//!
+//! Both are generic over the reclamation [`Scheme`](rcuarray::Scheme),
+//! like the array itself.
+
+pub mod dist_table;
+pub mod dist_vector;
+
+pub use dist_table::DistTable;
+pub use dist_vector::DistVector;

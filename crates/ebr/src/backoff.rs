@@ -1,0 +1,105 @@
+//! Bounded exponential backoff for the writer's reader-drain loop.
+//!
+//! A writer waiting for `EpochReaders` to drain (Algorithm 1 line 7) spins;
+//! unbounded tight spinning starves the very readers it waits for on
+//! oversubscribed hosts (the simulation runs many more tasks than cores).
+//! `Backoff` spins with `spin_loop` hints for a few rounds, then starts
+//! yielding to the OS scheduler.
+
+/// Exponential spin-then-yield backoff.
+#[derive(Debug)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backoff {
+    /// Spin rounds before the first yield: 2^SPIN_LIMIT spins max per round.
+    const SPIN_LIMIT: u32 = 6;
+
+    /// A fresh backoff at step zero.
+    #[inline]
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Current step (monotonic until [`reset`](Self::reset)).
+    #[inline]
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// Whether the next [`snooze`](Self::snooze) will yield the thread
+    /// rather than spin.
+    #[inline]
+    pub fn is_yielding(&self) -> bool {
+        self.step > Self::SPIN_LIMIT
+    }
+
+    /// Back off once: spin `2^step` times while below the spin limit, then
+    /// yield to the scheduler.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Start over (after observing progress).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_spinning_then_yields() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding());
+        for _ in 0..=Backoff::SPIN_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        // Yielding must not panic and step must not overflow.
+        for _ in 0..100 {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+    }
+
+    #[test]
+    fn reset_returns_to_spinning() {
+        let mut b = Backoff::new();
+        for _ in 0..20 {
+            b.snooze();
+        }
+        b.reset();
+        assert_eq!(b.step(), 0);
+        assert!(!b.is_yielding());
+    }
+
+    #[test]
+    fn step_is_monotonic_and_saturates() {
+        let mut b = Backoff::new();
+        let mut last = b.step();
+        for _ in 0..40 {
+            b.snooze();
+            assert!(b.step() >= last);
+            last = b.step();
+        }
+    }
+}

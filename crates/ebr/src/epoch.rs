@@ -1,0 +1,370 @@
+//! The epoch zone: `GlobalEpoch` plus the two collective `EpochReaders`
+//! counters (paper Listing 1 and Algorithm 1).
+
+use crate::backoff::Backoff;
+use crate::ordering::OrderingMode;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Pad to a cache line so the two reader counters and the epoch never
+/// false-share — they are the hottest words in the whole system.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Padded(AtomicU64);
+
+/// Counters exposed for inspection and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZoneStats {
+    /// Successful reader pins.
+    pub pins: u64,
+    /// Pin attempts that lost the race with a concurrent epoch advance and
+    /// had to undo-and-retry (Algorithm 1 line 17).
+    pub retries: u64,
+    /// Writer epoch advances.
+    pub advances: u64,
+}
+
+/// A TLS-free EBR zone: one `GlobalEpoch` and two parity-indexed
+/// `EpochReaders` counters.
+///
+/// This corresponds to the `GlobalEpoch`/`EpochReaders` fields of the
+/// paper's privatized `RCUArrayMetaData` (Listing 1): RCUArray embeds one
+/// zone per locale. The zone knows nothing about *what* it protects; it
+/// only implements the reader announcement protocol and the writer's
+/// drain-and-advance. Pair it with an `AtomicPtr` (see
+/// [`crate::RcuCell`]) or any other single-writer published structure.
+#[derive(Debug)]
+pub struct EpochZone {
+    global_epoch: Padded,
+    readers: [Padded; 2],
+    mode: OrderingMode,
+    pins: Padded,
+    retries: Padded,
+    advances: Padded,
+}
+
+/// Proof that a reader is announced on a parity counter. Must be returned
+/// to [`EpochZone::unpin`]; dropping it without unpinning would wedge every
+/// future writer. Prefer the RAII [`crate::EpochGuard`].
+#[must_use = "an un-unpinned ticket blocks writers forever"]
+#[derive(Debug)]
+pub struct ReadTicket {
+    /// Parity index the reader announced on.
+    pub(crate) idx: usize,
+    /// The epoch the reader observed and verified.
+    pub(crate) epoch: u64,
+}
+
+impl ReadTicket {
+    /// The epoch this reader linearized at.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The parity counter this reader is recorded on.
+    #[inline]
+    pub fn parity(&self) -> usize {
+        self.idx
+    }
+}
+
+impl Default for EpochZone {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochZone {
+    /// A zone at epoch 0 with the paper's `SeqCst` protocol ordering.
+    pub fn new() -> Self {
+        Self::with_mode(OrderingMode::SeqCst)
+    }
+
+    /// A zone using a specific [`OrderingMode`] (for the ablation bench).
+    pub fn with_mode(mode: OrderingMode) -> Self {
+        EpochZone {
+            global_epoch: Padded::default(),
+            readers: [Padded::default(), Padded::default()],
+            mode,
+            pins: Padded::default(),
+            retries: Padded::default(),
+            advances: Padded::default(),
+        }
+    }
+
+    /// The protocol ordering in use.
+    #[inline]
+    pub fn mode(&self) -> OrderingMode {
+        self.mode
+    }
+
+    /// Current epoch value.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.global_epoch.0.load(self.mode.load())
+    }
+
+    /// Number of announced readers on a parity counter (0 or 1).
+    #[inline]
+    pub fn readers_on(&self, parity: usize) -> u64 {
+        self.readers[parity & 1].0.load(Ordering::Acquire)
+    }
+
+    /// Force the epoch to an arbitrary value. Exists so tests can start the
+    /// zone one step from integer overflow and exercise the wrap-around of
+    /// paper Lemma 2; not part of the protocol.
+    pub fn set_epoch_for_test(&self, epoch: u64) {
+        self.global_epoch.0.store(epoch, Ordering::SeqCst);
+    }
+
+    /// Announce a read-side critical section: Algorithm 1 lines 9–17.
+    ///
+    /// Loops: read the epoch `e`, increment `EpochReaders[e % 2]`, re-read
+    /// the epoch. On a mismatch the reader "would see that e ≠ e′ and would
+    /// undo the operation and loop again"; on a match it has linearized.
+    #[inline]
+    pub fn pin(&self) -> ReadTicket {
+        let mut backoff = Backoff::new();
+        loop {
+            let epoch = self.global_epoch.0.load(self.mode.load());
+            let idx = (epoch & 1) as usize;
+            self.readers[idx].0.fetch_add(1, self.mode.rmw());
+            if self.mode.needs_fence() {
+                // The increment must be globally visible before the
+                // verification read, or a concurrent writer could both miss
+                // this reader and have this reader miss its advance.
+                fence(Ordering::SeqCst);
+            }
+            if epoch == self.global_epoch.0.load(self.mode.load()) {
+                // Linearized: any writer advancing past `epoch` is now
+                // obliged to wait for this parity counter to drain.
+                self.pins.0.fetch_add(1, Ordering::Relaxed);
+                return ReadTicket { idx, epoch };
+            }
+            // Lost the race with a writer; undo and retry.
+            self.readers[idx].0.fetch_sub(1, self.mode.rmw());
+            self.retries.0.fetch_add(1, Ordering::Relaxed);
+            backoff.snooze();
+        }
+    }
+
+    /// Retire a read-side critical section (Algorithm 1 line 15).
+    #[inline]
+    pub fn unpin(&self, ticket: ReadTicket) {
+        // `Release` at minimum: everything the reader did inside the
+        // critical section must happen-before a writer observing the drain.
+        let ord = match self.mode.rmw() {
+            Ordering::Relaxed => Ordering::Relaxed,
+            _ => self.mode.rmw(),
+        };
+        self.readers[ticket.idx].0.fetch_sub(1, ord);
+    }
+
+    /// Writer step 1 (Algorithm 1 line 5): advance the epoch from `e` to
+    /// `e + 1` (wrapping), returning the *old* epoch `e`.
+    ///
+    /// Must only be called by the single writer (externally serialized by
+    /// the structure's write lock, per the paper's footnote 3).
+    #[inline]
+    pub fn advance(&self) -> u64 {
+        self.advances.0.fetch_add(1, Ordering::Relaxed);
+        // `fetch_add` wraps on overflow, which is exactly the behaviour
+        // Lemma 2 proves safe: parity is preserved across the wrap.
+        self.global_epoch.0.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Writer step 2 (Algorithm 1 lines 6–7): wait until every reader that
+    /// recorded on `epoch`'s parity has evacuated.
+    #[inline]
+    pub fn wait_for_readers(&self, epoch: u64) {
+        let idx = (epoch & 1) as usize;
+        let mut backoff = Backoff::new();
+        while self.readers[idx].0.load(Ordering::Acquire) != 0 {
+            backoff.snooze();
+        }
+    }
+
+    /// Combined writer barrier: advance then drain; returns the old epoch.
+    /// After this returns, memory published *before* the matching
+    /// publication store is unreachable by all current and future readers.
+    #[inline]
+    pub fn synchronize(&self) -> u64 {
+        let old = self.advance();
+        self.wait_for_readers(old);
+        old
+    }
+
+    /// Snapshot of the zone's instrumentation counters.
+    pub fn stats(&self) -> ZoneStats {
+        ZoneStats {
+            pins: self.pins.0.load(Ordering::Relaxed),
+            retries: self.retries.0.load(Ordering::Relaxed),
+            advances: self.advances.0.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn pin_records_on_epoch_parity() {
+        let z = EpochZone::new();
+        let t = z.pin();
+        assert_eq!(t.epoch(), 0);
+        assert_eq!(t.parity(), 0);
+        assert_eq!(z.readers_on(0), 1);
+        assert_eq!(z.readers_on(1), 0);
+        z.unpin(t);
+        assert_eq!(z.readers_on(0), 0);
+    }
+
+    #[test]
+    fn advance_returns_old_epoch_and_flips_parity() {
+        let z = EpochZone::new();
+        assert_eq!(z.advance(), 0);
+        assert_eq!(z.epoch(), 1);
+        let t = z.pin();
+        assert_eq!(t.parity(), 1);
+        z.unpin(t);
+    }
+
+    #[test]
+    fn wait_for_readers_returns_immediately_when_empty() {
+        let z = EpochZone::new();
+        z.wait_for_readers(0);
+        z.wait_for_readers(1);
+    }
+
+    #[test]
+    fn writer_waits_for_old_parity_reader() {
+        let z = Arc::new(EpochZone::new());
+        let t = z.pin(); // parity 0 at epoch 0
+        let done = Arc::new(AtomicBool::new(false));
+
+        let z2 = Arc::clone(&z);
+        let done2 = Arc::clone(&done);
+        let writer = std::thread::spawn(move || {
+            let old = z2.advance();
+            z2.wait_for_readers(old);
+            done2.store(true, Ordering::SeqCst);
+        });
+
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            !done.load(Ordering::SeqCst),
+            "writer must block while a parity-0 reader is pinned"
+        );
+        z.unpin(t);
+        writer.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn writer_does_not_wait_for_new_parity_reader() {
+        let z = EpochZone::new();
+        let old = z.advance(); // epoch now 1
+        let t = z.pin(); // parity 1: a *new* reader
+        assert_eq!(t.parity(), 1);
+        // Draining parity 0 must not be blocked by the parity-1 reader.
+        z.wait_for_readers(old);
+        z.unpin(t);
+    }
+
+    #[test]
+    fn pin_retries_when_epoch_moves() {
+        // Simulate the race: force a retry by advancing between operations
+        // is hard deterministically; instead hammer pins against advances
+        // and check the accounting stays consistent.
+        let z = Arc::new(EpochZone::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let z2 = Arc::clone(&z);
+        let stop2 = Arc::clone(&stop);
+        let writer = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                let old = z2.advance();
+                z2.wait_for_readers(old);
+            }
+        });
+        for _ in 0..10_000 {
+            let t = z.pin();
+            // While pinned, our parity counter must be nonzero.
+            assert!(z.readers_on(t.parity()) >= 1);
+            z.unpin(t);
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        assert_eq!(z.readers_on(0), 0);
+        assert_eq!(z.readers_on(1), 0);
+        assert_eq!(z.stats().pins, 10_000);
+    }
+
+    #[test]
+    fn epoch_overflow_preserves_parity() {
+        // Paper Lemma 2: at the wrap from max to 0, parity still alternates.
+        let z = EpochZone::new();
+        z.set_epoch_for_test(u64::MAX); // parity of MAX is 1
+        let t = z.pin();
+        assert_eq!(t.parity(), 1);
+        z.unpin(t);
+        let old = z.advance();
+        assert_eq!(old, u64::MAX);
+        assert_eq!(z.epoch(), 0); // wrapped
+        let t2 = z.pin();
+        assert_eq!(t2.parity(), 0, "post-wrap epoch 0 must use parity 0");
+        z.unpin(t2);
+    }
+
+    #[test]
+    fn synchronize_is_advance_plus_drain() {
+        let z = EpochZone::new();
+        let old = z.synchronize();
+        assert_eq!(old, 0);
+        assert_eq!(z.epoch(), 1);
+        assert_eq!(z.stats().advances, 1);
+    }
+
+    #[test]
+    fn stats_count_pins_and_advances() {
+        let z = EpochZone::new();
+        for _ in 0..5 {
+            let t = z.pin();
+            z.unpin(t);
+        }
+        z.synchronize();
+        let s = z.stats();
+        assert_eq!(s.pins, 5);
+        assert_eq!(s.advances, 1);
+    }
+
+    #[test]
+    fn acqrel_mode_protocol_works() {
+        let z = EpochZone::with_mode(OrderingMode::AcqRelFence);
+        let t = z.pin();
+        assert_eq!(z.readers_on(0), 1);
+        z.unpin(t);
+        z.synchronize();
+        assert_eq!(z.epoch(), 1);
+    }
+
+    #[test]
+    fn many_concurrent_readers_drain_to_zero() {
+        let z = Arc::new(EpochZone::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let z = &z;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let t = z.pin();
+                        z.unpin(t);
+                    }
+                });
+            }
+        });
+        assert_eq!(z.readers_on(0) + z.readers_on(1), 0);
+        assert_eq!(z.stats().pins, 8000);
+    }
+}

@@ -1,0 +1,116 @@
+//! RAII guard over a pinned read-side critical section.
+
+use crate::epoch::{EpochZone, ReadTicket};
+
+/// A pinned read-side critical section that un-pins on drop.
+///
+/// Wraps a [`ReadTicket`] so early returns and panics inside a reader
+/// cannot leave the parity counter elevated (which would block every
+/// future writer forever).
+///
+/// ```
+/// use rcuarray_ebr::{EpochZone, EpochGuard};
+/// let zone = EpochZone::new();
+/// {
+///     let g = EpochGuard::pin(&zone);
+///     assert_eq!(zone.readers_on(g.parity()), 1);
+/// } // dropped: unpinned
+/// assert_eq!(zone.readers_on(0), 0);
+/// ```
+#[derive(Debug)]
+pub struct EpochGuard<'z> {
+    zone: &'z EpochZone,
+    ticket: Option<ReadTicket>,
+}
+
+impl<'z> EpochGuard<'z> {
+    /// Pin the zone and wrap the ticket.
+    #[inline]
+    pub fn pin(zone: &'z EpochZone) -> Self {
+        EpochGuard {
+            ticket: Some(zone.pin()),
+            zone,
+        }
+    }
+
+    /// The epoch this guard linearized at.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.ticket.as_ref().expect("guard not yet dropped").epoch()
+    }
+
+    /// The parity counter this guard is recorded on.
+    #[inline]
+    pub fn parity(&self) -> usize {
+        self.ticket.as_ref().expect("guard not yet dropped").parity()
+    }
+
+    /// Unpin eagerly (equivalent to drop, but explicit at call sites that
+    /// want to mark the end of the critical section).
+    #[inline]
+    pub fn unpin(self) {}
+}
+
+impl Drop for EpochGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(t) = self.ticket.take() {
+            self.zone.unpin(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_unpins_on_drop() {
+        let z = EpochZone::new();
+        {
+            let _g = EpochGuard::pin(&z);
+            assert_eq!(z.readers_on(0), 1);
+        }
+        assert_eq!(z.readers_on(0), 0);
+    }
+
+    #[test]
+    fn guard_unpins_on_panic() {
+        let z = EpochZone::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = EpochGuard::pin(&z);
+            panic!("reader died");
+        }));
+        assert!(r.is_err());
+        assert_eq!(z.readers_on(0), 0, "panicked reader must still unpin");
+    }
+
+    #[test]
+    fn explicit_unpin() {
+        let z = EpochZone::new();
+        let g = EpochGuard::pin(&z);
+        g.unpin();
+        assert_eq!(z.readers_on(0), 0);
+    }
+
+    #[test]
+    fn nested_guards_stack() {
+        let z = EpochZone::new();
+        let g1 = EpochGuard::pin(&z);
+        let g2 = EpochGuard::pin(&z);
+        assert_eq!(z.readers_on(0), 2);
+        drop(g2);
+        assert_eq!(z.readers_on(0), 1);
+        drop(g1);
+        assert_eq!(z.readers_on(0), 0);
+    }
+
+    #[test]
+    fn guard_reports_ticket_fields() {
+        let z = EpochZone::new();
+        z.synchronize(); // epoch 1
+        let g = EpochGuard::pin(&z);
+        assert_eq!(g.epoch(), 1);
+        assert_eq!(g.parity(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Memory-ordering modes for the `EpochReaders` protocol.
+//!
+//! The paper attributes EBRArray's poor read throughput to "the contention
+//! and sequential consistency memory ordering of the Fetch-And-Add and
+//! Fetch-And-Sub atomic operations on the EpochReaders counters" (§V-B).
+//! To let the ablation benchmark quantify how much of the cost is the
+//! *ordering* versus the *contention*, the zone's protocol ordering is a
+//! runtime knob.
+
+use std::sync::atomic::Ordering;
+
+/// Which memory orderings the read–increment–verify protocol uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderingMode {
+    /// The paper's configuration: every protocol operation is
+    /// sequentially consistent. Correct on all architectures.
+    #[default]
+    SeqCst,
+    /// Increments/decrements use `AcqRel` and the verification load uses
+    /// `Acquire`, with an explicit `SeqCst` fence between the increment and
+    /// the verification read.
+    ///
+    /// The fence preserves the store–load ordering the protocol needs (the
+    /// reader's increment must be globally visible before its verification
+    /// read), so this mode is still correct; it simply relocates the cost
+    /// into one fence instead of three SC operations. On x86-64 the fence
+    /// and the SC RMW compile to the same `lock`-prefixed instructions, so
+    /// any measured difference isolates compiler-level effects.
+    AcqRelFence,
+    /// All protocol operations relaxed.
+    ///
+    /// **Measurement-only.** This under-synchronized mode exists to put a
+    /// lower bound on the protocol's cost in the ordering ablation. It is
+    /// not correct in general (a writer may miss a reader's announcement)
+    /// and must never be used to protect real reclamation. The zone's
+    /// debug assertions stay active under it.
+    Relaxed,
+}
+
+impl OrderingMode {
+    /// Ordering for the reader-counter increment (Algorithm 1 line 12).
+    #[inline]
+    pub fn rmw(self) -> Ordering {
+        match self {
+            OrderingMode::SeqCst => Ordering::SeqCst,
+            OrderingMode::AcqRelFence => Ordering::AcqRel,
+            OrderingMode::Relaxed => Ordering::Relaxed,
+        }
+    }
+
+    /// Ordering for epoch loads (lines 10 and 13).
+    #[inline]
+    pub fn load(self) -> Ordering {
+        match self {
+            OrderingMode::SeqCst => Ordering::SeqCst,
+            OrderingMode::AcqRelFence => Ordering::Acquire,
+            OrderingMode::Relaxed => Ordering::Relaxed,
+        }
+    }
+
+    /// Whether an explicit `SeqCst` fence is required between the increment
+    /// and the verification load.
+    #[inline]
+    pub fn needs_fence(self) -> bool {
+        matches!(self, OrderingMode::AcqRelFence)
+    }
+
+    /// Whether this mode is safe to protect actual memory reclamation.
+    #[inline]
+    pub fn is_sound(self) -> bool {
+        !matches!(self, OrderingMode::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_seqcst() {
+        assert_eq!(OrderingMode::default(), OrderingMode::SeqCst);
+    }
+
+    #[test]
+    fn seqcst_maps_to_seqcst() {
+        let m = OrderingMode::SeqCst;
+        assert_eq!(m.rmw(), Ordering::SeqCst);
+        assert_eq!(m.load(), Ordering::SeqCst);
+        assert!(!m.needs_fence());
+        assert!(m.is_sound());
+    }
+
+    #[test]
+    fn acqrel_needs_fence_and_is_sound() {
+        let m = OrderingMode::AcqRelFence;
+        assert_eq!(m.rmw(), Ordering::AcqRel);
+        assert_eq!(m.load(), Ordering::Acquire);
+        assert!(m.needs_fence());
+        assert!(m.is_sound());
+    }
+
+    #[test]
+    fn relaxed_is_flagged_unsound() {
+        let m = OrderingMode::Relaxed;
+        assert_eq!(m.rmw(), Ordering::Relaxed);
+        assert!(!m.is_sound());
+        assert!(!m.needs_fence());
+    }
+}

@@ -1,0 +1,319 @@
+//! A single RCU-protected value: the paper's `RCU_Read`/`RCU_Write`
+//! (Algorithm 1) packaged as a reusable cell.
+//!
+//! `RcuCell<T>` owns an [`EpochZone`] and an atomic pointer to the current
+//! immutable *snapshot* of a `T`. Readers run closures against the snapshot
+//! under the zone's pin protocol; writers clone-update-publish under an
+//! internal mutex (the paper requires "the WriteLock should be acquired
+//! prior to invoking RCU_Write", footnote 3 — here the cell carries its own
+//! lock so it is safe by construction; distributed structures that need a
+//! *cluster-wide* lock, like RCUArray, use [`EpochZone`] directly).
+
+use crate::epoch::{EpochZone, ZoneStats};
+use crate::ordering::OrderingMode;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// An RCU-protected value with TLS-free EBR reclamation.
+pub struct RcuCell<T> {
+    zone: EpochZone,
+    ptr: AtomicPtr<T>,
+    write_lock: Mutex<()>,
+}
+
+// Readers on any thread dereference the snapshot (`&T`), and writers move
+// `T`s in and drop them on whatever thread runs the write.
+unsafe impl<T: Send + Sync> Send for RcuCell<T> {}
+unsafe impl<T: Send + Sync> Sync for RcuCell<T> {}
+
+impl<T> RcuCell<T> {
+    /// A cell holding `value`, using the paper's `SeqCst` protocol.
+    pub fn new(value: T) -> Self {
+        Self::with_mode(value, OrderingMode::SeqCst)
+    }
+
+    /// A cell with an explicit protocol [`OrderingMode`].
+    ///
+    /// # Panics
+    /// Panics if `mode` is not sound for reclamation
+    /// ([`OrderingMode::is_sound`]); the relaxed mode is measurement-only.
+    pub fn with_mode(value: T, mode: OrderingMode) -> Self {
+        assert!(
+            mode.is_sound(),
+            "OrderingMode::Relaxed cannot protect real reclamation"
+        );
+        RcuCell {
+            zone: EpochZone::with_mode(mode),
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// The cell's epoch zone (for instrumentation).
+    #[inline]
+    pub fn zone(&self) -> &EpochZone {
+        &self.zone
+    }
+
+    /// Zone instrumentation counters.
+    pub fn stats(&self) -> ZoneStats {
+        self.zone.stats()
+    }
+
+    /// `RCU_Read` (Algorithm 1 lines 9–16): run `f` against the current
+    /// snapshot inside a read-side critical section and return its result.
+    ///
+    /// The reference passed to `f` is valid only for the duration of the
+    /// call; the borrow checker enforces that nothing outlives it.
+    #[inline]
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let ticket = self.zone.pin();
+        // The snapshot pointer is loaded only *after* the pin verified, so
+        // the snapshot we dereference is one a concurrent writer is
+        // obligated to keep alive until we unpin (paper Lemma 3).
+        let snap = self.ptr.load(Ordering::Acquire);
+        // SAFETY: `snap` was published by `write`/`new` and cannot be
+        // reclaimed while we hold the ticket: any writer that unlinked it
+        // must first drain our parity counter.
+        let ret = f(unsafe { &*snap });
+        self.zone.unpin(ticket);
+        ret
+    }
+
+    /// Clone of the current value (convenience over [`read`](Self::read)).
+    #[inline]
+    pub fn read_cloned(&self) -> T
+    where
+        T: Clone,
+    {
+        self.read(T::clone)
+    }
+
+    /// `RCU_Write` (Algorithm 1 lines 1–8): derive a new snapshot from the
+    /// old with `f`, publish it, wait for readers of the old snapshot to
+    /// evacuate, then reclaim the old snapshot.
+    ///
+    /// Writers are serialized by an internal lock; readers never block.
+    pub fn write(&self, f: impl FnOnce(&T) -> T) {
+        let _wl = self.write_lock.lock();
+        // Single writer: plain load is race-free for the pointer value.
+        let old_ptr = self.ptr.load(Ordering::Acquire);
+        // SAFETY: we hold the write lock; `old_ptr` stays published (and
+        // thus alive) while we build its replacement.
+        let new = Box::into_raw(Box::new(f(unsafe { &*old_ptr })));
+        // Publish first (line 4) so the new snapshot "will become
+        // immediately visible", then advance the epoch (line 5).
+        self.ptr.store(new, Ordering::Release);
+        let old_epoch = self.zone.advance();
+        self.zone.wait_for_readers(old_epoch);
+        // SAFETY: the old snapshot is unpublished and every reader that
+        // could hold it announced on `old_epoch`'s parity, which has
+        // drained. No new reader can acquire `old_ptr`.
+        drop(unsafe { Box::from_raw(old_ptr) });
+    }
+
+    /// Replace the value outright, reclaiming the old snapshot safely.
+    pub fn replace(&self, value: T) {
+        let mut value = Some(value);
+        self.write(|_| value.take().expect("write closure runs exactly once"));
+    }
+
+    /// Consume the cell and return the current value.
+    pub fn into_inner(self) -> T {
+        // Field moves out of `self` are blocked by `Drop`; steal the
+        // pointer and forget `self` instead.
+        let ptr = self.ptr.load(Ordering::Acquire);
+        std::mem::forget(self);
+        // SAFETY: `self` is forgotten, so `Drop` will not double-free; the
+        // pointer is the uniquely-owned current snapshot.
+        *unsafe { Box::from_raw(ptr) }
+    }
+}
+
+impl<T> Drop for RcuCell<T> {
+    fn drop(&mut self) {
+        let ptr = *self.ptr.get_mut();
+        // SAFETY: exclusive access (`&mut self`); no readers can exist.
+        drop(unsafe { Box::from_raw(ptr) });
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RcuCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.read(|v| f.debug_struct("RcuCell").field("value", v).finish())
+    }
+}
+
+impl<T: Default> Default for RcuCell<T> {
+    fn default() -> Self {
+        RcuCell::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use std::sync::Arc;
+
+    #[test]
+    fn read_sees_initial_value() {
+        let c = RcuCell::new(41);
+        assert_eq!(c.read(|v| *v + 1), 42);
+    }
+
+    #[test]
+    fn write_clone_update_publishes() {
+        let c = RcuCell::new(vec![1]);
+        c.write(|old| {
+            let mut v = old.clone();
+            v.push(2);
+            v
+        });
+        assert_eq!(c.read_cloned(), vec![1, 2]);
+    }
+
+    #[test]
+    fn replace_swaps_value() {
+        let c = RcuCell::new("old".to_string());
+        c.replace("new".to_string());
+        assert_eq!(c.read_cloned(), "new");
+    }
+
+    #[test]
+    fn into_inner_returns_current() {
+        let c = RcuCell::new(7u32);
+        c.replace(9);
+        assert_eq!(c.into_inner(), 9);
+    }
+
+    #[test]
+    fn drop_reclaims_value() {
+        struct Canary(Arc<AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let c = RcuCell::new(Canary(Arc::clone(&drops)));
+            c.replace(Canary(Arc::clone(&drops))); // old snapshot freed now
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 2, "drop frees the last snapshot");
+    }
+
+    #[test]
+    fn writes_are_serialized_and_none_lost() {
+        let c = Arc::new(RcuCell::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..250 {
+                        c.write(|old| old + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.read(|v| *v), 1000);
+    }
+
+    #[test]
+    fn readers_always_see_a_consistent_snapshot() {
+        // Snapshot = (a, b) with invariant a + b == 100. Writers preserve
+        // it; torn reads would violate it.
+        let c = Arc::new(RcuCell::new((100u64, 0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let c = &c;
+                let stop = &stop;
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let ok = c.read(|&(a, b)| a + b == 100);
+                        assert!(ok, "torn snapshot observed");
+                    }
+                });
+            }
+            let c2 = &c;
+            let stop2 = &stop;
+            s.spawn(move || {
+                for i in 0..2000 {
+                    c2.write(|&(a, _)| {
+                        let a2 = (a + 1) % 101;
+                        (a2, 100 - a2)
+                    });
+                    if i % 256 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                stop2.store(true, Ordering::Relaxed);
+            });
+        });
+    }
+
+    #[test]
+    fn use_after_write_detects_no_stale_canary() {
+        // Value carries a "poisoned" flag the writer sets on the *old*
+        // value right before freeing would be unsound — instead we verify
+        // the version only ever increases as seen by readers.
+        let c = Arc::new(RcuCell::new(0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let c = &c;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = c.read(|v| *v);
+                        assert!(v >= last, "snapshot went backwards");
+                        last = v;
+                    }
+                });
+            }
+            let c2 = &c;
+            let stop2 = &stop;
+            s.spawn(move || {
+                for _ in 0..3000 {
+                    c2.write(|v| v + 1);
+                }
+                stop2.store(true, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(c.read(|v| *v), 3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot protect real reclamation")]
+    fn relaxed_mode_rejected() {
+        let _ = RcuCell::with_mode(0u8, OrderingMode::Relaxed);
+    }
+
+    #[test]
+    fn acqrel_mode_cell_works() {
+        let c = RcuCell::with_mode(5u32, OrderingMode::AcqRelFence);
+        c.write(|v| v * 2);
+        assert_eq!(c.read(|v| *v), 10);
+    }
+
+    #[test]
+    fn debug_and_default() {
+        let c: RcuCell<u8> = RcuCell::default();
+        assert_eq!(format!("{c:?}"), "RcuCell { value: 0 }");
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let c = RcuCell::new(1);
+        for _ in 0..3 {
+            c.read(|_| ());
+        }
+        c.write(|v| v + 1);
+        let s = c.stats();
+        assert_eq!(s.pins, 3);
+        assert_eq!(s.advances, 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property and stress tests of `RcuCell` against a sequential model,
+//! plus protocol accounting under adversarial schedules.
+
+use proptest::prelude::*;
+use rcuarray_ebr::{EpochZone, OrderingMode, RcuCell, ShardedEpochZone};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum CellOp {
+    Read,
+    Add(u64),
+    Replace(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = CellOp> {
+    prop_oneof![
+        Just(CellOp::Read),
+        prop::num::u64::ANY.prop_map(|v| CellOp::Add(v % 1000)),
+        prop::num::u64::ANY.prop_map(|v| CellOp::Replace(v % 1000)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cell_matches_sequential_model(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        let cell = RcuCell::new(0u64);
+        let mut model = 0u64;
+        for op in ops {
+            match op {
+                CellOp::Read => prop_assert_eq!(cell.read(|v| *v), model),
+                CellOp::Add(x) => {
+                    model = model.wrapping_add(x);
+                    cell.write(|v| v.wrapping_add(x));
+                }
+                CellOp::Replace(x) => {
+                    model = x;
+                    cell.replace(x);
+                }
+            }
+        }
+        prop_assert_eq!(cell.into_inner(), model);
+    }
+
+    #[test]
+    fn zone_parity_accounting_balances(pins in 1usize..50, advances in 0usize..20) {
+        let zone = EpochZone::new();
+        for _ in 0..advances {
+            zone.synchronize();
+        }
+        let mut tickets = Vec::new();
+        for _ in 0..pins {
+            tickets.push(zone.pin());
+        }
+        let total: u64 = zone.readers_on(0) + zone.readers_on(1);
+        prop_assert_eq!(total, pins as u64);
+        for t in tickets {
+            zone.unpin(t);
+        }
+        prop_assert_eq!(zone.readers_on(0) + zone.readers_on(1), 0);
+        prop_assert_eq!(zone.stats().pins, pins as u64);
+    }
+}
+
+#[test]
+fn writers_starve_neither_readers_nor_each_other() {
+    // Two cells sharing nothing; two writer threads and two reader
+    // threads ping between them. Bounded runtime demonstrates absence of
+    // livelock between the retry loop and the drain loop.
+    let a = Arc::new(RcuCell::new(0u64));
+    let b = Arc::new(RcuCell::new(0u64));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for cell in [&a, &b] {
+            let cell = Arc::clone(cell);
+            s.spawn(move || {
+                for _ in 0..2000 {
+                    cell.write(|v| v + 1);
+                }
+            });
+        }
+        for _ in 0..2 {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let x = a.read(|v| *v);
+                    let y = b.read(|v| *v);
+                    assert!(x <= 2000 && y <= 2000);
+                }
+            });
+        }
+        // The writers finish; then stop the readers.
+        s.spawn(move || {
+            // Writers are the first two spawns; crude but effective:
+            // wait until both cells reach their final value.
+            loop {
+                if a.read(|v| *v) == 2000 && b.read(|v| *v) == 2000 {
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
+    });
+}
+
+#[test]
+fn retry_rate_is_visible_in_stats_under_writer_pressure() {
+    let cell = Arc::new(RcuCell::new(0u64));
+    std::thread::scope(|s| {
+        let c1 = Arc::clone(&cell);
+        s.spawn(move || {
+            for _ in 0..3000 {
+                c1.write(|v| v + 1);
+            }
+        });
+        let c2 = Arc::clone(&cell);
+        s.spawn(move || {
+            for _ in 0..30_000 {
+                let _ = c2.read(|v| *v);
+            }
+        });
+    });
+    let stats = cell.stats();
+    assert_eq!(stats.advances, 3000);
+    assert_eq!(stats.pins, 30_000);
+    // Retries are schedule-dependent; just require the counter is sane.
+    assert!(stats.retries < 10_000_000);
+}
+
+#[test]
+fn sharded_zone_as_cell_substrate_smoke() {
+    // The sharded zone is not wired into RcuCell (the cell keeps the
+    // paper's exact two-counter layout); verify the writer-side contract
+    // directly instead: pins on all shards gate the drain.
+    let zone = Arc::new(ShardedEpochZone::new(4));
+    let tickets: Vec<_> = (0..4).map(|i| zone.pin_at(i)).collect();
+    let zone2 = Arc::clone(&zone);
+    let done = Arc::new(AtomicBool::new(false));
+    let done2 = Arc::clone(&done);
+    let writer = std::thread::spawn(move || {
+        zone2.synchronize();
+        done2.store(true, Ordering::SeqCst);
+    });
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    assert!(!done.load(Ordering::SeqCst));
+    for t in tickets {
+        zone.unpin(t);
+    }
+    writer.join().unwrap();
+}
+
+#[test]
+fn acqrel_cell_agrees_with_seqcst_cell_sequentially() {
+    let a = RcuCell::with_mode(0u64, OrderingMode::SeqCst);
+    let b = RcuCell::with_mode(0u64, OrderingMode::AcqRelFence);
+    for k in 0..100 {
+        a.write(|v| v + k);
+        b.write(|v| v + k);
+        assert_eq!(a.read(|v| *v), b.read(|v| *v));
+    }
+}

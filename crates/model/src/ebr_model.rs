@@ -1,0 +1,383 @@
+//! Finite-state model of the paper's TLS-free EBR protocol (Algorithm 1).
+//!
+//! One writer (serialized by the write lock, as the paper requires)
+//! performs `writes` clone-publish-advance-drain-reclaim cycles; `R`
+//! readers each perform `reads` read-side critical sections using the
+//! two-counter read–increment–verify protocol. The epoch is a **wrapping
+//! counter mod [`EPOCH_MOD`]** so integer overflow (Lemma 2) is part of
+//! the explored space. The safety property is the memory-safety core of
+//! Lemmas 1–3: *a reader holding a snapshot reference never holds a
+//! reclaimed snapshot*.
+//!
+//! Three mutations are provided, all caught by the checker:
+//! * [`EbrModel::skip_verify`] — drop the reader's verification read
+//!   (Algorithm 1 line 13). The checker finds the paper's own scenario:
+//!   a writer misses the reader's increment and a *later* writer reclaims
+//!   the snapshot under it.
+//! * [`EbrModel::skip_drain`] — the writer reclaims without waiting for
+//!   readers (line 7). Immediately unsafe.
+//! * [`EbrModel::early_snapshot_load`] — load the snapshot pointer
+//!   *before* the increment+verify rather than after. This looks like a
+//!   harmless strengthening of Lemma 3 (the reader announces before any
+//!   writer could free what it loaded — it either gets drained-for or
+//!   retries), and it is indeed safe **for any single writer cycle**. The
+//!   checker finds the subtle break: across a full **epoch wrap**
+//!   (`EPOCH_MOD` writer cycles), the verification read spuriously passes
+//!   — the epoch has returned to the observed value — and the
+//!   early-loaded snapshot has been reclaimed generations ago. The
+//!   standard protocol survives the same spurious pass because it loads
+//!   the snapshot *after* verification, so a stale-epoch-matching reader
+//!   still holds the *current* snapshot (this is the unstated load-order
+//!   assumption inside the paper's Lemma 2 proof sketch). The order of
+//!   lines 13–14 is load-bearing.
+
+use crate::explorer::Model;
+
+/// Epoch counter modulus: 4 keeps wrap-around reachable in a few writes
+/// while preserving the only property the protocol uses — parity
+/// alternation across increments, including at the wrap.
+pub const EPOCH_MOD: u8 = 4;
+
+/// Program counter of the single writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum WriterPc {
+    /// Between write operations (holding nothing).
+    Idle,
+    /// New snapshot published; epoch not yet advanced.
+    Published,
+    /// Epoch advanced; waiting to drain the old parity.
+    Advanced,
+}
+
+/// Program counter of a reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ReaderPc {
+    /// Between read operations.
+    Idle,
+    /// Epoch loaded into `e` (line 10).
+    GotEpoch,
+    /// Counter `readers[e % 2]` incremented (line 12).
+    Incremented,
+    /// Verification passed (line 13); snapshot not yet loaded.
+    Verified,
+    /// Snapshot reference in hand (between lines 14's load and its use).
+    HoldingRef,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Writer {
+    pc: WriterPc,
+    writes_left: u8,
+    old_epoch: u8,
+    old_snap: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Reader {
+    pc: ReaderPc,
+    reads_left: u8,
+    e: u8,
+    idx: u8,
+    snap: u8,
+}
+
+/// A full protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EbrState {
+    epoch: u8,
+    counters: [u8; 2],
+    /// Id of the currently published snapshot.
+    published: u8,
+    /// Bitmask of reclaimed snapshot ids.
+    reclaimed: u16,
+    writer: Writer,
+    readers: [Reader; 2],
+}
+
+/// A schedulable step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EbrAction {
+    /// Writer: clone + publish the new snapshot (lines 1–4).
+    WriterPublish,
+    /// Writer: `GlobalEpoch.fetchAdd(1)` (line 5).
+    WriterAdvance,
+    /// Writer: observe the old parity drained and reclaim (lines 7–8).
+    /// Only enabled when the counter is zero — the wait *is* the guard.
+    WriterReclaim,
+    /// Reader `i`: load the epoch (line 10).
+    ReaderLoadEpoch(usize),
+    /// Reader `i`: increment its parity counter (line 12).
+    ReaderIncrement(usize),
+    /// Reader `i`: verification read (line 13) — branches internally.
+    ReaderVerify(usize),
+    /// Reader `i`: load the snapshot pointer (start of line 14).
+    ReaderLoadSnapshot(usize),
+    /// Reader `i`: finish — decrement and go idle (line 15).
+    ReaderFinish(usize),
+}
+
+/// The model, parameterized by size and mutations.
+#[derive(Debug, Clone)]
+pub struct EbrModel {
+    /// Writer cycles to perform. ≥ `EPOCH_MOD` guarantees the epoch wraps
+    /// inside the exploration.
+    pub writes: u8,
+    /// Read-side critical sections per reader.
+    pub reads_per_reader: u8,
+    /// Initial epoch (start near the wrap to cover it early too).
+    pub initial_epoch: u8,
+    /// MUTATION: reader skips the verification read.
+    pub skip_verify: bool,
+    /// MUTATION: writer reclaims without draining.
+    pub skip_drain: bool,
+    /// MUTATION: reader loads the snapshot pointer at `GotEpoch` time
+    /// instead of after verification. Unsafe across an epoch wrap — see
+    /// the [module docs](self).
+    pub early_snapshot_load: bool,
+}
+
+impl Default for EbrModel {
+    fn default() -> Self {
+        EbrModel {
+            writes: EPOCH_MOD + 1, // guarantees wrap-around coverage
+            reads_per_reader: 2,
+            initial_epoch: 0,
+            skip_verify: false,
+            skip_drain: false,
+            early_snapshot_load: false,
+        }
+    }
+}
+
+impl Model for EbrModel {
+    type State = EbrState;
+    type Action = EbrAction;
+
+    fn initial(&self) -> Vec<EbrState> {
+        vec![EbrState {
+            epoch: self.initial_epoch % EPOCH_MOD,
+            counters: [0, 0],
+            published: 0,
+            reclaimed: 0,
+            writer: Writer {
+                pc: WriterPc::Idle,
+                writes_left: self.writes,
+                old_epoch: 0,
+                old_snap: 0,
+            },
+            readers: [
+                Reader {
+                    pc: ReaderPc::Idle,
+                    reads_left: self.reads_per_reader,
+                    e: 0,
+                    idx: 0,
+                    snap: 0,
+                },
+                Reader {
+                    pc: ReaderPc::Idle,
+                    reads_left: self.reads_per_reader,
+                    e: 0,
+                    idx: 0,
+                    snap: 0,
+                },
+            ],
+        }]
+    }
+
+    fn actions(&self, s: &EbrState) -> Vec<EbrAction> {
+        let mut acts = Vec::new();
+        match s.writer.pc {
+            WriterPc::Idle if s.writer.writes_left > 0 => acts.push(EbrAction::WriterPublish),
+            WriterPc::Published => acts.push(EbrAction::WriterAdvance),
+            WriterPc::Advanced => {
+                // The drain loop: reclaiming is enabled once the old
+                // parity is empty (or unconditionally under the unsound
+                // mutation).
+                if self.skip_drain || s.counters[(s.writer.old_epoch % 2) as usize] == 0 {
+                    acts.push(EbrAction::WriterReclaim);
+                }
+            }
+            _ => {}
+        }
+        for (i, r) in s.readers.iter().enumerate() {
+            match r.pc {
+                ReaderPc::Idle if r.reads_left > 0 => acts.push(EbrAction::ReaderLoadEpoch(i)),
+                ReaderPc::GotEpoch => acts.push(EbrAction::ReaderIncrement(i)),
+                ReaderPc::Incremented => acts.push(EbrAction::ReaderVerify(i)),
+                ReaderPc::Verified => acts.push(EbrAction::ReaderLoadSnapshot(i)),
+                ReaderPc::HoldingRef => acts.push(EbrAction::ReaderFinish(i)),
+                _ => {}
+            }
+        }
+        acts
+    }
+
+    fn step(&self, s: &EbrState, a: &EbrAction) -> EbrState {
+        let mut s = *s;
+        match *a {
+            EbrAction::WriterPublish => {
+                s.writer.old_snap = s.published;
+                s.published += 1; // fresh snapshot id
+                s.writer.pc = WriterPc::Published;
+            }
+            EbrAction::WriterAdvance => {
+                s.writer.old_epoch = s.epoch;
+                s.epoch = (s.epoch + 1) % EPOCH_MOD; // wrapping fetch-add
+                s.writer.pc = WriterPc::Advanced;
+            }
+            EbrAction::WriterReclaim => {
+                s.reclaimed |= 1 << s.writer.old_snap;
+                s.writer.writes_left -= 1;
+                s.writer.pc = WriterPc::Idle;
+            }
+            EbrAction::ReaderLoadEpoch(i) => {
+                let r = &mut s.readers[i];
+                r.e = s.epoch;
+                if self.early_snapshot_load {
+                    r.snap = s.published;
+                }
+                r.pc = ReaderPc::GotEpoch;
+            }
+            EbrAction::ReaderIncrement(i) => {
+                let idx = (s.readers[i].e % 2) as usize;
+                s.counters[idx] += 1;
+                s.readers[i].idx = idx as u8;
+                s.readers[i].pc = ReaderPc::Incremented;
+            }
+            EbrAction::ReaderVerify(i) => {
+                let passed = self.skip_verify || s.readers[i].e == s.epoch;
+                if passed {
+                    s.readers[i].pc = if self.early_snapshot_load {
+                        // Snapshot already in hand.
+                        ReaderPc::HoldingRef
+                    } else {
+                        ReaderPc::Verified
+                    };
+                } else {
+                    // Undo and retry (lines 17, 9).
+                    s.counters[s.readers[i].idx as usize] -= 1;
+                    s.readers[i].pc = ReaderPc::Idle;
+                }
+            }
+            EbrAction::ReaderLoadSnapshot(i) => {
+                s.readers[i].snap = s.published;
+                s.readers[i].pc = ReaderPc::HoldingRef;
+            }
+            EbrAction::ReaderFinish(i) => {
+                s.counters[s.readers[i].idx as usize] -= 1;
+                s.readers[i].reads_left -= 1;
+                s.readers[i].pc = ReaderPc::Idle;
+            }
+        }
+        s
+    }
+
+    fn check(&self, s: &EbrState) -> Result<(), String> {
+        for (i, r) in s.readers.iter().enumerate() {
+            if r.pc == ReaderPc::HoldingRef && s.reclaimed & (1 << r.snap) != 0 {
+                return Err(format!(
+                    "reader {i} holds reclaimed snapshot {} (epoch {}, parity {})",
+                    r.snap, r.e, r.idx
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::explore;
+
+    #[test]
+    fn protocol_is_safe_across_every_interleaving_including_wrap() {
+        // writes = EPOCH_MOD + 1 forces the epoch through the wrap.
+        let stats = explore(&EbrModel::default(), 2_000_000).expect_ok();
+        assert!(stats.states > 1_000, "exploration too small to mean much");
+    }
+
+    #[test]
+    fn safe_from_every_initial_epoch() {
+        for e0 in 0..EPOCH_MOD {
+            let m = EbrModel {
+                initial_epoch: e0,
+                ..EbrModel::default()
+            };
+            explore(&m, 2_000_000).expect_ok();
+        }
+    }
+
+    #[test]
+    fn early_snapshot_load_is_broken_by_epoch_wrap() {
+        // The checker's best find: loading the snapshot before the verify
+        // is safe for any single writer cycle (Lemma 3 territory), but
+        // across a full epoch wrap the verify spuriously passes and the
+        // early-loaded snapshot is generations-old garbage. The line
+        // 13-before-14 order in Algorithm 1 is what makes Lemma 2's
+        // overflow argument go through.
+        let m = EbrModel {
+            early_snapshot_load: true,
+            ..EbrModel::default()
+        };
+        let (reason, trace) = explore(&m, 2_000_000).expect_violation();
+        assert!(reason.contains("reclaimed snapshot"), "{reason}");
+        // The counterexample must span a full wrap: at least EPOCH_MOD
+        // writer advances appear in the trace.
+        let advances = trace
+            .iter()
+            .filter(|a| matches!(a, EbrAction::WriterAdvance))
+            .count();
+        assert!(
+            advances >= EPOCH_MOD as usize,
+            "violation requires a full epoch wrap, saw {advances} advances"
+        );
+    }
+
+    #[test]
+    fn early_snapshot_load_is_safe_below_the_wrap() {
+        // Confirms the same mutation is *safe* when the epoch cannot wrap
+        // (fewer writer cycles than the modulus): the bug is strictly an
+        // overflow interaction.
+        let m = EbrModel {
+            early_snapshot_load: true,
+            writes: EPOCH_MOD - 1,
+            ..EbrModel::default()
+        };
+        explore(&m, 2_000_000).expect_ok();
+    }
+
+    #[test]
+    fn dropping_the_verify_step_is_caught() {
+        let m = EbrModel {
+            skip_verify: true,
+            ..EbrModel::default()
+        };
+        let (reason, trace) = explore(&m, 2_000_000).expect_violation();
+        assert!(reason.contains("reclaimed snapshot"), "{reason}");
+        // The counterexample needs at least: reader loads epoch, writer
+        // runs a full cycle plus, reader increments late, etc.
+        assert!(trace.len() >= 6, "suspiciously short trace: {trace:?}");
+    }
+
+    #[test]
+    fn dropping_the_drain_is_caught() {
+        let m = EbrModel {
+            skip_drain: true,
+            ..EbrModel::default()
+        };
+        let (reason, _) = explore(&m, 2_000_000).expect_violation();
+        assert!(reason.contains("reclaimed snapshot"), "{reason}");
+    }
+
+    #[test]
+    fn single_reader_single_write_is_tiny_and_safe() {
+        let m = EbrModel {
+            writes: 1,
+            reads_per_reader: 1,
+            ..EbrModel::default()
+        };
+        let stats = explore(&m, 100_000).expect_ok();
+        assert!(stats.terminal_states >= 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! A small exhaustive state-space explorer: breadth-first search over
+//! every interleaving of a model's enabled actions, with memoization and
+//! counterexample traces.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A finite-state concurrent system under test.
+pub trait Model: Sized {
+    /// A system state. Must be small and hashable; the explorer memoizes
+    /// visited states.
+    type State: Clone + Eq + Hash;
+    /// An action label (e.g. "reader 0: verify"). Used in traces.
+    type Action: Clone + std::fmt::Debug;
+
+    /// The initial state(s).
+    fn initial(&self) -> Vec<Self::State>;
+
+    /// All actions enabled in `state`. An empty result means the state is
+    /// terminal. Blocking steps (e.g. a writer waiting on a counter) are
+    /// modeled by simply not being enabled.
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// Apply `action` to `state`.
+    fn step(&self, state: &Self::State, action: &Self::Action) -> Self::State;
+
+    /// The safety property. `Err(reason)` marks a violating state.
+    fn check(&self, state: &Self::State) -> Result<(), String>;
+}
+
+/// Result of an exploration.
+#[derive(Debug)]
+pub enum CheckOutcome<M: Model> {
+    /// Every reachable state satisfies the property.
+    Ok(Explored),
+    /// A violating state was found; the trace of actions reaching it is
+    /// included (shortest, by BFS order).
+    Violation {
+        /// Why `check` failed.
+        reason: String,
+        /// Action sequence from an initial state to the violation.
+        trace: Vec<M::Action>,
+        /// Exploration statistics up to the violation.
+        stats: Explored,
+    },
+}
+
+impl<M: Model> CheckOutcome<M> {
+    /// Unwrap the OK case, panicking with the counterexample otherwise.
+    pub fn expect_ok(self) -> Explored {
+        match self {
+            CheckOutcome::Ok(stats) => stats,
+            CheckOutcome::Violation { reason, trace, .. } => {
+                panic!("model violated: {reason}\ntrace: {trace:#?}")
+            }
+        }
+    }
+
+    /// Unwrap the violation case, panicking if the model was clean.
+    pub fn expect_violation(self) -> (String, Vec<M::Action>) {
+        match self {
+            CheckOutcome::Ok(stats) => panic!(
+                "expected a violation but all {} states were safe",
+                stats.states
+            ),
+            CheckOutcome::Violation { reason, trace, .. } => (reason, trace),
+        }
+    }
+
+    /// True when no violation was found.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CheckOutcome::Ok(_))
+    }
+}
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explored {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions taken.
+    pub transitions: usize,
+    /// States with no enabled action.
+    pub terminal_states: usize,
+}
+
+/// Exhaustively explore `model` up to `max_states` distinct states
+/// (a safety valve against accidentally infinite models; exceeding it
+/// panics so a truncated exploration can never masquerade as a proof).
+pub fn explore<M: Model>(model: &M, max_states: usize) -> CheckOutcome<M> {
+    // Parent links for counterexample reconstruction.
+    let mut parent: HashMap<M::State, Option<(M::State, M::Action)>> = HashMap::new();
+    let mut queue: VecDeque<M::State> = VecDeque::new();
+    let mut transitions = 0usize;
+    let mut terminal_states = 0usize;
+
+    let trace_to = |parent: &HashMap<M::State, Option<(M::State, M::Action)>>,
+                    state: &M::State| {
+        let mut trace = Vec::new();
+        let mut cur = state.clone();
+        while let Some(Some((prev, act))) = parent.get(&cur) {
+            trace.push(act.clone());
+            cur = prev.clone();
+        }
+        trace.reverse();
+        trace
+    };
+
+    for init in model.initial() {
+        if parent.insert(init.clone(), None).is_none() {
+            if let Err(reason) = model.check(&init) {
+                return CheckOutcome::Violation {
+                    reason,
+                    trace: Vec::new(),
+                    stats: Explored {
+                        states: parent.len(),
+                        transitions,
+                        terminal_states,
+                    },
+                };
+            }
+            queue.push_back(init);
+        }
+    }
+
+    while let Some(state) = queue.pop_front() {
+        let actions = model.actions(&state);
+        if actions.is_empty() {
+            terminal_states += 1;
+            continue;
+        }
+        for action in actions {
+            let next = model.step(&state, &action);
+            transitions += 1;
+            if parent.contains_key(&next) {
+                continue;
+            }
+            parent.insert(next.clone(), Some((state.clone(), action)));
+            assert!(
+                parent.len() <= max_states,
+                "state space exceeded {max_states} states; exploration would be partial"
+            );
+            if let Err(reason) = model.check(&next) {
+                let trace = trace_to(&parent, &next);
+                return CheckOutcome::Violation {
+                    reason,
+                    trace,
+                    stats: Explored {
+                        states: parent.len(),
+                        transitions,
+                        terminal_states,
+                    },
+                };
+            }
+            queue.push_back(next);
+        }
+    }
+
+    CheckOutcome::Ok(Explored {
+        states: parent.len(),
+        transitions,
+        terminal_states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy model: two counters incremented to a bound; violation when
+    /// their sum hits a forbidden value.
+    struct Counters {
+        bound: u8,
+        forbidden_sum: Option<u8>,
+    }
+
+    impl Model for Counters {
+        type State = (u8, u8);
+        type Action = usize; // which counter
+
+        fn initial(&self) -> Vec<(u8, u8)> {
+            vec![(0, 0)]
+        }
+
+        fn actions(&self, s: &(u8, u8)) -> Vec<usize> {
+            let mut a = Vec::new();
+            if s.0 < self.bound {
+                a.push(0);
+            }
+            if s.1 < self.bound {
+                a.push(1);
+            }
+            a
+        }
+
+        fn step(&self, s: &(u8, u8), a: &usize) -> (u8, u8) {
+            let mut s = *s;
+            if *a == 0 {
+                s.0 += 1;
+            } else {
+                s.1 += 1;
+            }
+            s
+        }
+
+        fn check(&self, s: &(u8, u8)) -> Result<(), String> {
+            if Some(s.0 + s.1) == self.forbidden_sum {
+                Err(format!("sum reached {}", s.0 + s.1))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn explores_full_grid() {
+        let m = Counters {
+            bound: 3,
+            forbidden_sum: None,
+        };
+        let stats = explore(&m, 1000).expect_ok();
+        assert_eq!(stats.states, 16, "4x4 grid");
+        assert_eq!(stats.terminal_states, 1, "only (3,3) is terminal");
+    }
+
+    #[test]
+    fn finds_shortest_counterexample() {
+        let m = Counters {
+            bound: 5,
+            forbidden_sum: Some(3),
+        };
+        let (reason, trace) = explore(&m, 10_000).expect_violation();
+        assert!(reason.contains("sum reached 3"));
+        assert_eq!(trace.len(), 3, "BFS yields a shortest trace");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn state_cap_is_enforced() {
+        let m = Counters {
+            bound: 100,
+            forbidden_sum: None,
+        };
+        let _ = explore(&m, 10);
+    }
+
+    #[test]
+    fn violation_in_initial_state_has_empty_trace() {
+        let m = Counters {
+            bound: 1,
+            forbidden_sum: Some(0),
+        };
+        let (_, trace) = explore(&m, 100).expect_violation();
+        assert!(trace.is_empty());
+    }
+}

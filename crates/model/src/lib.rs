@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # rcuarray-model — exhaustive protocol model checking
+//!
+//! The paper argues the correctness of its two reclamation protocols with
+//! proof sketches (Lemmas 1–6). Proof sketches have a failure mode:
+//! missing interleavings. This crate re-states the protocols as explicit
+//! finite-state machines and **exhaustively explores every interleaving**
+//! of their concurrent steps, asserting the safety property directly:
+//!
+//! * [`ebr_model`] — the TLS-free EBR protocol of Algorithm 1: readers
+//!   (read epoch → increment parity counter → verify → dereference →
+//!   decrement) racing a writer (publish → advance → drain → reclaim),
+//!   with the epoch modeled as a **2-bit wrapping counter** so the
+//!   overflow case of Lemma 2 is inside the explored space, not an
+//!   argument. The invariant: *no reader ever dereferences a reclaimed
+//!   snapshot*.
+//! * [`qsbr_model`] — QSBR of Algorithm 2: threads acquire references,
+//!   retire versions, and checkpoint; the invariant is Lemma 5's — *an
+//!   entry is only freed when every thread has observed an epoch at least
+//!   as new as its safe epoch*, expressed as "no thread holds a freed
+//!   version".
+//!
+//! The explorer ([`explore`]) is a plain BFS over the reachable state
+//! graph with memoization; models are kept small enough (a few thousand
+//! states) that exploration is exhaustive and fast. Each model also has a
+//! **mutation test**: deleting the protocol step the paper's correctness
+//! hinges on (the reader's verify; the checkpoint's minimum) must make
+//! the checker produce a counterexample — evidence the checker can
+//! actually see the bugs it claims to rule out.
+
+pub mod ebr_model;
+pub mod explorer;
+pub mod qsbr_model;
+
+pub use explorer::{explore, CheckOutcome, Explored, Model};

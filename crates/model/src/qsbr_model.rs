@@ -1,0 +1,302 @@
+//! Finite-state model of the paper's QSBR (Algorithm 2).
+//!
+//! An updater thread repeatedly replaces a shared object version,
+//! deferring the old version's free tagged with the new state epoch
+//! (`QSBR_Defer`); reader threads acquire references to the current
+//! version and later pass a quiescent point (`QSBR_Checkpoint`), which
+//! observes the state epoch, computes the minimum observed epoch over all
+//! threads, and frees defer entries with `safe_epoch <= min` (Lemma 5).
+//!
+//! The safety property: *no thread holds a reference to a freed version*.
+//!
+//! Mutations:
+//! * [`QsbrModel::ignore_minimum`] — the checkpoint frees using only the
+//!   *local* observed epoch instead of the cross-thread minimum. The
+//!   checker produces the obvious use-after-free.
+//! * [`QsbrModel::hold_across_checkpoint`] — a reader keeps its reference
+//!   across its own checkpoint, violating the paper's stated contract
+//!   ("it is not safe to dereference any memory managed by QSBR if it has
+//!   been acquired prior to a checkpoint"). The checker shows the
+//!   contract is load-bearing, not advisory.
+
+use crate::explorer::Model;
+
+/// Maximum defer entries the updater can have outstanding — bounded by
+/// the number of updates.
+const MAX_DEFERS: usize = 4;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DeferEntry {
+    version: u8,
+    safe_epoch: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ReaderT {
+    observed: u8,
+    held: Option<u8>,
+    ops_left: u8,
+}
+
+/// Full QSBR system state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QsbrState {
+    state_epoch: u8,
+    current_version: u8,
+    freed: u16, // bitmask of freed versions
+    updater_observed: u8,
+    updates_left: u8,
+    defers: [Option<DeferEntry>; MAX_DEFERS],
+    readers: [ReaderT; 2],
+}
+
+/// A schedulable step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QsbrAction {
+    /// Updater: replace the current version and defer the old one's free
+    /// (`QSBR_Defer`: bump StateEpoch, observe it, push entry).
+    Update,
+    /// Updater: checkpoint its own defer list.
+    UpdaterCheckpoint,
+    /// Reader `i`: acquire a reference to the current version.
+    Acquire(usize),
+    /// Reader `i`: use the held reference (the dereference the safety
+    /// property protects).
+    Use(usize),
+    /// Reader `i`: drop the reference (still pre-quiescence).
+    Release(usize),
+    /// Reader `i`: pass a quiescent point (`QSBR_Checkpoint`).
+    Checkpoint(usize),
+}
+
+/// The model, parameterized by size and mutations.
+#[derive(Debug, Clone)]
+pub struct QsbrModel {
+    /// Updates the updater performs.
+    pub updates: u8,
+    /// Acquire/use/release/checkpoint rounds per reader.
+    pub ops_per_reader: u8,
+    /// MUTATION: free with the local observed epoch, not the minimum.
+    pub ignore_minimum: bool,
+    /// MUTATION: readers keep the held reference across their checkpoint.
+    pub hold_across_checkpoint: bool,
+}
+
+impl Default for QsbrModel {
+    fn default() -> Self {
+        QsbrModel {
+            updates: 3,
+            ops_per_reader: 2,
+            ignore_minimum: false,
+            hold_across_checkpoint: false,
+        }
+    }
+}
+
+impl QsbrModel {
+    fn min_observed(&self, s: &QsbrState) -> u8 {
+        // All threads participate: both readers and the updater
+        // (registration is unconditional in this model, like threads in
+        // Chapel's runtime).
+        s.readers
+            .iter()
+            .map(|r| r.observed)
+            .chain(std::iter::once(s.updater_observed))
+            .min()
+            .expect("nonempty")
+    }
+
+    fn run_checkpoint(&self, s: &mut QsbrState, min: u8) {
+        for slot in s.defers.iter_mut() {
+            if let Some(d) = *slot {
+                if d.safe_epoch <= min {
+                    s.freed |= 1 << d.version;
+                    *slot = None;
+                }
+            }
+        }
+    }
+}
+
+impl Model for QsbrModel {
+    type State = QsbrState;
+    type Action = QsbrAction;
+
+    fn initial(&self) -> Vec<QsbrState> {
+        vec![QsbrState {
+            state_epoch: 0,
+            current_version: 0,
+            freed: 0,
+            updater_observed: 0,
+            updates_left: self.updates,
+            defers: [None; MAX_DEFERS],
+            readers: [
+                ReaderT {
+                    observed: 0,
+                    held: None,
+                    ops_left: self.ops_per_reader,
+                },
+                ReaderT {
+                    observed: 0,
+                    held: None,
+                    ops_left: self.ops_per_reader,
+                },
+            ],
+        }]
+    }
+
+    fn actions(&self, s: &QsbrState) -> Vec<QsbrAction> {
+        let mut acts = Vec::new();
+        if s.updates_left > 0 && s.defers.iter().any(|d| d.is_none()) {
+            acts.push(QsbrAction::Update);
+        }
+        if s.defers.iter().any(|d| d.is_some()) {
+            acts.push(QsbrAction::UpdaterCheckpoint);
+        }
+        for (i, r) in s.readers.iter().enumerate() {
+            match r.held {
+                None if r.ops_left > 0 => acts.push(QsbrAction::Acquire(i)),
+                Some(_) => {
+                    acts.push(QsbrAction::Use(i));
+                    acts.push(QsbrAction::Release(i));
+                }
+                None => {}
+            }
+            // A checkpoint is legal at any time the thread is between
+            // dereferences (and, under the buggy mutation, even while
+            // holding).
+            if r.held.is_none() || self.hold_across_checkpoint {
+                acts.push(QsbrAction::Checkpoint(i));
+            }
+        }
+        acts
+    }
+
+    fn step(&self, s: &QsbrState, a: &QsbrAction) -> QsbrState {
+        let mut s = *s;
+        match *a {
+            QsbrAction::Update => {
+                // QSBR_Defer lines 1-3: bump, observe, push.
+                let old = s.current_version;
+                s.current_version += 1;
+                s.state_epoch += 1;
+                s.updater_observed = s.state_epoch;
+                let slot = s
+                    .defers
+                    .iter_mut()
+                    .find(|d| d.is_none())
+                    .expect("enabled only with a free slot");
+                *slot = Some(DeferEntry {
+                    version: old,
+                    safe_epoch: s.state_epoch,
+                });
+                s.updates_left -= 1;
+            }
+            QsbrAction::UpdaterCheckpoint => {
+                s.updater_observed = s.state_epoch;
+                let min = if self.ignore_minimum {
+                    s.updater_observed
+                } else {
+                    self.min_observed(&s)
+                };
+                self.run_checkpoint(&mut s, min);
+            }
+            QsbrAction::Acquire(i) => {
+                s.readers[i].held = Some(s.current_version);
+            }
+            QsbrAction::Use(_i) => {
+                // The dereference itself; safety checked in `check`.
+            }
+            QsbrAction::Release(i) => {
+                s.readers[i].held = None;
+                s.readers[i].ops_left -= 1;
+            }
+            QsbrAction::Checkpoint(i) => {
+                if !self.hold_across_checkpoint {
+                    debug_assert!(s.readers[i].held.is_none());
+                }
+                s.readers[i].observed = s.state_epoch;
+                let min = if self.ignore_minimum {
+                    s.readers[i].observed
+                } else {
+                    self.min_observed(&s)
+                };
+                self.run_checkpoint(&mut s, min);
+            }
+        }
+        s
+    }
+
+    fn check(&self, s: &QsbrState) -> Result<(), String> {
+        for (i, r) in s.readers.iter().enumerate() {
+            if let Some(v) = r.held {
+                if s.freed & (1 << v) != 0 {
+                    return Err(format!(
+                        "reader {i} holds freed version {v} (observed epoch {})",
+                        r.observed
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::explore;
+
+    #[test]
+    fn qsbr_is_safe_across_every_interleaving() {
+        let stats = explore(&QsbrModel::default(), 5_000_000).expect_ok();
+        assert!(stats.states > 1_000, "exploration too small to mean much");
+    }
+
+    #[test]
+    fn larger_configuration_still_safe() {
+        let m = QsbrModel {
+            updates: 4,
+            ops_per_reader: 3,
+            ..QsbrModel::default()
+        };
+        explore(&m, 20_000_000).expect_ok();
+    }
+
+    #[test]
+    fn freeing_without_the_minimum_is_caught() {
+        // Lemma 5's hypothesis matters: using only the local observed
+        // epoch frees entries a lagging thread still references.
+        let m = QsbrModel {
+            ignore_minimum: true,
+            ..QsbrModel::default()
+        };
+        let (reason, trace) = explore(&m, 5_000_000).expect_violation();
+        assert!(reason.contains("freed version"), "{reason}");
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn holding_a_reference_across_ones_own_checkpoint_is_caught() {
+        // The paper's §III-B contract, shown to be load-bearing: "it is
+        // not safe to dereference any memory managed by QSBR if it has
+        // been acquired prior to a checkpoint".
+        let m = QsbrModel {
+            hold_across_checkpoint: true,
+            ..QsbrModel::default()
+        };
+        let (reason, _) = explore(&m, 5_000_000).expect_violation();
+        assert!(reason.contains("freed version"), "{reason}");
+    }
+
+    #[test]
+    fn no_update_means_nothing_ever_freed() {
+        let m = QsbrModel {
+            updates: 0,
+            ops_per_reader: 2,
+            ..QsbrModel::default()
+        };
+        let stats = explore(&m, 1_000_000).expect_ok();
+        assert!(stats.states > 10);
+    }
+}

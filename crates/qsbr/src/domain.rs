@@ -1,0 +1,541 @@
+//! The QSBR domain: the public `QSBR_Defer` / `QSBR_Checkpoint` API of
+//! Algorithm 2, plus thread registration, parking and statistics.
+//!
+//! The paper installs one instance of this machinery inside Chapel's
+//! runtime. Here a [`QsbrDomain`] is an explicit, clonable handle (tests
+//! and multiple independent structures can run isolated domains); threads
+//! register lazily on first use through thread-local storage and
+//! unregister automatically at thread exit, handing unprocessed defer
+//! entries to the domain's orphan list.
+
+use crate::defer_list::DeferChain;
+use crate::record::ThreadRecord;
+use crate::registry::Registry;
+use crate::state::StateEpoch;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Monotonic domain-id source, used as the TLS lookup key.
+static NEXT_DOMAIN_ID: AtomicU64 = AtomicU64::new(1);
+
+struct DomainInner {
+    id: u64,
+    state: StateEpoch,
+    registry: Registry,
+    defers: AtomicU64,
+    checkpoints: AtomicU64,
+    reclaimed: AtomicU64,
+}
+
+/// Counters describing a domain's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DomainStats {
+    /// `defer` calls made.
+    pub defers: u64,
+    /// `checkpoint` calls made.
+    pub checkpoints: u64,
+    /// Deferred reclamations actually executed.
+    pub reclaimed: u64,
+    /// Deferred reclamations not yet executed (approximate: orphan chains
+    /// are counted whole).
+    pub pending: u64,
+}
+
+/// A QSBR reclamation domain.
+///
+/// Cloning is cheap and clones share the same domain. See the
+/// [crate docs](crate) for the protocol and its contract.
+#[derive(Clone)]
+pub struct QsbrDomain {
+    inner: Arc<DomainInner>,
+}
+
+impl Default for QsbrDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct TlsEntry {
+    domain_id: u64,
+    domain: Weak<DomainInner>,
+    record: Arc<ThreadRecord>,
+}
+
+/// Thread-local registrations; the wrapper's `Drop` is the thread-exit
+/// hook Chapel's runtime gives the paper for free.
+struct TlsState {
+    entries: Vec<TlsEntry>,
+}
+
+impl Drop for TlsState {
+    fn drop(&mut self) {
+        for entry in self.entries.drain(..) {
+            if let Some(domain) = entry.domain.upgrade() {
+                // Normal path: hand leftovers to the domain's orphans.
+                domain.registry.unregister(&entry.record);
+            }
+            // Domain already gone: dropping the record runs its remaining
+            // reclaimers via `DeferList::drop` — nothing can still be
+            // reading data protected by a destroyed domain.
+        }
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<TlsState> = RefCell::new(TlsState { entries: Vec::new() });
+    /// One-slot registration cache: the id of the domain this thread most
+    /// recently confirmed registration with. Lets the read hot path verify
+    /// participation with a single TLS load + compare instead of a
+    /// `RefCell` borrow and a vector scan.
+    static LAST_REGISTERED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+impl QsbrDomain {
+    /// A fresh, empty domain at state epoch 0.
+    pub fn new() -> Self {
+        QsbrDomain {
+            inner: Arc::new(DomainInner {
+                id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed),
+                state: StateEpoch::new(),
+                registry: Registry::new(),
+                defers: AtomicU64::new(0),
+                checkpoints: AtomicU64::new(0),
+                reclaimed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// This domain's unique id.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Current global state epoch.
+    pub fn state_epoch(&self) -> u64 {
+        self.inner.state.read()
+    }
+
+    /// The calling thread's record in this domain, registering on first
+    /// use. Registration observes the current state epoch: joining is a
+    /// quiescence point.
+    fn record(&self) -> Arc<ThreadRecord> {
+        TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            if let Some(e) = tls.entries.iter().find(|e| e.domain_id == self.inner.id) {
+                return Arc::clone(&e.record);
+            }
+            let record = self.inner.registry.register(self.inner.state.read());
+            tls.entries.push(TlsEntry {
+                domain_id: self.inner.id,
+                domain: Arc::downgrade(&self.inner),
+                record: Arc::clone(&record),
+            });
+            record
+        })
+    }
+
+    /// Explicitly register the calling thread (otherwise lazy).
+    pub fn register_current_thread(&self) {
+        let _ = self.record();
+    }
+
+    /// Guarantee the calling thread participates in this domain, with a
+    /// fast path of one thread-local load when it already does.
+    ///
+    /// Readers of QSBR-protected structures call this before every access:
+    /// an *unregistered* thread is invisible to the minimum-epoch scan and
+    /// therefore unprotected. In the paper this cost does not exist
+    /// because Chapel's runtime threads are participants by construction;
+    /// the one-slot cache keeps our equivalent at a couple of nanoseconds.
+    #[inline]
+    pub fn ensure_registered(&self) {
+        let id = self.inner.id;
+        if LAST_REGISTERED.with(|c| c.get()) == id {
+            return;
+        }
+        let _ = self.record();
+        LAST_REGISTERED.with(|c| c.set(id));
+    }
+
+    /// `QSBR_Defer` (Algorithm 2 lines 1–3): retire `reclaim`, to run once
+    /// every participating thread has observed a state newer than now.
+    ///
+    /// Bumps the global state epoch, observes the new value on the calling
+    /// thread's record, and pushes `(reclaim, new_epoch)` onto its LIFO
+    /// defer list. Nothing is freed here; freeing happens at checkpoints.
+    pub fn defer(&self, reclaim: impl FnOnce() + Send + 'static) {
+        let record = self.record();
+        let epoch = self.inner.state.bump();
+        record.observe(epoch);
+        // SAFETY: `record` belongs to the calling thread (looked up/created
+        // through its TLS just above).
+        unsafe { record.defer_mut().push(epoch, reclaim) };
+        self.inner.defers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Convenience: retire a value, deferring its `Drop`.
+    pub fn defer_drop<T: Send + 'static>(&self, value: T) {
+        self.defer(move || drop(value));
+    }
+
+    /// `QSBR_Checkpoint` (Algorithm 2 lines 4–13): announce quiescence and
+    /// reclaim everything now provably unreachable. Returns how many
+    /// deferred reclamations ran.
+    ///
+    /// # Contract
+    /// The calling thread must hold **no** references to QSBR-protected
+    /// data acquired before this call: "it is not safe to dereference any
+    /// memory managed by QSBR if it has been acquired prior to a
+    /// checkpoint" (paper §III-B).
+    pub fn checkpoint(&self) -> usize {
+        let record = self.record();
+        // Observe the current state: a promise of quiescence of any
+        // earlier state (lines 4–5).
+        let observed = self.inner.state.read();
+        record.observe(observed);
+        self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+        // Fast path: nothing to reclaim here. The announcement above is
+        // the checkpoint's semantic payload; the scan and split only
+        // matter when this thread has pending defers or orphans exist.
+        // This keeps high-frequency checkpoints (Fig. 4's every-op case)
+        // to one epoch load, one store and two cheap checks.
+        // SAFETY: owner-only access from the owning thread.
+        if unsafe { record.pending() } == 0 && !self.inner.registry.has_orphans() {
+            return 0;
+        }
+        // Find the smallest (safest) epoch over all participants
+        // (lines 6–8).
+        let min = self.inner.registry.min_observed(observed);
+        // Split our defer list at the safe boundary and reclaim
+        // (lines 9–13).
+        // SAFETY: owner-only access from the owning thread.
+        let chain: DeferChain = unsafe { record.defer_mut().pop_less_equal(min) };
+        let mut freed = chain.reclaim_all();
+        if self.inner.registry.has_orphans() {
+            freed += self.inner.registry.reclaim_orphans(min);
+        }
+        self.inner.reclaimed.fetch_add(freed as u64, Ordering::Relaxed);
+        freed
+    }
+
+    /// Park the calling thread: flush what can be freed, hand the rest to
+    /// the orphan list, and stop participating in the minimum scan. An
+    /// idle thread must not gate other threads' reclamation (paper: parking
+    /// "is used to cleanup its own DeferList \[and\] notify of its
+    /// quiescence").
+    pub fn park(&self) {
+        let record = self.record();
+        // A checkpoint first: frees everything already safe.
+        self.checkpoint();
+        // Whatever remains waits for *other* threads; it cannot stay on a
+        // parked record (nobody would process it), so the domain adopts it.
+        // SAFETY: owner-only access from the owning thread.
+        let leftovers = unsafe { record.defer_mut().take_all() };
+        self.inner.registry.adopt(leftovers);
+        record.set_parked(true);
+    }
+
+    /// Unpark the calling thread. Re-observes the current state epoch
+    /// before the thread may touch protected data again.
+    pub fn unpark(&self) {
+        let record = self.record();
+        record.set_parked(false);
+        record.observe(self.inner.state.read());
+    }
+
+    /// Whether the calling thread is currently parked in this domain.
+    pub fn is_parked(&self) -> bool {
+        self.record().is_parked()
+    }
+
+    /// The epoch the calling thread last observed.
+    pub fn observed_epoch(&self) -> u64 {
+        self.record().observed()
+    }
+
+    /// The minimum observed epoch across participants (diagnostics).
+    pub fn min_observed(&self) -> u64 {
+        self.inner.registry.min_observed(self.inner.state.read())
+    }
+
+    /// Pending defers on the calling thread's own list.
+    pub fn pending_local(&self) -> usize {
+        let record = self.record();
+        // SAFETY: owner-only access from the owning thread.
+        unsafe { record.pending() }
+    }
+
+    /// Number of registered, live participants.
+    pub fn num_participants(&self) -> usize {
+        self.inner.registry.num_participants()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> DomainStats {
+        let defers = self.inner.defers.load(Ordering::Relaxed);
+        let reclaimed = self.inner.reclaimed.load(Ordering::Relaxed);
+        DomainStats {
+            defers,
+            checkpoints: self.inner.checkpoints.load(Ordering::Relaxed),
+            reclaimed,
+            pending: defers.saturating_sub(reclaimed),
+        }
+    }
+}
+
+impl std::fmt::Debug for QsbrDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QsbrDomain")
+            .field("id", &self.inner.id)
+            .field("state_epoch", &self.state_epoch())
+            .field("participants", &self.num_participants())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn counter_defer(d: &QsbrDomain, c: &Arc<AtomicUsize>) {
+        let c = Arc::clone(c);
+        d.defer(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn single_thread_defer_then_checkpoint_frees() {
+        let d = QsbrDomain::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        counter_defer(&d, &c);
+        assert_eq!(c.load(Ordering::SeqCst), 0, "defer must not free eagerly");
+        assert_eq!(d.checkpoint(), 1);
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn defer_bumps_state_epoch() {
+        let d = QsbrDomain::new();
+        assert_eq!(d.state_epoch(), 0);
+        d.defer(|| {});
+        assert_eq!(d.state_epoch(), 1);
+        assert_eq!(d.observed_epoch(), 1);
+    }
+
+    #[test]
+    fn lagging_thread_blocks_reclamation() {
+        let d = QsbrDomain::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        let ready = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+
+        let d2 = d.clone();
+        let ready2 = Arc::clone(&ready);
+        let release2 = Arc::clone(&release);
+        let lagger = std::thread::spawn(move || {
+            d2.register_current_thread(); // observes epoch 0, never checkpoints
+            ready2.wait();
+            release2.wait();
+            d2.checkpoint(); // finally quiesces
+        });
+
+        ready.wait();
+        counter_defer(&d, &c); // safe epoch 1 > lagger's observed 0
+        let freed = d.checkpoint();
+        assert_eq!(freed, 0, "lagging thread must gate reclamation");
+        assert_eq!(c.load(Ordering::SeqCst), 0);
+
+        release.wait();
+        lagger.join().unwrap();
+        assert_eq!(d.checkpoint(), 1, "after lagger quiesces, entry frees");
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn parked_thread_does_not_block_reclamation() {
+        let d = QsbrDomain::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        let parked = Arc::new(Barrier::new(2));
+        let done = Arc::new(Barrier::new(2));
+
+        let d2 = d.clone();
+        let parked2 = Arc::clone(&parked);
+        let done2 = Arc::clone(&done);
+        let t = std::thread::spawn(move || {
+            d2.register_current_thread();
+            d2.park();
+            parked2.wait();
+            done2.wait();
+            d2.unpark();
+        });
+
+        parked.wait();
+        counter_defer(&d, &c);
+        assert_eq!(d.checkpoint(), 1, "parked thread is skipped by the min");
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+        done.wait();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn park_hands_leftovers_to_orphans_and_they_free() {
+        let d = QsbrDomain::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        let deferred = Arc::new(Barrier::new(2));
+        let parked = Arc::new(Barrier::new(2));
+
+        // Main thread lags so the worker's own checkpoint can't free.
+        d.register_current_thread();
+
+        let d2 = d.clone();
+        let c2 = Arc::clone(&c);
+        let deferred2 = Arc::clone(&deferred);
+        let parked2 = Arc::clone(&parked);
+        let t = std::thread::spawn(move || {
+            counter_defer(&d2, &c2);
+            deferred2.wait();
+            d2.park(); // cannot free (main lags): entry goes to orphans
+            parked2.wait();
+        });
+
+        deferred.wait();
+        parked.wait();
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 0);
+        // Main quiesces: orphaned entry becomes reclaimable.
+        let freed = d.checkpoint();
+        assert_eq!(freed, 1);
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn thread_exit_orphans_pending_defers() {
+        let d = QsbrDomain::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        d.register_current_thread(); // lagging main gates the worker
+
+        let d2 = d.clone();
+        let c2 = Arc::clone(&c);
+        std::thread::spawn(move || {
+            counter_defer(&d2, &c2);
+            // exits without checkpointing
+        })
+        .join()
+        .unwrap();
+
+        assert_eq!(c.load(Ordering::SeqCst), 0, "exit must not free early");
+        assert_eq!(d.checkpoint(), 1, "orphan freed once main quiesces");
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let d = QsbrDomain::new();
+        d.defer(|| {});
+        d.defer(|| {});
+        d.checkpoint();
+        let s = d.stats();
+        assert_eq!(s.defers, 2);
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.reclaimed, 2);
+        assert_eq!(s.pending, 0);
+    }
+
+    #[test]
+    fn clones_share_the_domain() {
+        let d = QsbrDomain::new();
+        let d2 = d.clone();
+        assert_eq!(d.id(), d2.id());
+        d.defer(|| {});
+        assert_eq!(d2.stats().defers, 1);
+    }
+
+    #[test]
+    fn independent_domains_do_not_interfere() {
+        let a = QsbrDomain::new();
+        let b = QsbrDomain::new();
+        assert_ne!(a.id(), b.id());
+        let c = Arc::new(AtomicUsize::new(0));
+        counter_defer(&a, &c);
+        // A checkpoint on `b` must not free `a`'s entry.
+        b.checkpoint();
+        assert_eq!(c.load(Ordering::SeqCst), 0);
+        a.checkpoint();
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn many_threads_defer_and_checkpoint_everything_frees() {
+        let d = QsbrDomain::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        const THREADS: usize = 4;
+        const OPS: usize = 500;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let d = d.clone();
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..OPS {
+                        let c2 = Arc::clone(&c);
+                        d.defer(move || {
+                            c2.fetch_add(1, Ordering::SeqCst);
+                        });
+                        if i % 16 == 0 {
+                            d.checkpoint();
+                        }
+                    }
+                    // Threads exit; leftovers orphaned.
+                });
+            }
+        });
+        // All workers exited. Their TLS destructors (which orphan
+        // leftovers) may still be running when `scope` returns, so poll.
+        for _ in 0..1000 {
+            d.checkpoint();
+            if c.load(Ordering::SeqCst) == THREADS * OPS {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(c.load(Ordering::SeqCst), THREADS * OPS);
+        assert_eq!(d.stats().pending, 0);
+    }
+
+    #[test]
+    fn defer_drop_runs_value_drop() {
+        struct Canary(Arc<AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let d = QsbrDomain::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        d.defer_drop(Canary(Arc::clone(&c)));
+        d.checkpoint();
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn is_parked_reflects_state() {
+        let d = QsbrDomain::new();
+        assert!(!d.is_parked());
+        d.park();
+        assert!(d.is_parked());
+        d.unpark();
+        assert!(!d.is_parked());
+    }
+
+    #[test]
+    fn checkpoint_with_nothing_pending_is_cheap_and_zero() {
+        let d = QsbrDomain::new();
+        assert_eq!(d.checkpoint(), 0);
+        assert_eq!(d.stats().checkpoints, 1);
+    }
+}

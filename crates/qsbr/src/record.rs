@@ -1,0 +1,187 @@
+//! Per-thread participant records: the "thread-specific metadata" of
+//! Algorithm 2, reachable by other threads through the registry (the
+//! paper's `TLSList`) for the minimum-epoch scan.
+
+use crate::defer_list::DeferList;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// One thread's QSBR participation state.
+///
+/// The `observed`/`parked`/`retired` fields are read by *other* threads
+/// during checkpoints; the defer list is strictly owner-accessed (that is
+/// the paper's lock-freedom argument), which is why it sits in an
+/// [`UnsafeCell`] behind an `unsafe` accessor rather than a lock.
+pub struct ThreadRecord {
+    /// The newest `StateEpoch` this thread has promised quiescence up to.
+    observed: AtomicU64,
+    /// Parked threads are skipped by the minimum scan: an idle thread
+    /// holds no protected references by contract.
+    parked: AtomicBool,
+    /// Set when the owning thread exited; the registry prunes retired
+    /// records lazily.
+    retired: AtomicBool,
+    /// Owner-only LIFO defer list.
+    defer: UnsafeCell<DeferList>,
+}
+
+// SAFETY: `observed`/`parked`/`retired` are atomics; `defer` is only
+// accessed through `defer_mut`, whose contract restricts it to the owning
+// thread (or to the single thread holding the registry's exclusive
+// teardown path).
+unsafe impl Sync for ThreadRecord {}
+unsafe impl Send for ThreadRecord {}
+
+impl ThreadRecord {
+    /// A fresh record that has observed `initial_epoch`.
+    ///
+    /// Registration is itself a quiescence point: the new thread cannot
+    /// hold references to anything retired before it joined.
+    pub fn new(initial_epoch: u64) -> Self {
+        ThreadRecord {
+            observed: AtomicU64::new(initial_epoch),
+            parked: AtomicBool::new(false),
+            retired: AtomicBool::new(false),
+            defer: UnsafeCell::new(DeferList::new()),
+        }
+    }
+
+    /// The epoch this thread last observed.
+    #[inline]
+    pub fn observed(&self) -> u64 {
+        self.observed.load(Ordering::Acquire)
+    }
+
+    /// Publish a new observed epoch — the thread's promise that "it has
+    /// become entirely quiescent of the state described by" anything
+    /// earlier.
+    #[inline]
+    pub fn observe(&self, epoch: u64) {
+        debug_assert!(
+            epoch >= self.observed.load(Ordering::Relaxed),
+            "observed epochs must be monotone"
+        );
+        // Release: everything this thread did with older snapshots
+        // happens-before another thread trusting this announcement.
+        self.observed.store(epoch, Ordering::Release);
+    }
+
+    /// Whether the thread is parked (idle, excluded from the minimum).
+    #[inline]
+    pub fn is_parked(&self) -> bool {
+        self.parked.load(Ordering::Acquire)
+    }
+
+    /// Mark parked / unparked.
+    #[inline]
+    pub fn set_parked(&self, parked: bool) {
+        self.parked.store(parked, Ordering::Release);
+    }
+
+    /// Whether the owning thread has exited.
+    #[inline]
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
+    }
+
+    /// Mark the record as belonging to an exited thread.
+    #[inline]
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
+    }
+
+    /// Whether the minimum-epoch scan should consider this record.
+    #[inline]
+    pub fn participates(&self) -> bool {
+        !self.is_parked() && !self.is_retired()
+    }
+
+    /// Mutable access to the owner-only defer list.
+    ///
+    /// # Safety
+    /// Only the thread that owns this record may call this while the
+    /// record is live; after [`retire`](Self::retire) has been *observed*
+    /// (e.g. under the registry's write lock), the retiring path may call
+    /// it once to drain leftovers. Concurrent calls are undefined
+    /// behaviour.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn defer_mut(&self) -> &mut DeferList {
+        unsafe { &mut *self.defer.get() }
+    }
+
+    /// Number of pending defers (owner thread only — see
+    /// [`defer_mut`](Self::defer_mut)).
+    ///
+    /// # Safety
+    /// Same contract as [`defer_mut`](Self::defer_mut).
+    pub unsafe fn pending(&self) -> usize {
+        unsafe { (*self.defer.get()).len() }
+    }
+}
+
+impl std::fmt::Debug for ThreadRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadRecord")
+            .field("observed", &self.observed())
+            .field("parked", &self.is_parked())
+            .field("retired", &self.is_retired())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_record_participates() {
+        let r = ThreadRecord::new(7);
+        assert_eq!(r.observed(), 7);
+        assert!(r.participates());
+    }
+
+    #[test]
+    fn observe_is_monotone() {
+        let r = ThreadRecord::new(0);
+        r.observe(3);
+        r.observe(3);
+        r.observe(9);
+        assert_eq!(r.observed(), 9);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "monotone")]
+    fn observe_backwards_asserts() {
+        let r = ThreadRecord::new(5);
+        r.observe(4);
+    }
+
+    #[test]
+    fn parked_records_do_not_participate() {
+        let r = ThreadRecord::new(0);
+        r.set_parked(true);
+        assert!(!r.participates());
+        r.set_parked(false);
+        assert!(r.participates());
+    }
+
+    #[test]
+    fn retired_records_do_not_participate() {
+        let r = ThreadRecord::new(0);
+        r.retire();
+        assert!(!r.participates());
+    }
+
+    #[test]
+    fn defer_list_is_reachable_by_owner() {
+        let r = ThreadRecord::new(0);
+        // SAFETY: we are the owning thread in this test.
+        unsafe {
+            r.defer_mut().push(1, || {});
+            assert_eq!(r.pending(), 1);
+            drop(r.defer_mut().take_all());
+            assert_eq!(r.pending(), 0);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The global `StateEpoch`: "an atomic monotonically increasing counter …
+//! that denotes the epoch as a state of the entire system" (paper §III-B).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The system-state epoch counter.
+///
+/// The paper's footnote 5 warns that "if e′ = e + 1 were to result in
+/// overflow, the algorithm would be subject to undefined behavior" —
+/// unlike the EBR side, QSBR epochs must *not* wrap, because defer-list
+/// ordering (Lemma 4) and the safe-epoch comparison (Lemma 5) rely on
+/// unwrapped magnitudes. At one defer per nanosecond a 64-bit counter
+/// lasts ~584 years, so [`StateEpoch::bump`] asserts non-overflow rather
+/// than handling it.
+#[derive(Debug, Default)]
+pub struct StateEpoch {
+    epoch: AtomicU64,
+}
+
+impl StateEpoch {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        StateEpoch::default()
+    }
+
+    /// Read the current state epoch (`StateEpoch.read()`, Algorithm 2
+    /// line 5). `Acquire`: a thread observing epoch `e` must also see every
+    /// unlink that was published before `e` was minted.
+    #[inline]
+    pub fn read(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advance the state: `StateEpoch.fetchAdd(1) + 1` (Algorithm 2
+    /// line 2). Returns the *new* epoch, which becomes the safe epoch of
+    /// the memory being retired.
+    #[inline]
+    pub fn bump(&self) -> u64 {
+        let old = self.epoch.fetch_add(1, Ordering::AcqRel);
+        assert_ne!(
+            old,
+            u64::MAX,
+            "StateEpoch overflow: QSBR epochs must never wrap (paper footnote 5)"
+        );
+        old + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(StateEpoch::new().read(), 0);
+    }
+
+    #[test]
+    fn bump_returns_new_value() {
+        let s = StateEpoch::new();
+        assert_eq!(s.bump(), 1);
+        assert_eq!(s.bump(), 2);
+        assert_eq!(s.read(), 2);
+    }
+
+    #[test]
+    fn bumps_from_many_threads_are_unique() {
+        let s = StateEpoch::new();
+        let mut seen: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| (0..1000).map(|_| s.bump()).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4000, "every bump must mint a distinct epoch");
+        assert_eq!(s.read(), 4000);
+    }
+}

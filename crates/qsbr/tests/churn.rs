@@ -1,0 +1,193 @@
+//! QSBR churn tests: threads that register, defer, checkpoint, park and
+//! exit in adversarial patterns, checking the exactly-once reclamation
+//! accounting end to end.
+
+use rcuarray_qsbr::QsbrDomain;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Drain helper: thread-exit hand-off is asynchronous (TLS destructors),
+/// so poll until pending hits zero.
+fn drain(domain: &QsbrDomain) {
+    for _ in 0..2000 {
+        domain.checkpoint();
+        if domain.stats().pending == 0 {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("domain failed to drain: {:?}", domain.stats());
+}
+
+#[test]
+fn waves_of_short_lived_threads() {
+    let domain = QsbrDomain::new();
+    let freed = Arc::new(AtomicUsize::new(0));
+    const WAVES: usize = 5;
+    const THREADS: usize = 4;
+    const DEFERS: usize = 50;
+    for _ in 0..WAVES {
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let domain = domain.clone();
+                let freed = Arc::clone(&freed);
+                s.spawn(move || {
+                    for k in 0..DEFERS {
+                        let f = Arc::clone(&freed);
+                        domain.defer(move || {
+                            f.fetch_add(1, Ordering::SeqCst);
+                        });
+                        if k % 10 == 9 {
+                            domain.checkpoint();
+                        }
+                    }
+                });
+            }
+        });
+    }
+    drain(&domain);
+    assert_eq!(freed.load(Ordering::SeqCst), WAVES * THREADS * DEFERS);
+    let stats = domain.stats();
+    assert_eq!(stats.reclaimed, stats.defers);
+}
+
+#[test]
+fn parked_majority_never_blocks_a_lone_worker() {
+    let domain = QsbrDomain::new();
+    let parked = Arc::new(Barrier::new(5));
+    let release = Arc::new(Barrier::new(5));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let domain = domain.clone();
+        let parked = Arc::clone(&parked);
+        let release = Arc::clone(&release);
+        handles.push(std::thread::spawn(move || {
+            domain.register_current_thread();
+            domain.park();
+            parked.wait();
+            release.wait();
+            domain.unpark();
+        }));
+    }
+    parked.wait();
+    // Four parked participants; the lone active thread must reclaim its
+    // own defers with nothing but its own checkpoints.
+    let freed = Arc::new(AtomicUsize::new(0));
+    for _ in 0..100 {
+        let f = Arc::clone(&freed);
+        domain.defer(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        domain.checkpoint();
+    }
+    assert_eq!(freed.load(Ordering::SeqCst), 100, "parked threads gated reclamation");
+    release.wait();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn park_unpark_cycles_interleaved_with_defers() {
+    let domain = QsbrDomain::new();
+    let freed = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        // A thread that oscillates between active and parked.
+        let d1 = domain.clone();
+        s.spawn(move || {
+            for _ in 0..50 {
+                d1.park();
+                d1.unpark();
+                d1.checkpoint();
+            }
+        });
+        // A thread that defers continuously.
+        let d2 = domain.clone();
+        let freed = Arc::clone(&freed);
+        s.spawn(move || {
+            for _ in 0..500 {
+                let f = Arc::clone(&freed);
+                d2.defer(move || {
+                    f.fetch_add(1, Ordering::SeqCst);
+                });
+                d2.checkpoint();
+            }
+        });
+    });
+    drain(&domain);
+    assert_eq!(freed.load(Ordering::SeqCst), 500);
+}
+
+#[test]
+fn reclamation_order_is_never_early() {
+    // Each deferred closure records the state epoch at *execution* time;
+    // it must be >= its safe epoch (it can never run while some thread
+    // still sits below it).
+    let domain = QsbrDomain::new();
+    let violations = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let domain = domain.clone();
+            let violations = Arc::clone(&violations);
+            s.spawn(move || {
+                for k in 0..300 {
+                    let safe_epoch = domain.state_epoch() + 1;
+                    let d = domain.clone();
+                    let v = Arc::clone(&violations);
+                    domain.defer(move || {
+                        // min_observed at execution must have reached the
+                        // entry's safe epoch.
+                        if d.min_observed() < safe_epoch {
+                            v.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                    if k % 7 == 0 {
+                        domain.checkpoint();
+                    }
+                }
+            });
+        }
+    });
+    drain(&domain);
+    assert_eq!(violations.load(Ordering::SeqCst), 0, "entries ran before their safe epoch");
+}
+
+#[test]
+fn two_domains_interleaved_on_the_same_threads() {
+    let a = QsbrDomain::new();
+    let b = QsbrDomain::new();
+    let freed_a = Arc::new(AtomicUsize::new(0));
+    let freed_b = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let a = a.clone();
+            let b = b.clone();
+            let fa = Arc::clone(&freed_a);
+            let fb = Arc::clone(&freed_b);
+            s.spawn(move || {
+                for k in 0..200 {
+                    if k % 2 == 0 {
+                        let f = Arc::clone(&fa);
+                        a.defer(move || {
+                            f.fetch_add(1, Ordering::SeqCst);
+                        });
+                    } else {
+                        let f = Arc::clone(&fb);
+                        b.defer(move || {
+                            f.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    if k % 11 == 0 {
+                        a.checkpoint();
+                        b.checkpoint();
+                    }
+                }
+            });
+        }
+    });
+    drain(&a);
+    drain(&b);
+    assert_eq!(freed_a.load(Ordering::SeqCst), 300);
+    assert_eq!(freed_b.load(Ordering::SeqCst), 300);
+}

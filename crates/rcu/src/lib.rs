@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # rcuarray-rcu — RCU decoupled from RCUArray
+//!
+//! The paper's conclusion points at exactly this crate: "In future work,
+//! the decoupling of EBR from RCUArray can be performed easily, and future
+//! improvements to the decoupled EBR algorithm are planned and can even be
+//! used in other languages that lack official support for TLS".
+//!
+//! [`Reclaim`] abstracts over the two reclamation back-ends built in this
+//! workspace:
+//!
+//! * [`EbrReclaim`] — the TLS-free epoch scheme (`rcuarray-ebr`). Readers
+//!   pay the two-counter announcement protocol; writers reclaim
+//!   *synchronously* by draining readers (the paper's `RCU_Write` shape).
+//! * [`QsbrReclaim`] — the runtime QSBR (`rcuarray-qsbr`). Readers pay
+//!   nothing; writers *defer* reclamation to the retiring thread's list,
+//!   and application threads must call [`Reclaim::quiesce`] (a checkpoint)
+//!   periodically.
+//!
+//! [`RcuPtr`] is a protected pointer generic over the back-end: the same
+//! data-structure code runs under either scheme, which is how `rcuarray`
+//! implements the paper's `isQSBR` compile-time switch without
+//! duplicating logic.
+//!
+//! ```
+//! use rcuarray_rcu::{EbrReclaim, QsbrReclaim, RcuPtr, Reclaim};
+//! use std::sync::Arc;
+//!
+//! fn sum_under<R: Reclaim>(p: &RcuPtr<Vec<u64>, R>) -> u64 {
+//!     p.read(|v| v.iter().sum())
+//! }
+//!
+//! let ebr = RcuPtr::new(vec![1, 2, 3], Arc::new(EbrReclaim::new()));
+//! let qsbr = RcuPtr::new(vec![4, 5], Arc::new(QsbrReclaim::new()));
+//! assert_eq!(sum_under(&ebr), 6);
+//! assert_eq!(sum_under(&qsbr), 9);
+//! qsbr.reclaimer().quiesce(); // QSBR needs checkpoints; EBR would no-op
+//! ```
+
+pub mod list;
+pub mod rcu_ptr;
+pub mod reclaimer;
+
+pub use list::RcuList;
+pub use rcu_ptr::RcuPtr;
+pub use reclaimer::{EbrReclaim, QsbrReclaim, Reclaim};

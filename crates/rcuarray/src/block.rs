@@ -1,0 +1,296 @@
+//! Blocks: the fixed-size element storage units of RCUArray.
+//!
+//! "RCUArray allocates memory in blocks of a predetermined size that can
+//! be distributed across multiple locales, enabling the recycling of
+//! memory" (paper §VI). Each block is homed on one locale; element
+//! accesses from other locales are charged as PUT/GET through the
+//! simulated communication layer.
+//!
+//! Block lifetime is the linchpin of Lemma 6: blocks are *recycled*
+//! (shared by pointer) between successive snapshots and are never freed by
+//! a resize — only the array's final drop releases them. That is what
+//! makes references handed out by `Index` remain valid across resizes and
+//! keeps updates through old snapshots visible in new ones.
+
+use crate::element::Element;
+use rcuarray_runtime::LocaleId;
+use std::ptr::NonNull;
+
+/// A fixed-capacity block of element cells, homed on one locale.
+pub struct Block<T: Element> {
+    home: LocaleId,
+    cells: Box<[T::Repr]>,
+}
+
+impl<T: Element> Block<T> {
+    /// Allocate a zero-initialized block of `capacity` cells homed on
+    /// `home`.
+    pub fn new(home: LocaleId, capacity: usize) -> Self {
+        assert!(capacity > 0, "blocks cannot be empty");
+        Block {
+            home,
+            cells: (0..capacity).map(|_| T::new_repr(T::default())).collect(),
+        }
+    }
+
+    /// The locale this block's memory lives on.
+    #[inline]
+    pub fn home(&self) -> LocaleId {
+        self.home
+    }
+
+    /// Number of element cells.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Approximate bytes this block occupies (for allocation accounting).
+    pub fn byte_size(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<T::Repr>()
+    }
+
+    /// The cell at `offset`.
+    ///
+    /// # Panics
+    /// Panics when `offset >= capacity()`.
+    #[inline]
+    pub fn cell(&self, offset: usize) -> &T::Repr {
+        &self.cells[offset]
+    }
+
+    /// Read the element at `offset`.
+    #[inline]
+    pub fn load(&self, offset: usize) -> T {
+        T::load(&self.cells[offset])
+    }
+
+    /// Write the element at `offset`.
+    #[inline]
+    pub fn store(&self, offset: usize, v: T) {
+        T::store(&self.cells[offset], v)
+    }
+
+    /// Copy every element value from `src` (used only by the deep-copy
+    /// ablation and the baseline arrays; RCUArray itself never copies
+    /// blocks — it recycles them).
+    pub fn copy_from(&self, src: &Block<T>) {
+        assert_eq!(self.capacity(), src.capacity(), "block size mismatch");
+        for i in 0..self.capacity() {
+            self.store(i, src.load(i));
+        }
+    }
+}
+
+impl<T: Element> std::fmt::Debug for Block<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Block")
+            .field("home", &self.home)
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+/// A non-owning reference to a block, shared by every snapshot that
+/// recycles it. The pointee is owned by the array's block registry and
+/// outlives all snapshots and element references.
+pub struct BlockRef<T: Element> {
+    ptr: NonNull<Block<T>>,
+}
+
+impl<T: Element> Clone for BlockRef<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Element> Copy for BlockRef<T> {}
+
+// SAFETY: `Block` only contains atomics (plus a LocaleId); shared access
+// from any thread is safe, and `BlockRef` never frees.
+unsafe impl<T: Element> Send for BlockRef<T> {}
+unsafe impl<T: Element> Sync for BlockRef<T> {}
+
+impl<T: Element> BlockRef<T> {
+    /// Wrap a pointer to a registry-owned block.
+    ///
+    /// # Safety
+    /// `ptr` must point to a `Block<T>` that stays alive (and unmoved) for
+    /// as long as any copy of this `BlockRef` can be dereferenced — in
+    /// RCUArray, until the owning array drops.
+    pub unsafe fn from_owner(ptr: NonNull<Block<T>>) -> Self {
+        BlockRef { ptr }
+    }
+
+    /// Borrow the block.
+    ///
+    /// # Safety
+    /// The owner (the array's block registry) must still be alive. All
+    /// call sites inside the crate are reached through a live array
+    /// reference, which guarantees that.
+    #[inline]
+    pub unsafe fn get(&self) -> &Block<T> {
+        unsafe { self.ptr.as_ref() }
+    }
+
+    /// Identity (for tests asserting that recycling shares blocks).
+    #[inline]
+    pub fn as_ptr(&self) -> *const Block<T> {
+        self.ptr.as_ptr()
+    }
+}
+
+impl<T: Element> std::fmt::Debug for BlockRef<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BlockRef({:p})", self.ptr.as_ptr())
+    }
+}
+
+/// Owns every block the array ever allocated. Blocks are appended under
+/// the write lock during resizes and freed only when the registry drops
+/// with the array.
+pub struct BlockRegistry<T: Element> {
+    owned: parking_lot::Mutex<Vec<Box<Block<T>>>>,
+}
+
+impl<T: Element> Default for BlockRegistry<T> {
+    fn default() -> Self {
+        BlockRegistry {
+            owned: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<T: Element> BlockRegistry<T> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take ownership of `block`, returning a shareable [`BlockRef`].
+    pub fn adopt(&self, block: Block<T>) -> BlockRef<T> {
+        let boxed = Box::new(block);
+        let ptr = NonNull::from(&*boxed);
+        self.owned.lock().push(boxed);
+        // SAFETY: the box lives in `owned` until the registry drops; boxes
+        // never move their heap contents.
+        unsafe { BlockRef::from_owner(ptr) }
+    }
+
+    /// Number of blocks owned.
+    pub fn len(&self) -> usize {
+        self.owned.lock().len()
+    }
+
+    /// True when no blocks were allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count of blocks homed per locale (index = locale id), for tests of
+    /// the round-robin distribution.
+    pub fn per_locale_histogram(&self, num_locales: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; num_locales];
+        for b in self.owned.lock().iter() {
+            hist[b.home().index()] += 1;
+        }
+        hist
+    }
+}
+
+impl<T: Element> std::fmt::Debug for BlockRegistry<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockRegistry").field("blocks", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_zero_initialized() {
+        let b: Block<u64> = Block::new(LocaleId::new(1), 8);
+        assert_eq!(b.capacity(), 8);
+        assert_eq!(b.home(), LocaleId::new(1));
+        for i in 0..8 {
+            assert_eq!(b.load(i), 0);
+        }
+    }
+
+    #[test]
+    fn block_store_load() {
+        let b: Block<i32> = Block::new(LocaleId::ZERO, 4);
+        b.store(2, -7);
+        assert_eq!(b.load(2), -7);
+        assert_eq!(b.load(0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn block_oob_panics() {
+        let b: Block<u8> = Block::new(LocaleId::ZERO, 2);
+        b.load(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_block_rejected() {
+        let _: Block<u8> = Block::new(LocaleId::ZERO, 0);
+    }
+
+    #[test]
+    fn copy_from_copies_values() {
+        let a: Block<u16> = Block::new(LocaleId::ZERO, 3);
+        a.store(0, 1);
+        a.store(1, 2);
+        a.store(2, 3);
+        let b: Block<u16> = Block::new(LocaleId::ZERO, 3);
+        b.copy_from(&a);
+        assert_eq!((b.load(0), b.load(1), b.load(2)), (1, 2, 3));
+    }
+
+    #[test]
+    fn byte_size_accounts_cells() {
+        let b: Block<u64> = Block::new(LocaleId::ZERO, 16);
+        assert_eq!(b.byte_size(), 16 * 8);
+    }
+
+    #[test]
+    fn registry_adopt_and_share() {
+        let reg: BlockRegistry<u32> = BlockRegistry::new();
+        let r1 = reg.adopt(Block::new(LocaleId::ZERO, 4));
+        let r2 = r1; // Copy
+        // SAFETY: registry alive.
+        unsafe {
+            r1.get().store(1, 42);
+            assert_eq!(r2.get().load(1), 42, "copies alias the same block");
+        }
+        assert_eq!(r1.as_ptr(), r2.as_ptr());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn registry_histogram_counts_homes() {
+        let reg: BlockRegistry<u8> = BlockRegistry::new();
+        for i in 0..5u32 {
+            reg.adopt(Block::new(LocaleId::new(i % 2), 1));
+        }
+        assert_eq!(reg.per_locale_histogram(2), vec![3, 2]);
+    }
+
+    #[test]
+    fn registry_blocks_stable_across_growth() {
+        // Adopting many blocks must not invalidate earlier refs (boxes do
+        // not move when the registry's vec reallocates).
+        let reg: BlockRegistry<u64> = BlockRegistry::new();
+        let first = reg.adopt(Block::new(LocaleId::ZERO, 2));
+        unsafe { first.get().store(0, 99) };
+        let mut refs = vec![first];
+        for _ in 0..100 {
+            refs.push(reg.adopt(Block::new(LocaleId::ZERO, 2)));
+        }
+        unsafe {
+            assert_eq!(refs[0].get().load(0), 99);
+        }
+    }
+}

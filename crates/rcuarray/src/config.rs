@@ -1,0 +1,97 @@
+//! Array configuration: block size, EBR protocol ordering, accounting.
+
+use rcuarray_ebr::OrderingMode;
+
+/// The paper's benchmarks resize "in increments of 1024" with blocks of
+/// that size; this is the default `BlockSize`.
+pub const DEFAULT_BLOCK_SIZE: usize = 1024;
+
+/// Construction-time knobs for an `RcuArray`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Elements per block (`BlockSize` in Listing 1).
+    pub block_size: usize,
+    /// Memory ordering of the EBR reader protocol (ignored under QSBR).
+    pub ordering: OrderingMode,
+    /// Whether element accesses are charged through the cluster's
+    /// communication layer. Accounting costs one relaxed counter update
+    /// per access, identical across all array variants; disable it only
+    /// for microbenchmarks that isolate the reclamation protocol itself.
+    pub account_comm: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            block_size: DEFAULT_BLOCK_SIZE,
+            ordering: OrderingMode::SeqCst,
+            account_comm: true,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with a custom block size.
+    pub fn with_block_size(block_size: usize) -> Self {
+        Config {
+            block_size,
+            ..Config::default()
+        }
+    }
+
+    /// Validate invariants (positive block size, sound ordering).
+    pub fn validate(&self) {
+        assert!(self.block_size > 0, "block_size must be positive");
+        assert!(
+            self.ordering.is_sound(),
+            "the relaxed ordering mode is measurement-only and cannot \
+             protect reclamation"
+        );
+    }
+
+    /// Round an element count up to a whole number of blocks, in elements.
+    /// The paper covers "only expansion by multiples of BlockSize"
+    /// (footnote 12); this library rounds other requests up.
+    pub fn round_up_to_blocks(&self, elements: usize) -> usize {
+        elements.div_ceil(self.block_size) * self.block_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = Config::default();
+        assert_eq!(c.block_size, 1024);
+        assert_eq!(c.ordering, OrderingMode::SeqCst);
+        assert!(c.account_comm);
+        c.validate();
+    }
+
+    #[test]
+    fn round_up() {
+        let c = Config::with_block_size(100);
+        assert_eq!(c.round_up_to_blocks(0), 0);
+        assert_eq!(c.round_up_to_blocks(1), 100);
+        assert_eq!(c.round_up_to_blocks(100), 100);
+        assert_eq!(c.round_up_to_blocks(101), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_block_size_rejected() {
+        Config::with_block_size(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement-only")]
+    fn relaxed_ordering_rejected() {
+        let c = Config {
+            ordering: OrderingMode::Relaxed,
+            ..Config::default()
+        };
+        c.validate();
+    }
+}

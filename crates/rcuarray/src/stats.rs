@@ -1,0 +1,55 @@
+//! Aggregate array instrumentation.
+
+use rcuarray_ebr::ZoneStats;
+use rcuarray_qsbr::DomainStats;
+use rcuarray_runtime::CommStats;
+
+/// A snapshot of an array's counters, aggregated across locales.
+#[derive(Debug, Clone, Default)]
+pub struct ArrayStats {
+    /// Capacity in elements.
+    pub capacity: usize,
+    /// Blocks allocated.
+    pub num_blocks: usize,
+    /// Blocks homed per locale (index = locale id). Round-robin
+    /// distribution keeps these within one of each other.
+    pub blocks_per_locale: Vec<usize>,
+    /// Resize operations performed.
+    pub resizes: u64,
+    /// EBR protocol counters summed over every locale's zone (all zeros
+    /// under QSBR).
+    pub ebr: ZoneStats,
+    /// QSBR domain counters (all zeros under EBR).
+    pub qsbr: DomainStats,
+    /// Cluster communication counters at the time of the call.
+    pub comm: CommStats,
+}
+
+impl ArrayStats {
+    /// Max-min spread of the per-locale block distribution; round-robin
+    /// guarantees `<= 1`.
+    pub fn block_imbalance(&self) -> usize {
+        let max = self.blocks_per_locale.iter().copied().max().unwrap_or(0);
+        let min = self.blocks_per_locale.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_balanced_histogram() {
+        let s = ArrayStats {
+            blocks_per_locale: vec![3, 3, 2],
+            ..ArrayStats::default()
+        };
+        assert_eq!(s.block_imbalance(), 1);
+    }
+
+    #[test]
+    fn imbalance_of_empty_histogram_is_zero() {
+        assert_eq!(ArrayStats::default().block_imbalance(), 0);
+    }
+}

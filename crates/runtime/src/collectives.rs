@@ -1,0 +1,264 @@
+//! Cluster collectives: broadcast, reduce, all-reduce and a cluster-wide
+//! barrier, with communication accounting.
+//!
+//! Chapel programs (and the paper's resize, which replicates an operation
+//! on every locale) lean on collective patterns; the simulation provides
+//! the common ones so higher layers and examples don't hand-roll them.
+//! Cost model: a broadcast PUTs the payload from the root to every other
+//! locale; a reduce GETs one contribution per non-root locale; a barrier
+//! costs one remote notification per non-home participant.
+
+use crate::locale::LocaleId;
+use crate::task;
+use crate::Cluster;
+use parking_lot::{Condvar, Mutex};
+
+/// Broadcast `value` from `root` to every locale, returning the
+/// per-locale copies in locale order. Charges one PUT of
+/// `size_of::<T>()` per non-root locale.
+pub fn broadcast<T: Clone>(cluster: &Cluster, root: LocaleId, value: &T) -> Vec<T> {
+    let bytes = std::mem::size_of::<T>();
+    (0..cluster.num_locales())
+        .map(|i| {
+            let dst = LocaleId::new(i as u32);
+            if dst != root {
+                cluster.comm().record_put(root, dst, bytes);
+            }
+            value.clone()
+        })
+        .collect()
+}
+
+/// Gather one contribution per locale (produced *on* that locale) and
+/// fold them on `root`. Charges one GET per non-root locale.
+pub fn reduce<T, F, R>(cluster: &Cluster, root: LocaleId, contribute: F, mut fold: impl FnMut(R, T) -> R, init: R) -> R
+where
+    F: Fn(LocaleId) -> T,
+{
+    let bytes = std::mem::size_of::<T>();
+    let mut acc = init;
+    for i in 0..cluster.num_locales() {
+        let src = LocaleId::new(i as u32);
+        let contribution = task::with_locale(src, || contribute(src));
+        if src != root {
+            cluster.comm().record_get(root, src, bytes);
+        }
+        acc = fold(acc, contribution);
+    }
+    acc
+}
+
+/// Reduce to the root, then broadcast the result back: every locale's
+/// copy of the reduction. Charges a reduce plus a broadcast.
+pub fn all_reduce<T, F>(
+    cluster: &Cluster,
+    contribute: F,
+    fold: impl FnMut(T, T) -> T,
+    init: T,
+) -> Vec<T>
+where
+    T: Clone,
+    F: Fn(LocaleId) -> T,
+{
+    let root = LocaleId::ZERO;
+    let total = reduce(cluster, root, contribute, fold, init);
+    broadcast(cluster, root, &total)
+}
+
+/// A cluster-wide barrier for a fixed number of participants, homed on
+/// one locale. Each arrival from another locale is charged as a
+/// notification PUT; the release is charged as a broadcast of one word.
+pub struct ClusterBarrier {
+    home: LocaleId,
+    parties: usize,
+    state: Mutex<BarrierState>,
+    cond: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl ClusterBarrier {
+    /// A barrier for `parties` tasks, homed on `home`.
+    pub fn new(home: LocaleId, parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        ClusterBarrier {
+            home,
+            parties,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Number of participating tasks.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Arrive and wait for all parties. Returns `true` on exactly one
+    /// task per generation (the "leader", the last to arrive), like
+    /// `std::sync::Barrier`.
+    pub fn wait(&self, cluster: &Cluster) -> bool {
+        let from = task::current_locale();
+        if from != self.home {
+            // The arrival notification.
+            cluster.comm().record_put(from, self.home, 8);
+        }
+        let mut st = self.state.lock();
+        st.arrived += 1;
+        if st.arrived == self.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            // Release: the home locale notifies every other locale once.
+            for i in 0..cluster.num_locales() {
+                let dst = LocaleId::new(i as u32);
+                if dst != self.home {
+                    cluster.comm().record_put(self.home, dst, 8);
+                }
+            }
+            drop(st);
+            self.cond.notify_all();
+            true
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                self.cond.wait(&mut st);
+            }
+            false
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterBarrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBarrier")
+            .field("home", &self.home)
+            .field("parties", &self.parties)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn broadcast_copies_and_charges() {
+        let c = Cluster::new(Topology::new(4, 1));
+        let copies = broadcast(&*c, LocaleId::new(1), &42u64);
+        assert_eq!(copies, vec![42; 4]);
+        let s = c.comm_stats();
+        assert_eq!(s.puts, 3, "one PUT per non-root locale");
+        assert_eq!(s.bytes_moved, 3 * 8);
+    }
+
+    #[test]
+    fn reduce_folds_per_locale_contributions() {
+        let c = Cluster::new(Topology::new(4, 1));
+        let sum = reduce(
+            &*c,
+            LocaleId::ZERO,
+            |loc| loc.index() as u64 + 1, // 1,2,3,4
+            |a, b| a + b,
+            0u64,
+        );
+        assert_eq!(sum, 10);
+        assert_eq!(c.comm_stats().gets, 3);
+    }
+
+    #[test]
+    fn reduce_contributions_run_on_their_locale() {
+        let c = Cluster::new(Topology::new(3, 1));
+        let ids = reduce(
+            &*c,
+            LocaleId::ZERO,
+            |_| task::current_locale().index(),
+            |mut acc: Vec<usize>, x| {
+                acc.push(x);
+                acc
+            },
+            Vec::new(),
+        );
+        assert_eq!(ids, vec![0, 1, 2], "contribute must see its locale as `here`");
+    }
+
+    #[test]
+    fn all_reduce_gives_every_locale_the_total() {
+        let c = Cluster::new(Topology::new(3, 1));
+        let totals = all_reduce(&*c, |loc| loc.index() as u64, |a, b| a + b, 0);
+        assert_eq!(totals, vec![3, 3, 3]);
+        let s = c.comm_stats();
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.puts, 2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_parties() {
+        let c = Cluster::new(Topology::new(2, 2));
+        let barrier = Arc::new(ClusterBarrier::new(LocaleId::ZERO, 4));
+        let before = Arc::new(AtomicUsize::new(0));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        c.forall_tasks(|_, _| {
+            before.fetch_add(1, Ordering::SeqCst);
+            if barrier.wait(&c) {
+                leaders.fetch_add(1, Ordering::SeqCst);
+                // When the leader passes, everyone has arrived.
+                assert_eq!(before.load(Ordering::SeqCst), 4);
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 1, "exactly one leader");
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let c = Cluster::new(Topology::new(2, 1));
+        let barrier = Arc::new(ClusterBarrier::new(LocaleId::ZERO, 2));
+        for _ in 0..5 {
+            let leaders = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for i in 0..2u32 {
+                    let barrier = Arc::clone(&barrier);
+                    let c = &c;
+                    let leaders = &leaders;
+                    s.spawn(move || {
+                        task::with_locale(LocaleId::new(i), || {
+                            if barrier.wait(c) {
+                                leaders.fetch_add(1, Ordering::SeqCst);
+                            }
+                        })
+                    });
+                }
+            });
+            assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn barrier_charges_remote_arrivals_and_release() {
+        let c = Cluster::new(Topology::new(2, 1));
+        let barrier = ClusterBarrier::new(LocaleId::ZERO, 2);
+        std::thread::scope(|s| {
+            let b = &barrier;
+            let c2 = &c;
+            s.spawn(move || task::with_locale(LocaleId::new(1), || b.wait(c2)));
+            task::with_locale(LocaleId::ZERO, || barrier.wait(&c));
+        });
+        let stats = c.comm_stats();
+        // Remote arrival (1 put) + release to the remote locale (1 put).
+        assert_eq!(stats.puts, 2, "{stats:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_party_barrier_rejected() {
+        let _ = ClusterBarrier::new(LocaleId::ZERO, 0);
+    }
+}

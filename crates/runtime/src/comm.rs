@@ -1,0 +1,334 @@
+//! Communication layer: PUT/GET/remote-execute accounting and latency
+//! injection.
+//!
+//! On the paper's Cray XC-50, inter-node traffic rides the Aries network;
+//! Chapel compiles remote accesses into PUT/GET operations "behind the
+//! scenes, and so both readers and updaters are completely oblivious of all
+//! communication" (paper §III-D, footnote 10). The simulation preserves two
+//! observable properties of that network:
+//!
+//! 1. **Accounting** — every crossing is counted per *initiating* locale, so
+//!    tests and the harness can assert locality claims (e.g. that RCUArray
+//!    reads touch mostly node-local metadata).
+//! 2. **Cost** — an optional [`LatencyModel`] makes remote operations spend
+//!    real time, so benchmark rankings reflect the remote/local asymmetry.
+//!
+//! Counters are sharded per locale and padded to avoid the instrumentation
+//! itself becoming a contended cache line.
+
+use crate::locale::LocaleId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How much a remote operation should cost in wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Remote operations cost nothing extra (unit tests, fast CI).
+    None,
+    /// Spin for a fixed number of nanoseconds per remote operation.
+    ///
+    /// A busy-wait is used instead of `thread::sleep` because sleeps on
+    /// commodity OSes have ~50µs+ granularity, far above network latencies
+    /// (an Aries GET is on the order of 1-2µs).
+    SpinNanos(u64),
+    /// Spin `base + per_kb * ceil(bytes/1024)` nanoseconds: a simple
+    /// bandwidth-plus-latency model for bulk transfers.
+    Linear {
+        /// Fixed per-operation latency in nanoseconds.
+        base_nanos: u64,
+        /// Additional nanoseconds per KiB moved.
+        per_kb_nanos: u64,
+    },
+}
+
+impl LatencyModel {
+    /// The delay charged to a remote operation moving `bytes` bytes.
+    #[inline]
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        match *self {
+            LatencyModel::None => Duration::ZERO,
+            LatencyModel::SpinNanos(ns) => Duration::from_nanos(ns),
+            LatencyModel::Linear {
+                base_nanos,
+                per_kb_nanos,
+            } => {
+                let kb = bytes.div_ceil(1024) as u64;
+                Duration::from_nanos(base_nanos + per_kb_nanos * kb)
+            }
+        }
+    }
+
+    #[inline]
+    fn apply(&self, bytes: usize) {
+        let d = self.delay_for(bytes);
+        if d.is_zero() {
+            return;
+        }
+        spin_for(d);
+    }
+}
+
+/// Busy-wait for `d`. Public so benches can calibrate against it.
+#[inline]
+pub fn spin_for(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+const CACHE_LINE: usize = 64;
+
+/// One locale's communication counters, padded to a cache line multiple.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct LocaleCounters {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    remote_executes: AtomicU64,
+    local_accesses: AtomicU64,
+    bytes_moved: AtomicU64,
+}
+
+// Make sure padding actually happened; counters being false-shared would
+// poison every measurement in the workspace.
+const _: () = assert!(std::mem::align_of::<LocaleCounters>() >= CACHE_LINE);
+
+/// Aggregated communication statistics (a snapshot; counters keep moving).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// GET operations initiated (reads of remote memory).
+    pub gets: u64,
+    /// PUT operations initiated (writes to remote memory).
+    pub puts: u64,
+    /// Remote `on`-block executions.
+    pub remote_executes: u64,
+    /// Accesses that stayed node-local.
+    pub local_accesses: u64,
+    /// Total bytes crossing locale boundaries.
+    pub bytes_moved: u64,
+}
+
+impl CommStats {
+    /// Total remote operations of any kind.
+    pub fn remote_ops(&self) -> u64 {
+        self.gets + self.puts + self.remote_executes
+    }
+
+    /// Fraction of memory accesses that stayed local, in `[0, 1]`.
+    /// Returns 1.0 when there were no accesses at all.
+    pub fn locality(&self) -> f64 {
+        let total = self.gets + self.puts + self.local_accesses;
+        if total == 0 {
+            1.0
+        } else {
+            self.local_accesses as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::Add for CommStats {
+    type Output = CommStats;
+    fn add(self, rhs: CommStats) -> CommStats {
+        CommStats {
+            gets: self.gets + rhs.gets,
+            puts: self.puts + rhs.puts,
+            remote_executes: self.remote_executes + rhs.remote_executes,
+            local_accesses: self.local_accesses + rhs.local_accesses,
+            bytes_moved: self.bytes_moved + rhs.bytes_moved,
+        }
+    }
+}
+
+/// The cluster's communication fabric.
+#[derive(Debug)]
+pub struct CommLayer {
+    per_locale: Box<[LocaleCounters]>,
+    latency: LatencyModel,
+}
+
+impl CommLayer {
+    pub(crate) fn new(num_locales: usize, latency: LatencyModel) -> Self {
+        CommLayer {
+            per_locale: (0..num_locales).map(|_| LocaleCounters::default()).collect(),
+            latency,
+        }
+    }
+
+    /// The active latency model.
+    #[inline]
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Record a GET of `bytes` bytes initiated by `from` against memory on
+    /// `to`, and charge its latency.
+    #[inline]
+    pub fn record_get(&self, from: LocaleId, to: LocaleId, bytes: usize) {
+        debug_assert_ne!(from, to, "local accesses use record_local");
+        let c = &self.per_locale[from.index()];
+        c.gets.fetch_add(1, Ordering::Relaxed);
+        c.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.latency.apply(bytes);
+    }
+
+    /// Record a PUT of `bytes` bytes initiated by `from` into memory on
+    /// `to`, and charge its latency.
+    #[inline]
+    pub fn record_put(&self, from: LocaleId, to: LocaleId, bytes: usize) {
+        debug_assert_ne!(from, to, "local accesses use record_local");
+        let c = &self.per_locale[from.index()];
+        c.puts.fetch_add(1, Ordering::Relaxed);
+        c.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.latency.apply(bytes);
+    }
+
+    /// Record a remote `on`-block execution from `from` to `to`.
+    #[inline]
+    pub fn record_on(&self, from: LocaleId, to: LocaleId) {
+        debug_assert_ne!(from, to);
+        self.per_locale[from.index()]
+            .remote_executes
+            .fetch_add(1, Ordering::Relaxed);
+        // An active message costs roughly one small transfer each way.
+        self.latency.apply(0);
+    }
+
+    /// Record an access that stayed on `locale`.
+    #[inline]
+    pub fn record_local(&self, locale: LocaleId) {
+        self.per_locale[locale.index()]
+            .local_accesses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of one locale's counters.
+    pub fn stats_for(&self, locale: LocaleId) -> CommStats {
+        let c = &self.per_locale[locale.index()];
+        CommStats {
+            gets: c.gets.load(Ordering::Relaxed),
+            puts: c.puts.load(Ordering::Relaxed),
+            remote_executes: c.remote_executes.load(Ordering::Relaxed),
+            local_accesses: c.local_accesses.load(Ordering::Relaxed),
+            bytes_moved: c.bytes_moved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot summed over all locales.
+    pub fn total(&self) -> CommStats {
+        (0..self.per_locale.len())
+            .map(|i| self.stats_for(LocaleId::new(i as u32)))
+            .fold(CommStats::default(), |a, b| a + b)
+    }
+
+    /// Reset every counter to zero (between benchmark phases).
+    pub fn reset(&self) {
+        for c in self.per_locale.iter() {
+            c.gets.store(0, Ordering::Relaxed);
+            c.puts.store(0, Ordering::Relaxed);
+            c.remote_executes.store(0, Ordering::Relaxed);
+            c.local_accesses.store(0, Ordering::Relaxed);
+            c.bytes_moved.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(n: usize) -> CommLayer {
+        CommLayer::new(n, LatencyModel::None)
+    }
+
+    #[test]
+    fn counters_attribute_to_initiator() {
+        let c = layer(3);
+        c.record_get(LocaleId::new(1), LocaleId::new(2), 8);
+        c.record_put(LocaleId::new(1), LocaleId::new(0), 16);
+        c.record_on(LocaleId::new(2), LocaleId::new(0));
+        let l1 = c.stats_for(LocaleId::new(1));
+        assert_eq!(l1.gets, 1);
+        assert_eq!(l1.puts, 1);
+        assert_eq!(l1.bytes_moved, 24);
+        let l2 = c.stats_for(LocaleId::new(2));
+        assert_eq!(l2.remote_executes, 1);
+        let l0 = c.stats_for(LocaleId::new(0));
+        assert_eq!(l0, CommStats::default());
+    }
+
+    #[test]
+    fn total_sums_all_locales() {
+        let c = layer(2);
+        c.record_get(LocaleId::new(0), LocaleId::new(1), 4);
+        c.record_get(LocaleId::new(1), LocaleId::new(0), 4);
+        c.record_local(LocaleId::new(0));
+        let t = c.total();
+        assert_eq!(t.gets, 2);
+        assert_eq!(t.local_accesses, 1);
+        assert_eq!(t.remote_ops(), 2);
+    }
+
+    #[test]
+    fn locality_fraction() {
+        let c = layer(2);
+        for _ in 0..3 {
+            c.record_local(LocaleId::new(0));
+        }
+        c.record_get(LocaleId::new(0), LocaleId::new(1), 1);
+        assert!((c.total().locality() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn locality_with_no_traffic_is_one() {
+        assert_eq!(layer(1).total().locality(), 1.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = layer(2);
+        c.record_get(LocaleId::new(0), LocaleId::new(1), 4);
+        c.record_local(LocaleId::new(1));
+        c.reset();
+        assert_eq!(c.total(), CommStats::default());
+    }
+
+    #[test]
+    fn latency_model_delays() {
+        let m = LatencyModel::SpinNanos(500);
+        assert_eq!(m.delay_for(0), Duration::from_nanos(500));
+        let lin = LatencyModel::Linear {
+            base_nanos: 100,
+            per_kb_nanos: 10,
+        };
+        assert_eq!(lin.delay_for(0), Duration::from_nanos(100));
+        assert_eq!(lin.delay_for(1), Duration::from_nanos(110));
+        assert_eq!(lin.delay_for(2048), Duration::from_nanos(120));
+        assert_eq!(LatencyModel::None.delay_for(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn spin_for_actually_waits() {
+        let start = Instant::now();
+        spin_for(Duration::from_micros(200));
+        assert!(start.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn stats_add() {
+        let a = CommStats {
+            gets: 1,
+            puts: 2,
+            remote_executes: 3,
+            local_accesses: 4,
+            bytes_moved: 5,
+        };
+        let b = a;
+        let s = a + b;
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.puts, 4);
+        assert_eq!(s.remote_executes, 6);
+        assert_eq!(s.local_accesses, 8);
+        assert_eq!(s.bytes_moved, 10);
+    }
+}

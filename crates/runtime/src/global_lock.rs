@@ -1,0 +1,238 @@
+//! Cluster-wide mutual exclusion: the paper's `WriteLock`.
+//!
+//! Listing 1 describes `WriteLock` as "a cluster-wide lock, in this case a
+//! lock that is wrapped in some class allocated on a single node, used to
+//! provide mutual exclusion with respect to all locales during resize
+//! operations". [`GlobalLock`] mirrors that: the lock state is *homed* on
+//! one locale (locale 0 unless configured otherwise), and every
+//! acquisition/release by a task on another locale is charged as a remote
+//! operation through the communication layer — which is exactly why the
+//! paper's `SyncArray` degrades as locales are added: "remote tasks must
+//! contest for the same lock".
+
+use crate::comm::CommLayer;
+use crate::locale::LocaleId;
+use crate::task;
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A lock allocated on a single locale and contended cluster-wide.
+pub struct GlobalLock {
+    home: LocaleId,
+    inner: Mutex<()>,
+    comm: Option<Arc<CommLayerRef>>,
+    acquisitions: AtomicU64,
+    remote_acquisitions: AtomicU64,
+}
+
+/// Internal: keep the comm layer reachable without borrowing the cluster.
+struct CommLayerRef {
+    cluster: Arc<crate::Cluster>,
+}
+
+impl GlobalLock {
+    /// A lock homed on `home` that charges remote acquisitions through the
+    /// given cluster's communication layer.
+    pub fn new(cluster: &Arc<crate::Cluster>, home: LocaleId) -> Self {
+        assert!(
+            home.index() < cluster.num_locales(),
+            "lock home {home} outside cluster"
+        );
+        GlobalLock {
+            home,
+            inner: Mutex::new(()),
+            comm: Some(Arc::new(CommLayerRef {
+                cluster: Arc::clone(cluster),
+            })),
+            acquisitions: AtomicU64::new(0),
+            remote_acquisitions: AtomicU64::new(0),
+        }
+    }
+
+    /// A detached lock (no communication accounting) homed on locale 0 —
+    /// handy in unit tests of higher layers.
+    pub fn detached() -> Self {
+        GlobalLock {
+            home: LocaleId::ZERO,
+            inner: Mutex::new(()),
+            comm: None,
+            acquisitions: AtomicU64::new(0),
+            remote_acquisitions: AtomicU64::new(0),
+        }
+    }
+
+    /// The locale the lock state lives on.
+    #[inline]
+    pub fn home(&self) -> LocaleId {
+        self.home
+    }
+
+    fn comm(&self) -> Option<&CommLayer> {
+        self.comm.as_deref().map(|r| r.cluster.comm())
+    }
+
+    /// Acquire the lock, blocking. A task on a locale other than
+    /// [`home`](Self::home) pays a round-trip to reach the lock word.
+    pub fn acquire(&self) -> GlobalLockGuard<'_> {
+        let from = task::current_locale();
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if from != self.home {
+            self.remote_acquisitions.fetch_add(1, Ordering::Relaxed);
+            if let Some(comm) = self.comm() {
+                // Reaching the remote lock word: one GET (read/try) and one
+                // PUT (the RMW write-back), the round trip a remote
+                // compare-and-swap costs on the wire.
+                comm.record_get(from, self.home, 8);
+                comm.record_put(from, self.home, 8);
+            }
+        }
+        GlobalLockGuard {
+            lock: self,
+            _guard: self.inner.lock(),
+        }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_acquire(&self) -> Option<GlobalLockGuard<'_>> {
+        let guard = self.inner.try_lock()?;
+        let from = task::current_locale();
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if from != self.home {
+            self.remote_acquisitions.fetch_add(1, Ordering::Relaxed);
+            if let Some(comm) = self.comm() {
+                comm.record_get(from, self.home, 8);
+                comm.record_put(from, self.home, 8);
+            }
+        }
+        Some(GlobalLockGuard {
+            lock: self,
+            _guard: guard,
+        })
+    }
+
+    /// Whether some task currently holds the lock.
+    pub fn is_locked(&self) -> bool {
+        self.inner.is_locked()
+    }
+
+    /// Total acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions initiated from a locale other than the home locale.
+    pub fn remote_acquisitions(&self) -> u64 {
+        self.remote_acquisitions.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for GlobalLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalLock")
+            .field("home", &self.home)
+            .field("locked", &self.is_locked())
+            .field("acquisitions", &self.acquisitions())
+            .finish()
+    }
+}
+
+/// RAII guard: the lock is held until this is dropped. Release by a remote
+/// task is also charged as a PUT (writing the unlocked state back).
+pub struct GlobalLockGuard<'a> {
+    lock: &'a GlobalLock,
+    _guard: MutexGuard<'a, ()>,
+}
+
+impl Drop for GlobalLockGuard<'_> {
+    fn drop(&mut self) {
+        let from = task::current_locale();
+        if from != self.lock.home {
+            if let Some(comm) = self.lock.comm() {
+                comm.record_put(from, self.lock.home, 8);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, Topology};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn provides_mutual_exclusion() {
+        let lock = Arc::new(GlobalLock::detached());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let _g = lock.acquire();
+                    // Non-atomic read-modify-write protected by the lock.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8000);
+        assert_eq!(lock.acquisitions(), 8000);
+    }
+
+    #[test]
+    fn remote_acquisition_is_charged() {
+        let cluster = Cluster::new(Topology::new(4, 1));
+        let lock = GlobalLock::new(&cluster, LocaleId::ZERO);
+        task::with_locale(LocaleId::new(2), || {
+            let g = lock.acquire();
+            drop(g);
+        });
+        assert_eq!(lock.remote_acquisitions(), 1);
+        let stats = cluster.comm_stats();
+        assert_eq!(stats.gets, 1);
+        assert_eq!(stats.puts, 2); // acquire write-back + release
+    }
+
+    #[test]
+    fn local_acquisition_is_free() {
+        let cluster = Cluster::new(Topology::new(2, 1));
+        let lock = GlobalLock::new(&cluster, LocaleId::new(1));
+        task::with_locale(LocaleId::new(1), || {
+            let _g = lock.acquire();
+        });
+        assert_eq!(lock.remote_acquisitions(), 0);
+        assert_eq!(cluster.comm_stats().remote_ops(), 0);
+    }
+
+    #[test]
+    fn try_acquire_fails_when_held() {
+        let lock = GlobalLock::detached();
+        let g = lock.acquire();
+        assert!(lock.try_acquire().is_none());
+        drop(g);
+        assert!(lock.try_acquire().is_some());
+    }
+
+    #[test]
+    fn is_locked_reflects_state() {
+        let lock = GlobalLock::detached();
+        assert!(!lock.is_locked());
+        let g = lock.acquire();
+        assert!(lock.is_locked());
+        drop(g);
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside cluster")]
+    fn home_must_be_in_cluster() {
+        let cluster = Cluster::with_locales(2);
+        let _ = GlobalLock::new(&cluster, LocaleId::new(5));
+    }
+}

@@ -1,0 +1,141 @@
+//! Locales: the logical nodes of the simulated cluster.
+//!
+//! A Chapel *locale* is a unit of the machine with its own memory and
+//! processors — on the paper's testbed, one Cray XC-50 node. Here a locale
+//! is a logical entity: data structures tag their blocks with the locale
+//! that "owns" them, tasks carry a current-locale context, and the
+//! communication layer charges for crossings. Each [`Locale`] also keeps
+//! allocation counters so tests can verify that block distribution really
+//! is round-robin (paper §III-D).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of a locale (node) within a cluster. Dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocaleId(u32);
+
+impl LocaleId {
+    /// Locale 0 — where cluster-wide singletons (e.g. the write lock) live
+    /// unless stated otherwise.
+    pub const ZERO: LocaleId = LocaleId(0);
+
+    /// Construct from a dense index.
+    #[inline]
+    pub const fn new(id: u32) -> Self {
+        LocaleId(id)
+    }
+
+    /// The raw id.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize` index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next locale in round-robin order over `num_locales` locales.
+    #[inline]
+    pub fn next_round_robin(self, num_locales: usize) -> LocaleId {
+        debug_assert!(num_locales > 0);
+        LocaleId(((self.index() + 1) % num_locales) as u32)
+    }
+}
+
+impl std::fmt::Display for LocaleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u32> for LocaleId {
+    fn from(v: u32) -> Self {
+        LocaleId(v)
+    }
+}
+
+/// Per-locale bookkeeping: identity plus allocation accounting.
+#[derive(Debug)]
+pub struct Locale {
+    id: LocaleId,
+    allocations: AtomicU64,
+    allocated_bytes: AtomicU64,
+}
+
+impl Locale {
+    pub(crate) fn new(id: LocaleId) -> Self {
+        Locale {
+            id,
+            allocations: AtomicU64::new(0),
+            allocated_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// This locale's id.
+    #[inline]
+    pub fn id(&self) -> LocaleId {
+        self.id
+    }
+
+    /// Record that `bytes` bytes were allocated "on" this locale. Data
+    /// structures call this when they home a block here.
+    #[inline]
+    pub fn record_allocation(&self, bytes: usize) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.allocated_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Number of allocations homed on this locale.
+    #[inline]
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Bytes allocated on this locale.
+    #[inline]
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_wraps() {
+        let l = LocaleId::new(3);
+        assert_eq!(l.next_round_robin(4), LocaleId::new(0));
+        assert_eq!(LocaleId::new(0).next_round_robin(4), LocaleId::new(1));
+    }
+
+    #[test]
+    fn round_robin_single_locale_is_identity() {
+        assert_eq!(LocaleId::ZERO.next_round_robin(1), LocaleId::ZERO);
+    }
+
+    #[test]
+    fn allocation_accounting_accumulates() {
+        let l = Locale::new(LocaleId::new(7));
+        l.record_allocation(128);
+        l.record_allocation(64);
+        assert_eq!(l.allocations(), 2);
+        assert_eq!(l.allocated_bytes(), 192);
+        assert_eq!(l.id(), LocaleId::new(7));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(LocaleId::new(12).to_string(), "L12");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let l: LocaleId = 9u32.into();
+        assert_eq!(l.raw(), 9);
+        assert_eq!(l.index(), 9);
+    }
+}

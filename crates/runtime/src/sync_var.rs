@@ -1,0 +1,301 @@
+//! Chapel `sync` variables: full/empty semantics.
+//!
+//! The paper's `SyncArray` baseline "uses mutual exclusion via sync
+//! variables". A Chapel `sync` variable carries a *full/empty* bit:
+//! writing requires the variable to be empty and leaves it full; reading
+//! (the default, `readFE`) requires it to be full and leaves it empty.
+//! Used as a lock, `writeEF(true)` acquires and `readFE()` releases (or the
+//! reverse convention; either way one state transition per operation, with
+//! blocked tasks parked on a condition variable).
+//!
+//! [`SyncVar`] implements the full Chapel method set that matters here:
+//! `write_ef`, `read_fe`, `read_ff`, `write_ff`, `reset`, `is_full`.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+struct State<T> {
+    value: Option<T>,
+}
+
+/// A full/empty synchronized variable.
+pub struct SyncVar<T> {
+    state: Mutex<State<T>>,
+    became_full: Condvar,
+    became_empty: Condvar,
+}
+
+impl<T> Default for SyncVar<T> {
+    fn default() -> Self {
+        Self::new_empty()
+    }
+}
+
+impl<T> SyncVar<T> {
+    /// A new, empty sync variable.
+    pub fn new_empty() -> Self {
+        SyncVar {
+            state: Mutex::new(State { value: None }),
+            became_full: Condvar::new(),
+            became_empty: Condvar::new(),
+        }
+    }
+
+    /// A new sync variable initialized full with `value`.
+    pub fn new_full(value: T) -> Self {
+        SyncVar {
+            state: Mutex::new(State { value: Some(value) }),
+            became_full: Condvar::new(),
+            became_empty: Condvar::new(),
+        }
+    }
+
+    /// Chapel `writeEF`: block until empty, then store `value` and mark
+    /// full, waking one reader.
+    pub fn write_ef(&self, value: T) {
+        let mut st = self.state.lock();
+        while st.value.is_some() {
+            self.became_empty.wait(&mut st);
+        }
+        st.value = Some(value);
+        drop(st);
+        self.became_full.notify_one();
+    }
+
+    /// Chapel `readFE`: block until full, then take the value and mark
+    /// empty, waking one writer.
+    pub fn read_fe(&self) -> T {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(v) = st.value.take() {
+                drop(st);
+                self.became_empty.notify_one();
+                return v;
+            }
+            self.became_full.wait(&mut st);
+        }
+    }
+
+    /// `readFE` with a timeout; `None` if the variable stayed empty.
+    pub fn read_fe_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(v) = st.value.take() {
+                drop(st);
+                self.became_empty.notify_one();
+                return Some(v);
+            }
+            if self.became_full.wait_until(&mut st, deadline).timed_out() {
+                return st.value.take().inspect(|_| {
+                    self.became_empty.notify_one();
+                });
+            }
+        }
+    }
+
+    /// Chapel `readFF`: block until full, read a copy, leave full.
+    pub fn read_ff(&self) -> T
+    where
+        T: Clone,
+    {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(v) = &st.value {
+                return v.clone();
+            }
+            self.became_full.wait(&mut st);
+        }
+    }
+
+    /// Chapel `writeFF`: block until full, then overwrite, staying full.
+    pub fn write_ff(&self, value: T) {
+        let mut st = self.state.lock();
+        while st.value.is_none() {
+            self.became_full.wait(&mut st);
+        }
+        st.value = Some(value);
+        drop(st);
+        self.became_full.notify_one();
+    }
+
+    /// Chapel `writeXF`: store unconditionally and mark full.
+    pub fn write_xf(&self, value: T) {
+        let mut st = self.state.lock();
+        st.value = Some(value);
+        drop(st);
+        self.became_full.notify_one();
+    }
+
+    /// Chapel `reset`: force the variable empty, discarding any value.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.value = None;
+        drop(st);
+        self.became_empty.notify_one();
+    }
+
+    /// Whether the variable is currently full. Racy by nature (Chapel's
+    /// `isFull` carries the same caveat).
+    pub fn is_full(&self) -> bool {
+        self.state.lock().value.is_some()
+    }
+}
+
+impl<T> std::fmt::Debug for SyncVar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncVar").field("full", &self.is_full()).finish()
+    }
+}
+
+/// A mutual-exclusion lock built from a [`SyncVar`], the way the paper's
+/// `SyncArray` uses one: acquire = `readFE`, release = `writeEF`.
+pub struct SyncVarLock {
+    var: SyncVar<()>,
+}
+
+impl Default for SyncVarLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SyncVarLock {
+    /// A new, unlocked lock.
+    pub fn new() -> Self {
+        SyncVarLock {
+            var: SyncVar::new_full(()),
+        }
+    }
+
+    /// Acquire by emptying the variable.
+    pub fn acquire(&self) -> SyncVarLockGuard<'_> {
+        self.var.read_fe();
+        SyncVarLockGuard { lock: self }
+    }
+
+    /// Whether the lock is currently held.
+    pub fn is_locked(&self) -> bool {
+        !self.var.is_full()
+    }
+}
+
+/// Guard releasing the [`SyncVarLock`] on drop by re-filling the variable.
+pub struct SyncVarLockGuard<'a> {
+    lock: &'a SyncVarLock,
+}
+
+impl Drop for SyncVarLockGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.var.write_ef(());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let v = SyncVar::new_empty();
+        v.write_ef(42);
+        assert!(v.is_full());
+        assert_eq!(v.read_fe(), 42);
+        assert!(!v.is_full());
+    }
+
+    #[test]
+    fn read_ff_leaves_full() {
+        let v = SyncVar::new_full(7);
+        assert_eq!(v.read_ff(), 7);
+        assert!(v.is_full());
+        assert_eq!(v.read_fe(), 7);
+    }
+
+    #[test]
+    fn write_xf_overwrites() {
+        let v = SyncVar::new_full(1);
+        v.write_xf(2);
+        assert_eq!(v.read_fe(), 2);
+    }
+
+    #[test]
+    fn write_ff_requires_full() {
+        let v = SyncVar::new_full(1);
+        v.write_ff(9);
+        assert_eq!(v.read_ff(), 9);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let v = SyncVar::new_full(3);
+        v.reset();
+        assert!(!v.is_full());
+    }
+
+    #[test]
+    fn read_fe_timeout_expires_on_empty() {
+        let v: SyncVar<u8> = SyncVar::new_empty();
+        assert_eq!(v.read_fe_timeout(Duration::from_millis(20)), None);
+    }
+
+    #[test]
+    fn blocked_reader_wakes_on_write() {
+        let v = Arc::new(SyncVar::new_empty());
+        let v2 = Arc::clone(&v);
+        let reader = std::thread::spawn(move || v2.read_fe());
+        std::thread::sleep(Duration::from_millis(10));
+        v.write_ef(123);
+        assert_eq!(reader.join().unwrap(), 123);
+    }
+
+    #[test]
+    fn ping_pong_through_sync_var() {
+        let v = Arc::new(SyncVar::new_empty());
+        let v2 = Arc::clone(&v);
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                assert_eq!(v2.read_fe(), i);
+            }
+        });
+        for i in 0..100 {
+            v.write_ef(i);
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn sync_var_lock_mutual_exclusion() {
+        let lock = Arc::new(SyncVarLock::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let _g = lock.acquire();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2000);
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn lock_guard_releases_on_drop() {
+        let lock = SyncVarLock::new();
+        {
+            let _g = lock.acquire();
+            assert!(lock.is_locked());
+        }
+        assert!(!lock.is_locked());
+    }
+}

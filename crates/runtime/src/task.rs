@@ -1,0 +1,142 @@
+//! Task-local locale context.
+//!
+//! Chapel tasks always know which locale they execute on (`here`). The
+//! simulation stores that in a thread-local cell: every task-spawning entry
+//! point in [`crate::Cluster`] wraps the user closure in [`with_locale`],
+//! and `on`-blocks temporarily override it. Code deep inside a data
+//! structure asks [`current_locale`] — the equivalent of Chapel's `here.id`
+//! — to find its privatized instance without any communication.
+//!
+//! A thread that was never adopted by a cluster reports locale 0, matching
+//! Chapel's behaviour of starting the program on locale 0.
+
+use crate::locale::LocaleId;
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_LOCALE: Cell<LocaleId> = const { Cell::new(LocaleId::ZERO) };
+}
+
+/// The locale the current task is (logically) executing on.
+///
+/// Equivalent to Chapel's `here.id`. Defaults to locale 0 on threads that
+/// were not spawned through a [`crate::Cluster`].
+#[inline]
+pub fn current_locale() -> LocaleId {
+    CURRENT_LOCALE.with(|c| c.get())
+}
+
+/// Run `f` with the current task's locale context set to `locale`,
+/// restoring the previous context afterwards (also on panic).
+pub fn with_locale<R>(locale: LocaleId, f: impl FnOnce() -> R) -> R {
+    struct Restore(LocaleId);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_LOCALE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = CURRENT_LOCALE.with(|c| c.replace(locale));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// A scope helper for spawning locale-pinned tasks with `std::thread::scope`
+/// ergonomics.
+///
+/// ```
+/// use rcuarray_runtime::{task::TaskScope, LocaleId};
+/// let results = TaskScope::run(|scope| {
+///     for i in 0..4u32 {
+///         scope.spawn_on(LocaleId::new(i), move || {
+///             assert_eq!(rcuarray_runtime::current_locale(), LocaleId::new(i));
+///         });
+///     }
+/// });
+/// assert_eq!(results, 4);
+/// ```
+pub struct TaskScope<'scope, 'env: 'scope> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    spawned: Cell<usize>,
+}
+
+impl<'scope, 'env> TaskScope<'scope, 'env> {
+    /// Open a scope, let `f` spawn locale-pinned tasks into it, join them
+    /// all and return how many were spawned.
+    pub fn run<F>(f: F) -> usize
+    where
+        F: for<'s> FnOnce(&TaskScope<'s, 'env>),
+    {
+        std::thread::scope(|scope| {
+            let ts = TaskScope {
+                scope,
+                spawned: Cell::new(0),
+            };
+            f(&ts);
+            ts.spawned.get()
+        })
+    }
+
+    /// Spawn a task pinned to `locale`.
+    pub fn spawn_on<F>(&self, locale: LocaleId, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.spawned.set(self.spawned.get() + 1);
+        self.scope.spawn(move || with_locale(locale, f));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_locale_is_zero() {
+        // Run on a fresh thread so other tests' contexts can't interfere.
+        std::thread::spawn(|| assert_eq!(current_locale(), LocaleId::ZERO))
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn with_locale_sets_and_restores() {
+        let before = current_locale();
+        let inner = with_locale(LocaleId::new(5), current_locale);
+        assert_eq!(inner, LocaleId::new(5));
+        assert_eq!(current_locale(), before);
+    }
+
+    #[test]
+    fn with_locale_restores_on_panic() {
+        let before = current_locale();
+        let r = std::panic::catch_unwind(|| {
+            with_locale(LocaleId::new(9), || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert_eq!(current_locale(), before);
+    }
+
+    #[test]
+    fn task_scope_pins_locales() {
+        let n = TaskScope::run(|scope| {
+            for i in 0..3u32 {
+                scope.spawn_on(LocaleId::new(i), move || {
+                    assert_eq!(current_locale(), LocaleId::new(i));
+                });
+            }
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn contexts_are_per_thread() {
+        with_locale(LocaleId::new(2), || {
+            std::thread::spawn(|| {
+                // New thread: not inherited.
+                assert_eq!(current_locale(), LocaleId::ZERO);
+            })
+            .join()
+            .unwrap();
+        });
+    }
+}

@@ -1,0 +1,134 @@
+//! Cluster shape: number of locales and tasks per locale.
+//!
+//! The paper's evaluation ran on "a subset of a Cray XC-50 cluster totaling
+//! 32 nodes, each node running Intel Xeon Broadwell 44-core processors" with
+//! "44 tasks per locale". [`Topology`] captures exactly those two knobs so
+//! the benchmark harness can sweep them the way the figures' x-axes do.
+
+/// The shape of a simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    num_locales: usize,
+    tasks_per_locale: usize,
+}
+
+impl Topology {
+    /// A topology with `num_locales` logical nodes and `tasks_per_locale`
+    /// benchmark tasks on each.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero (a cluster always has at least one
+    /// locale running at least one task).
+    pub fn new(num_locales: usize, tasks_per_locale: usize) -> Self {
+        assert!(num_locales > 0, "a cluster needs at least one locale");
+        assert!(tasks_per_locale > 0, "each locale needs at least one task");
+        assert!(
+            num_locales <= u32::MAX as usize,
+            "locale ids are 32-bit"
+        );
+        Topology {
+            num_locales,
+            tasks_per_locale,
+        }
+    }
+
+    /// The paper's testbed shape: 32 locales, 44 tasks per locale.
+    ///
+    /// On most development machines this oversubscribes wildly; it exists so
+    /// the harness can name the original configuration.
+    pub fn paper_testbed() -> Self {
+        Topology::new(32, 44)
+    }
+
+    /// A shape scaled to the current host: `num_locales` locales and
+    /// `max(1, available_parallelism / num_locales)` tasks per locale.
+    pub fn scaled_to_host(num_locales: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Topology::new(num_locales, (cores / num_locales).max(1))
+    }
+
+    /// Number of locales (nodes).
+    #[inline]
+    pub fn num_locales(&self) -> usize {
+        self.num_locales
+    }
+
+    /// Benchmark tasks to spawn on each locale.
+    #[inline]
+    pub fn tasks_per_locale(&self) -> usize {
+        self.tasks_per_locale
+    }
+
+    /// Total task count across the cluster.
+    #[inline]
+    pub fn total_tasks(&self) -> usize {
+        self.num_locales * self.tasks_per_locale
+    }
+}
+
+impl Default for Topology {
+    /// A single locale running a single task: the degenerate shared-memory
+    /// case.
+    fn default() -> Self {
+        Topology::new(1, 1)
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} locale(s) x {} task(s)",
+            self.num_locales, self.tasks_per_locale
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_tasks_is_product() {
+        let t = Topology::new(4, 11);
+        assert_eq!(t.total_tasks(), 44);
+    }
+
+    #[test]
+    fn paper_testbed_matches_the_paper() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.num_locales(), 32);
+        assert_eq!(t.tasks_per_locale(), 44);
+        assert_eq!(t.total_tasks(), 1408);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one locale")]
+    fn zero_locales_rejected() {
+        let _ = Topology::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_rejected() {
+        let _ = Topology::new(1, 0);
+    }
+
+    #[test]
+    fn scaled_to_host_never_zero() {
+        let t = Topology::scaled_to_host(64);
+        assert!(t.tasks_per_locale() >= 1);
+    }
+
+    #[test]
+    fn default_is_one_by_one() {
+        assert_eq!(Topology::default(), Topology::new(1, 1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Topology::new(2, 3).to_string(), "2 locale(s) x 3 task(s)");
+    }
+}

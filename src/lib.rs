@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # rcuarray-repro — workspace facade
+//!
+//! This crate re-exports the workspace's public surface so the examples
+//! under `examples/` and the integration tests under `tests/` have one
+//! import root. Library users should depend on the individual crates:
+//!
+//! * [`rcuarray`] — the paper's contribution: the parallel-safe
+//!   distributed resizable array (`EbrArray`, `QsbrArray`).
+//! * [`rcuarray_runtime`] — the simulated multi-locale runtime substrate.
+//! * [`rcuarray_ebr`] / [`rcuarray_qsbr`] — the two reclamation schemes.
+//! * [`rcuarray_rcu`] — generic RCU decoupled from the array.
+//! * [`rcuarray_baselines`] — every comparator from the evaluation.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure.
+
+pub use rcuarray;
+pub use rcuarray_baselines;
+pub use rcuarray_collections;
+pub use rcuarray_ebr;
+pub use rcuarray_qsbr;
+pub use rcuarray_rcu;
+pub use rcuarray_runtime;
+
+/// Convenience prelude for examples and tests.
+pub mod prelude {
+    pub use rcuarray::{
+        Config, EbrArray, Element, ElemRef, QsbrArray, RcuArray, Scheme, DEFAULT_BLOCK_SIZE,
+    };
+    pub use rcuarray_baselines::{
+        HazardArray, LockFreeVector, RwLockArray, SyncArray, UnsafeArray,
+    };
+    pub use rcuarray_collections::{DistTable, DistVector};
+    pub use rcuarray_ebr::{EpochGuard, EpochZone, OrderingMode, RcuCell};
+    pub use rcuarray_qsbr::QsbrDomain;
+    pub use rcuarray_rcu::{EbrReclaim, QsbrReclaim, RcuList, RcuPtr, Reclaim};
+    pub use rcuarray_runtime::{
+        current_locale, Cluster, LatencyModel, LocaleId, SyncVar, Topology,
+    };
+}
