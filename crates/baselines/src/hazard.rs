@@ -114,7 +114,9 @@ impl<T: Element> HazardArray<T> {
 
     #[inline]
     fn clear(&self, slot: usize) {
-        self.hazards[slot].ptr.store(std::ptr::null_mut(), Ordering::Release);
+        self.hazards[slot]
+            .ptr
+            .store(std::ptr::null_mut(), Ordering::Release);
     }
 
     fn with_snapshot<R>(&self, f: impl FnOnce(&Snapshot<T>) -> R) -> R {
@@ -215,8 +217,7 @@ impl<T: Element> HazardArray<T> {
         // SAFETY: unlinked and no hazard references it; late readers
         // re-validate against the new pointer and retry.
         drop(unsafe { Box::from_raw(old_ptr) });
-        let cap = self.capacity.fetch_add(add, Ordering::AcqRel) + add;
-        cap
+        self.capacity.fetch_add(add, Ordering::AcqRel) + add
     }
 
     /// Snapshot current values.

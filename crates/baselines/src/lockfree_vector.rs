@@ -91,7 +91,9 @@ impl<T: Element> LockFreeVector<T> {
             pending: None,
         }));
         LockFreeVector {
-            buckets: (0..NUM_BUCKETS).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+            buckets: (0..NUM_BUCKETS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
             descriptor: AtomicPtr::new(desc),
             graveyard: Mutex::new(Vec::new()),
         }
@@ -133,7 +135,12 @@ impl<T: Element> LockFreeVector<T> {
         let storage: Box<[T::Repr]> = (0..len).map(|_| T::new_repr(T::default())).collect();
         let ptr = Box::into_raw(storage) as *mut T::Repr;
         if self.buckets[b]
-            .compare_exchange(std::ptr::null_mut(), ptr, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                std::ptr::null_mut(),
+                ptr,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_err()
         {
             // Lost the allocation race; free ours.
@@ -194,7 +201,9 @@ impl<T: Element> LockFreeVector<T> {
                     self.complete_write(unsafe { &*next });
                     // SAFETY: `cur_ptr` is unlinked; graveyard keeps it
                     // alive for still-reading threads until drop.
-                    self.graveyard.lock().push(unsafe { Box::from_raw(cur_ptr) });
+                    self.graveyard
+                        .lock()
+                        .push(unsafe { Box::from_raw(cur_ptr) });
                     return;
                 }
                 Err(_) => {
@@ -227,7 +236,9 @@ impl<T: Element> LockFreeVector<T> {
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
-                    self.graveyard.lock().push(unsafe { Box::from_raw(cur_ptr) });
+                    self.graveyard
+                        .lock()
+                        .push(unsafe { Box::from_raw(cur_ptr) });
                     return Some(value);
                 }
                 Err(_) => {
@@ -268,7 +279,9 @@ impl<T: Element> LockFreeVector<T> {
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
-                    self.graveyard.lock().push(unsafe { Box::from_raw(cur_ptr) });
+                    self.graveyard
+                        .lock()
+                        .push(unsafe { Box::from_raw(cur_ptr) });
                     return;
                 }
                 Err(_) => drop(unsafe { Box::from_raw(next) }),
@@ -282,7 +295,11 @@ impl<T: Element> LockFreeVector<T> {
     /// Panics when `i >= len()`.
     #[inline]
     pub fn read(&self, i: usize) -> T {
-        assert!(i < self.len(), "index {i} out of bounds (len {})", self.len());
+        assert!(
+            i < self.len(),
+            "index {i} out of bounds (len {})",
+            self.len()
+        );
         T::load(self.cell(i))
     }
 
@@ -292,7 +309,11 @@ impl<T: Element> LockFreeVector<T> {
     /// Panics when `i >= len()`.
     #[inline]
     pub fn write(&self, i: usize, v: T) {
-        assert!(i < self.len(), "index {i} out of bounds (len {})", self.len());
+        assert!(
+            i < self.len(),
+            "index {i} out of bounds (len {})",
+            self.len()
+        );
         T::store(self.cell(i), v);
     }
 
@@ -327,7 +348,9 @@ impl<T: Element> Drop for LockFreeVector<T> {
 
 impl<T: Element> std::fmt::Debug for LockFreeVector<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LockFreeVector").field("len", &self.len()).finish()
+        f.debug_struct("LockFreeVector")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -411,7 +434,11 @@ mod tests {
         });
         assert_eq!(v.len(), (THREADS * PER) as usize);
         let seen: HashSet<u64> = v.to_vec().into_iter().collect();
-        assert_eq!(seen.len(), (THREADS * PER) as usize, "every push present exactly once");
+        assert_eq!(
+            seen.len(),
+            (THREADS * PER) as usize,
+            "every push present exactly once"
+        );
     }
 
     #[test]

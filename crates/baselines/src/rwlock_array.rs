@@ -56,8 +56,8 @@ impl<T: Element> RwLockArray<T> {
         if self.account_comm && from != self.lock_home {
             // Even a shared acquisition is an RMW on the remote lock word.
             let comm = self.inner.cluster().comm();
-            comm.record_get(from, self.lock_home, 8);
-            comm.record_put(from, self.lock_home, 8);
+            let _ = comm.record_get(from, self.lock_home, 8);
+            let _ = comm.record_put(from, self.lock_home, 8);
         }
     }
 

@@ -57,14 +57,15 @@ impl<T: Element> SyncArray<T> {
         let from = rcuarray_runtime::current_locale();
         if self.account_comm && from != self.lock_home {
             let comm = self.inner.cluster().comm();
-            comm.record_get(from, self.lock_home, 8);
-            comm.record_put(from, self.lock_home, 8);
+            let _ = comm.record_get(from, self.lock_home, 8);
+            let _ = comm.record_put(from, self.lock_home, 8);
         }
         let _g = self.lock.acquire();
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         let r = f(&self.inner);
         if self.account_comm && from != self.lock_home {
-            self.inner
+            let _ = self
+                .inner
                 .cluster()
                 .comm()
                 .record_put(from, self.lock_home, 8);

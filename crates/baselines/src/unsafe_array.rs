@@ -73,6 +73,9 @@ pub struct UnsafeArray<T: Element> {
     cluster: Arc<Cluster>,
     current: AtomicPtr<Storage<T>>,
     /// Superseded storages, freed at drop: keeps racing readers sound.
+    /// Boxed individually — readers hold raw pointers into these
+    /// allocations, so they must not move when the vector grows.
+    #[allow(clippy::vec_box)]
     graveyard: Mutex<Vec<Box<Storage<T>>>>,
     /// Resize serialization only (reads never touch it).
     resize_lock: Mutex<()>,
@@ -191,14 +194,19 @@ impl<T: Element> UnsafeArray<T> {
             let (src, src_home) = old.cell(i);
             let (dst, dst_home) = new.cell(i);
             if self.account_comm && src_home != dst_home {
-                self.cluster.comm().record_put(src_home, dst_home, T::byte_size());
+                let _ = self
+                    .cluster
+                    .comm()
+                    .record_put(src_home, dst_home, T::byte_size());
             }
             T::store(dst, T::load(src));
         }
         let new_ptr = Box::into_raw(new);
         let old_ptr = self.current.swap(new_ptr, Ordering::AcqRel);
         // SAFETY: `old_ptr` came from Box::into_raw at publication.
-        self.graveyard.lock().push(unsafe { Box::from_raw(old_ptr) });
+        self.graveyard
+            .lock()
+            .push(unsafe { Box::from_raw(old_ptr) });
         self.len.store(new_len, Ordering::Release);
         self.resizes.fetch_add(1, Ordering::Relaxed);
         new_len

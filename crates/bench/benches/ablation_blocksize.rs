@@ -37,7 +37,7 @@ fn reads(c: &mut Criterion) {
             pattern: IndexPattern::Random,
             capacity: CAPACITY,
             checkpoint_every: None,
-                read_percent: 0,
+            read_percent: 0,
             seed: 42,
         };
         group.throughput(Throughput::Elements((2 * 2 * 8192) as u64));

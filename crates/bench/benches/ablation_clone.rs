@@ -14,10 +14,7 @@ use std::time::Duration;
 
 const BLOCK_SIZE: usize = 1024;
 
-fn build_snapshot(
-    registry: &BlockRegistry<u64>,
-    blocks: usize,
-) -> Snapshot<u64> {
+fn build_snapshot(registry: &BlockRegistry<u64>, blocks: usize) -> Snapshot<u64> {
     let refs: Vec<_> = (0..blocks)
         .map(|i| registry.adopt(Block::new(LocaleId::new((i % 4) as u32), BLOCK_SIZE)))
         .collect();

@@ -29,7 +29,11 @@ fn zoo(c: &mut Criterion) {
         for kind in ArrayKind::ALL {
             // SyncArray at full op count is painfully slow by design;
             // shorten it so the bench suite stays usable.
-            let ops = if kind == ArrayKind::Sync { OPS / 8 } else { OPS };
+            let ops = if kind == ArrayKind::Sync {
+                OPS / 8
+            } else {
+                OPS
+            };
             let array = make_array_config(kind, &cluster, 1024, false, OrderingMode::SeqCst);
             array.resize(CAPACITY);
             let params = IndexingParams {
@@ -41,13 +45,9 @@ fn zoo(c: &mut Criterion) {
                 read_percent: 0,
                 seed: 42,
             };
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), locales),
-                &locales,
-                |b, _| {
-                    b.iter(|| run_indexing(array.as_ref(), &cluster, &params));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), locales), &locales, |b, _| {
+                b.iter(|| run_indexing(array.as_ref(), &cluster, &params));
+            });
         }
     }
     group.finish();

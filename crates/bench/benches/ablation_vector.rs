@@ -69,7 +69,10 @@ fn designs(cluster: &Arc<Cluster>) -> Vec<(&'static str, Box<dyn Vecish>)> {
         ..Config::default()
     };
     vec![
-        ("DistVector", Box::new(DistVector::<u64>::with_config(cluster, cfg)) as Box<dyn Vecish>),
+        (
+            "DistVector",
+            Box::new(DistVector::<u64>::with_config(cluster, cfg)) as Box<dyn Vecish>,
+        ),
         ("LockFreeVec", Box::new(LockFreeVector::<u64>::new())),
         ("MutexVec", Box::new(MutexVec(Mutex::new(Vec::new())))),
     ]

@@ -43,13 +43,9 @@ fn bench_variant(c: &mut Criterion, fig: &str, pattern: IndexPattern, ops: usize
                 read_percent: 0,
                 seed: 42,
             };
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), locales),
-                &locales,
-                |b, _| {
-                    b.iter(|| run_indexing(array.as_ref(), &cluster, &params));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), locales), &locales, |b, _| {
+                b.iter(|| run_indexing(array.as_ref(), &cluster, &params));
+            });
         }
     }
     group.finish();
@@ -60,7 +56,13 @@ fn fig2a(c: &mut Criterion) {
 }
 
 fn fig2b(c: &mut Criterion) {
-    bench_variant(c, "fig2b_sequential_1024", IndexPattern::Sequential, 1024, true);
+    bench_variant(
+        c,
+        "fig2b_sequential_1024",
+        IndexPattern::Sequential,
+        1024,
+        true,
+    );
 }
 
 fn fig2c(c: &mut Criterion) {
@@ -68,7 +70,13 @@ fn fig2c(c: &mut Criterion) {
 }
 
 fn fig2d(c: &mut Criterion) {
-    bench_variant(c, "fig2d_sequential_big", IndexPattern::Sequential, 16_384, false);
+    bench_variant(
+        c,
+        "fig2d_sequential_big",
+        IndexPattern::Sequential,
+        16_384,
+        false,
+    );
 }
 
 criterion_group!(fig2, fig2a, fig2b, fig2c, fig2d);

@@ -22,25 +22,21 @@ fn fig3(c: &mut Criterion) {
     for locales in [1usize, 2, 4] {
         let cluster = Cluster::new(Topology::new(locales, 1));
         for kind in [ArrayKind::Ebr, ArrayKind::Qsbr, ArrayKind::Chapel] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), locales),
-                &locales,
-                |b, _| {
-                    b.iter_batched(
-                        || make_array(kind, &cluster, INCREMENT),
-                        |array| {
-                            run_resize(
-                                array.as_ref(),
-                                &ResizeParams {
-                                    increments: INCREMENTS,
-                                    increment: INCREMENT,
-                                },
-                            )
-                        },
-                        BatchSize::PerIteration,
-                    );
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), locales), &locales, |b, _| {
+                b.iter_batched(
+                    || make_array(kind, &cluster, INCREMENT),
+                    |array| {
+                        run_resize(
+                            array.as_ref(),
+                            &ResizeParams {
+                                increments: INCREMENTS,
+                                increment: INCREMENT,
+                            },
+                        )
+                    },
+                    BatchSize::PerIteration,
+                );
+            });
         }
     }
     group.finish();

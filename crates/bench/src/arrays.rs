@@ -32,8 +32,12 @@ pub enum ArrayKind {
 
 impl ArrayKind {
     /// The four variants the paper's figures plot.
-    pub const PAPER: [ArrayKind; 4] =
-        [ArrayKind::Ebr, ArrayKind::Qsbr, ArrayKind::Chapel, ArrayKind::Sync];
+    pub const PAPER: [ArrayKind; 4] = [
+        ArrayKind::Ebr,
+        ArrayKind::Qsbr,
+        ArrayKind::Chapel,
+        ArrayKind::Sync,
+    ];
 
     /// Every variant the harness knows.
     pub const ALL: [ArrayKind; 7] = [
@@ -98,7 +102,7 @@ pub trait BenchArray: Send + Sync {
 }
 
 macro_rules! forward_bench_array {
-    ($ty:ty, $name:expr, |$self_:ident| $ckpt:expr) => {
+    ($ty:ty, $name:expr, |$self_:ident| $ckpt:block) => {
         impl BenchArray for $ty {
             fn name(&self) -> &'static str {
                 $name
@@ -117,19 +121,19 @@ macro_rules! forward_bench_array {
             }
             fn checkpoint(&self) {
                 let $self_ = self;
-                $ckpt;
+                $ckpt
             }
         }
     };
 }
 
-forward_bench_array!(EbrArray<u64>, "EBRArray", |_s| ());
+forward_bench_array!(EbrArray<u64>, "EBRArray", |_s| {});
 forward_bench_array!(QsbrArray<u64>, "QSBRArray", |s| {
     s.checkpoint();
 });
-forward_bench_array!(UnsafeArray<u64>, "ChapelArray", |_s| ());
-forward_bench_array!(SyncArray<u64>, "SyncArray", |_s| ());
-forward_bench_array!(RwLockArray<u64>, "RwLockArray", |_s| ());
+forward_bench_array!(UnsafeArray<u64>, "ChapelArray", |_s| {});
+forward_bench_array!(SyncArray<u64>, "SyncArray", |_s| {});
+forward_bench_array!(RwLockArray<u64>, "RwLockArray", |_s| {});
 
 impl BenchArray for HazardArray<u64> {
     fn name(&self) -> &'static str {
@@ -172,7 +176,11 @@ impl BenchArray for LockFreeVector<u64> {
 
 /// Construct a variant over `cluster` with the paper's block size and
 /// communication accounting enabled.
-pub fn make_array(kind: ArrayKind, cluster: &Arc<Cluster>, block_size: usize) -> Box<dyn BenchArray> {
+pub fn make_array(
+    kind: ArrayKind,
+    cluster: &Arc<Cluster>,
+    block_size: usize,
+) -> Box<dyn BenchArray> {
     make_array_config(kind, cluster, block_size, true, OrderingMode::SeqCst)
 }
 
@@ -189,6 +197,7 @@ pub fn make_array_config(
         block_size,
         account_comm,
         ordering,
+        ..Config::default()
     };
     match kind {
         ArrayKind::Ebr => Box::new(EbrArray::<u64>::with_config(cluster, config)),
@@ -232,6 +241,9 @@ mod tests {
     #[test]
     fn paper_set_is_the_figure_legend() {
         let labels: Vec<&str> = ArrayKind::PAPER.iter().map(|k| k.label()).collect();
-        assert_eq!(labels, ["EBRArray", "QSBRArray", "ChapelArray", "SyncArray"]);
+        assert_eq!(
+            labels,
+            ["EBRArray", "QSBRArray", "ChapelArray", "SyncArray"]
+        );
     }
 }

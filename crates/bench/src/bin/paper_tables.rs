@@ -81,7 +81,11 @@ fn parse_args() -> Options {
             "--tasks" => opts.tasks = args.next().expect("--tasks needs a value").parse().unwrap(),
             "--ops" => opts.big_ops = args.next().expect("--ops needs a value").parse().unwrap(),
             "--increments" => {
-                opts.increments = args.next().expect("--increments needs a value").parse().unwrap()
+                opts.increments = args
+                    .next()
+                    .expect("--increments needs a value")
+                    .parse()
+                    .unwrap()
             }
             "--quick" => {
                 opts.locales = vec![1, 2];
@@ -95,7 +99,11 @@ fn parse_args() -> Options {
             }
             "--extras" => opts.extras = true,
             "--latency" => {
-                let ns: u64 = args.next().expect("--latency needs nanoseconds").parse().unwrap();
+                let ns: u64 = args
+                    .next()
+                    .expect("--latency needs nanoseconds")
+                    .parse()
+                    .unwrap();
                 opts.latency = LatencyModel::SpinNanos(ns);
             }
             "--json" => opts.json = true,
@@ -146,7 +154,13 @@ fn emit(opts: &Options, table: &Table) {
 }
 
 /// Figures 2a–2d: indexing throughput vs locale count.
-fn fig2(opts: &Options, name: &str, pattern: IndexPattern, ops_per_task: usize, include_sync: bool) {
+fn fig2(
+    opts: &Options,
+    name: &str,
+    pattern: IndexPattern,
+    ops_per_task: usize,
+    include_sync: bool,
+) {
     let title = format!(
         "Fig. {name}: {} indexing, {ops_per_task} ops/task, {} tasks/locale",
         match pattern {
@@ -297,7 +311,7 @@ fn fig4(opts: &Options) {
         pattern: IndexPattern::Sequential,
         capacity: 1 << 20,
         checkpoint_every: None,
-                read_percent: 0,
+        read_percent: 0,
         seed: 0xC0FFEE,
     };
     let mut qsbr = Series::new("QSBR");
@@ -337,7 +351,9 @@ fn main() {
     if !opts.json {
         println!(
             "host: {} hardware thread(s) | latency model: {:?} | locales {:?} x {} tasks",
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             opts.latency,
             opts.locales,
             opts.tasks

@@ -1,10 +1,9 @@
 //! Output formatting for `paper_tables`: the series the paper plots,
-//! rendered as aligned text tables (and optionally JSON via serde).
-
-use serde::Serialize;
+//! rendered as aligned text tables (JSON rendering is hand-rolled below,
+//! keeping the harness free of external serialization dependencies).
 
 /// One line of a figure: a named series of `(x, ops/sec)` points.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend name (e.g. "QSBRArray").
     pub name: String,
@@ -28,13 +27,16 @@ impl Series {
 
     /// The y value at a given x, if present.
     pub fn at(&self, x: usize) -> Option<f64> {
-        self.points.iter().find(|&&(px, _)| px == x).map(|&(_, y)| y)
+        self.points
+            .iter()
+            .find(|&&(px, _)| px == x)
+            .map(|&(_, y)| y)
     }
 }
 
 /// A rendered figure: a title, an x-axis label and several series over the
 /// same x values.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Figure title (e.g. "Fig. 2a Random Indexing (1024 ops/task)").
     pub title: String,

@@ -21,7 +21,7 @@
 //!   without a second synchronization round); they are compacted away by
 //!   [`DistTable::grow`].
 
-use rcuarray::{Config, QsbrArray};
+use rcuarray::{CommError, Config, QsbrArray};
 use rcuarray_runtime::Cluster;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -166,7 +166,7 @@ impl DistTable {
             match self.keys.read(slot) {
                 k if k == key => return Some(self.values.read(slot)),
                 EMPTY => return None, // chain ends at first never-used slot
-                _ => {} // other key or tombstone: keep probing
+                _ => {}               // other key or tombstone: keep probing
             }
         }
         None
@@ -222,8 +222,37 @@ impl DistTable {
     /// — with the table typically shared through an `Arc`, obtaining it
     /// proves no other thread can be mid-operation.
     pub fn grow(&mut self) {
+        self.try_grow()
+            .unwrap_or_else(|e| panic!("DistTable grow aborted: {e}"))
+    }
+
+    /// As [`grow`](Self::grow), but surfacing allocation failures under an
+    /// enabled fault plan (after the configured retry budget) instead of
+    /// panicking. On `Err` the table is untouched: the doubled backing
+    /// arrays are built aside and installed only once fully allocated.
+    pub fn try_grow(&mut self) -> Result<(), CommError> {
         let entries = self.entries();
-        let bigger = DistTable::with_config(&self.cluster, self.capacity() * 2, self.config);
+        let slots = (self.capacity() * 2)
+            .next_power_of_two()
+            .max(self.config.block_size.next_power_of_two());
+        let keys: QsbrArray<u64> = QsbrArray::with_config(&self.cluster, self.config);
+        let values: QsbrArray<u64> = QsbrArray::with_config(&self.cluster, self.config);
+        let policy = self.config.retry;
+        if self.cluster.fault().is_enabled() {
+            policy.run(self.cluster.comm(), || keys.try_resize(slots))?;
+            policy.run(self.cluster.comm(), || values.try_resize(slots))?;
+        } else {
+            keys.resize(slots);
+            values.resize(slots);
+        }
+        let bigger = DistTable {
+            cluster: Arc::clone(&self.cluster),
+            keys,
+            values,
+            mask: slots - 1,
+            live: AtomicUsize::new(0),
+            config: self.config,
+        };
         for (k, v) in entries {
             bigger
                 .insert(k, v)
@@ -231,6 +260,7 @@ impl DistTable {
         }
         bigger.checkpoint();
         *self = bigger;
+        Ok(())
     }
 }
 
@@ -289,7 +319,10 @@ mod tests {
     fn lookups_probe_past_tombstones() {
         let t = table(64);
         // Force a collision chain, then tombstone its head.
-        let keys: Vec<u64> = (1..200).filter(|&k| hash(k) & t.mask == hash(1) & t.mask).take(3).collect();
+        let keys: Vec<u64> = (1..200)
+            .filter(|&k| hash(k) & t.mask == hash(1) & t.mask)
+            .take(3)
+            .collect();
         assert!(keys.len() >= 2, "need colliding keys for this test");
         for (i, &k) in keys.iter().enumerate() {
             t.insert(k, i as u64).unwrap();

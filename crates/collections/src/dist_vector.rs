@@ -8,7 +8,7 @@
 //! growth they trigger is the *intended* mode of operation, not a special
 //! case.
 
-use rcuarray::{Config, Element, ElemRef, QsbrScheme, RcuArray, Scheme};
+use rcuarray::{CommError, Config, ElemRef, Element, QsbrScheme, RcuArray, Scheme};
 use rcuarray_runtime::Cluster;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -58,14 +58,41 @@ impl<T: Element, S: Scheme> DistVector<T, S> {
 
     /// Append `value`; returns its index. Parallel-safe against other
     /// pushes, reads, updates, and the resizes growth triggers.
+    ///
+    /// Under an enabled fault plan, growth failures that exhaust the
+    /// backing array's retry budget panic — use
+    /// [`try_push`](Self::try_push) to handle them.
     pub fn push(&self, value: T) -> usize {
+        self.try_push(value)
+            .unwrap_or_else(|e| panic!("DistVector push aborted: {e}"))
+    }
+
+    /// Append `value`, surfacing growth failure (after the backing
+    /// array's [`Config::retry`] budget) instead of panicking.
+    ///
+    /// On `Err` the claimed index stays reserved but unwritten — an
+    /// append-only vector cannot give an interior slot back once later
+    /// pushers may have claimed past it. The slot reads as `T::default()`
+    /// after a later successful growth covers it. A healthy cluster never
+    /// returns `Err`.
+    pub fn try_push(&self, value: T) -> Result<usize, CommError> {
         let idx = self.len.fetch_add(1, Ordering::AcqRel);
+        let policy = self.array.config().retry;
         // Whoever wins the cluster write lock grows; losers re-check.
         while idx >= self.array.capacity() {
-            self.array.resize(self.array.config().block_size.max(idx + 1 - self.array.capacity()));
+            let want = self
+                .array
+                .config()
+                .block_size
+                .max(idx + 1 - self.array.capacity());
+            if self.array.cluster().fault().is_enabled() {
+                policy.run(self.array.cluster().comm(), || self.array.try_resize(want))?;
+            } else {
+                self.array.resize(want);
+            }
         }
         self.array.write(idx, value);
-        idx
+        Ok(idx)
     }
 
     /// Read element `i`.
@@ -74,7 +101,11 @@ impl<T: Element, S: Scheme> DistVector<T, S> {
     /// Panics when `i >= len()`.
     #[inline]
     pub fn get(&self, i: usize) -> T {
-        assert!(i < self.len(), "index {i} out of bounds (len {})", self.len());
+        assert!(
+            i < self.len(),
+            "index {i} out of bounds (len {})",
+            self.len()
+        );
         self.array.read(i)
     }
 
@@ -94,13 +125,21 @@ impl<T: Element, S: Scheme> DistVector<T, S> {
     /// Panics when `i >= len()`.
     #[inline]
     pub fn set(&self, i: usize, v: T) {
-        assert!(i < self.len(), "index {i} out of bounds (len {})", self.len());
+        assert!(
+            i < self.len(),
+            "index {i} out of bounds (len {})",
+            self.len()
+        );
         self.array.write(i, v);
     }
 
     /// A resize-stable reference to element `i` (RCUArray Lemma 6).
     pub fn get_ref(&self, i: usize) -> ElemRef<'_, T> {
-        assert!(i < self.len(), "index {i} out of bounds (len {})", self.len());
+        assert!(
+            i < self.len(),
+            "index {i} out of bounds (len {})",
+            self.len()
+        );
         self.array.get_ref(i)
     }
 

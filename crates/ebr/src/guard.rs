@@ -42,7 +42,10 @@ impl<'z> EpochGuard<'z> {
     /// The parity counter this guard is recorded on.
     #[inline]
     pub fn parity(&self) -> usize {
-        self.ticket.as_ref().expect("guard not yet dropped").parity()
+        self.ticket
+            .as_ref()
+            .expect("guard not yet dropped")
+            .parity()
     }
 
     /// Unpin eagerly (equivalent to drop, but explicit at call sites that

@@ -201,7 +201,11 @@ mod tests {
             c.replace(Canary(Arc::clone(&drops))); // old snapshot freed now
             assert_eq!(drops.load(Ordering::SeqCst), 1);
         }
-        assert_eq!(drops.load(Ordering::SeqCst), 2, "drop frees the last snapshot");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            2,
+            "drop frees the last snapshot"
+        );
     }
 
     #[test]

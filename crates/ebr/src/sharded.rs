@@ -76,7 +76,9 @@ impl ShardedEpochZone {
         let n = num_shards.max(1).next_power_of_two();
         ShardedEpochZone {
             global_epoch: Padded::default(),
-            shards: (0..n).map(|_| [Padded::default(), Padded::default()]).collect(),
+            shards: (0..n)
+                .map(|_| [Padded::default(), Padded::default()])
+                .collect(),
             mode,
         }
     }

@@ -189,13 +189,12 @@ impl Model for EbrModel {
         match s.writer.pc {
             WriterPc::Idle if s.writer.writes_left > 0 => acts.push(EbrAction::WriterPublish),
             WriterPc::Published => acts.push(EbrAction::WriterAdvance),
-            WriterPc::Advanced => {
-                // The drain loop: reclaiming is enabled once the old
-                // parity is empty (or unconditionally under the unsound
-                // mutation).
-                if self.skip_drain || s.counters[(s.writer.old_epoch % 2) as usize] == 0 {
-                    acts.push(EbrAction::WriterReclaim);
-                }
+            // The drain loop: reclaiming is enabled once the old parity
+            // is empty (or unconditionally under the unsound mutation).
+            WriterPc::Advanced
+                if self.skip_drain || s.counters[(s.writer.old_epoch % 2) as usize] == 0 =>
+            {
+                acts.push(EbrAction::WriterReclaim);
             }
             _ => {}
         }

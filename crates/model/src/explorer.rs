@@ -88,14 +88,16 @@ pub struct Explored {
 /// (a safety valve against accidentally infinite models; exceeding it
 /// panics so a truncated exploration can never masquerade as a proof).
 pub fn explore<M: Model>(model: &M, max_states: usize) -> CheckOutcome<M> {
-    // Parent links for counterexample reconstruction.
-    let mut parent: HashMap<M::State, Option<(M::State, M::Action)>> = HashMap::new();
+    // Parent links for counterexample reconstruction: each reached state
+    // maps to the (predecessor, action) that first produced it.
+    type ParentMap<M> =
+        HashMap<<M as Model>::State, Option<(<M as Model>::State, <M as Model>::Action)>>;
+    let mut parent: ParentMap<M> = HashMap::new();
     let mut queue: VecDeque<M::State> = VecDeque::new();
     let mut transitions = 0usize;
     let mut terminal_states = 0usize;
 
-    let trace_to = |parent: &HashMap<M::State, Option<(M::State, M::Action)>>,
-                    state: &M::State| {
+    let trace_to = |parent: &ParentMap<M>, state: &M::State| {
         let mut trace = Vec::new();
         let mut cur = state.clone();
         while let Some(Some((prev, act))) = parent.get(&cur) {

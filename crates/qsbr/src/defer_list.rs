@@ -55,7 +55,7 @@ impl DeferList {
     /// descending (Lemma 4; property-tested in this crate's proptests).
     pub fn push(&mut self, epoch: u64, reclaim: impl FnOnce() + Send + 'static) {
         debug_assert!(
-            self.head.as_ref().map_or(true, |h| epoch >= h.epoch),
+            self.head.as_ref().is_none_or(|h| epoch >= h.epoch),
             "defer epochs must be non-decreasing (Lemma 4)"
         );
         let node = Box::new(Node {
@@ -214,7 +214,9 @@ impl Drop for DeferChain {
 
 impl std::fmt::Debug for DeferChain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DeferChain").field("len", &self.len).finish()
+        f.debug_struct("DeferChain")
+            .field("len", &self.len)
+            .finish()
     }
 }
 

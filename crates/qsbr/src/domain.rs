@@ -84,7 +84,7 @@ impl Drop for TlsState {
 }
 
 thread_local! {
-    static TLS: RefCell<TlsState> = RefCell::new(TlsState { entries: Vec::new() });
+    static TLS: RefCell<TlsState> = const { RefCell::new(TlsState { entries: Vec::new() }) };
     /// One-slot registration cache: the id of the domain this thread most
     /// recently confirmed registration with. Lets the read hot path verify
     /// participation with a single TLS load + compare instead of a
@@ -216,7 +216,9 @@ impl QsbrDomain {
         if self.inner.registry.has_orphans() {
             freed += self.inner.registry.reclaim_orphans(min);
         }
-        self.inner.reclaimed.fetch_add(freed as u64, Ordering::Relaxed);
+        self.inner
+            .reclaimed
+            .fetch_add(freed as u64, Ordering::Relaxed);
         freed
     }
 

@@ -120,7 +120,11 @@ impl Registry {
 
     /// Number of live (non-retired) participants.
     pub fn num_participants(&self) -> usize {
-        self.records.read().iter().filter(|r| !r.is_retired()).count()
+        self.records
+            .read()
+            .iter()
+            .filter(|r| !r.is_retired())
+            .count()
     }
 
     /// Number of orphaned chains awaiting reclamation.

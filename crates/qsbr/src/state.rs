@@ -68,9 +68,7 @@ mod tests {
         let s = StateEpoch::new();
         let mut seen: Vec<u64> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..4)
-                .map(|_| {
-                    scope.spawn(|| (0..1000).map(|_| s.bump()).collect::<Vec<_>>())
-                })
+                .map(|_| scope.spawn(|| (0..1000).map(|_| s.bump()).collect::<Vec<_>>()))
                 .collect();
             handles
                 .into_iter()

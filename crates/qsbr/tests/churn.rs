@@ -81,7 +81,11 @@ fn parked_majority_never_blocks_a_lone_worker() {
         });
         domain.checkpoint();
     }
-    assert_eq!(freed.load(Ordering::SeqCst), 100, "parked threads gated reclamation");
+    assert_eq!(
+        freed.load(Ordering::SeqCst),
+        100,
+        "parked threads gated reclamation"
+    );
     release.wait();
     for h in handles {
         h.join().unwrap();
@@ -150,7 +154,11 @@ fn reclamation_order_is_never_early() {
         }
     });
     drain(&domain);
-    assert_eq!(violations.load(Ordering::SeqCst), 0, "entries ran before their safe epoch");
+    assert_eq!(
+        violations.load(Ordering::SeqCst),
+        0,
+        "entries ran before their safe epoch"
+    );
 }
 
 #[test]

@@ -297,7 +297,11 @@ mod tests {
             list.remove(&k);
         }
         assert!(list.is_empty());
-        assert_eq!(reclaim.quiesce(), 20, "all removed nodes freed at checkpoint");
+        assert_eq!(
+            reclaim.quiesce(),
+            20,
+            "all removed nodes freed at checkpoint"
+        );
         assert_eq!(reclaim.domain().stats().pending, 0);
     }
 

@@ -129,7 +129,7 @@ impl Reclaim for QsbrReclaim {
     type Guard<'a> = ();
 
     #[inline]
-    fn read_lock(&self) -> () {
+    fn read_lock(&self) {
         // Free: the thread-level quiescence contract replaces per-read
         // guards. This is the whole point of QSBR.
     }

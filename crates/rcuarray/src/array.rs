@@ -3,8 +3,8 @@
 //!
 //! The structure follows Listing 1 exactly:
 //!
-//! * per-locale **privatized metadata** ([`LocaleState`]: `GlobalSnapshot`
-//!   + `GlobalEpoch` + `EpochReaders`), registered in the cluster's
+//! * per-locale **privatized metadata** ([`LocaleState`]: `GlobalSnapshot`,
+//!   `GlobalEpoch`, and `EpochReaders`), registered in the cluster's
 //!   privatization table under a `PID`;
 //! * a cluster-wide **`WriteLock`** homed on locale 0;
 //! * a **`NextLocaleId`** round-robin counter driving block distribution;
@@ -19,8 +19,8 @@
 
 use crate::block::{Block, BlockRef, BlockRegistry};
 use crate::config::Config;
-use crate::element::Element;
 use crate::elem_ref::ElemRef;
+use crate::element::Element;
 use crate::handle::LocaleState;
 use crate::iter::Iter;
 use crate::scheme::{EbrScheme, QsbrScheme, Scheme};
@@ -28,11 +28,13 @@ use crate::snapshot::{reclaim_box, Snapshot};
 use crate::stats::ArrayStats;
 use rcuarray_ebr::ZoneStats;
 use rcuarray_qsbr::QsbrDomain;
-use rcuarray_runtime::{Cluster, GlobalLock, LocaleId, PrivHandle, RoundRobinCounter};
+use rcuarray_runtime::{
+    Cluster, CommError, GlobalLock, LocaleId, OpKind, PrivHandle, RoundRobinCounter,
+};
 use std::marker::PhantomData;
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// An RCUArray using the TLS-free EBR scheme (the paper's `EBRArray`).
 pub type EbrArray<T> = RcuArray<T, EbrScheme>;
@@ -61,6 +63,14 @@ struct Shared<T: Element> {
     qsbr: QsbrDomain,
     capacity: AtomicUsize,
     resizes: AtomicU64,
+    /// Resize attempts rolled back after a fault, timeout or panic.
+    aborted_resizes: AtomicU64,
+    /// Reads served from the locale-local snapshot after their remote
+    /// charge exhausted its retry budget.
+    fallback_reads: AtomicU64,
+    /// Writes whose remote charge exhausted its retry budget (the store
+    /// itself still lands — blocks are shared memory in the simulation).
+    degraded_writes: AtomicU64,
 }
 
 /// A parallel-safe distributed resizable array (see [module docs](self)).
@@ -96,7 +106,9 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         config.validate();
         let (_pid, state) = cluster
             .privatization()
-            .register(cluster.num_locales(), |loc| LocaleState::new(loc, config.ordering));
+            .register(cluster.num_locales(), |loc| {
+                LocaleState::new(loc, config.ordering)
+            });
         RcuArray {
             shared: Arc::new(Shared {
                 cluster: Arc::clone(cluster),
@@ -107,6 +119,9 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
                 qsbr: QsbrDomain::new(),
                 capacity: AtomicUsize::new(0),
                 resizes: AtomicU64::new(0),
+                aborted_resizes: AtomicU64::new(0),
+                fallback_reads: AtomicU64::new(0),
+                degraded_writes: AtomicU64::new(0),
             }),
             state,
             _scheme: PhantomData,
@@ -175,6 +190,75 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         }
     }
 
+    /// Charge a GET against `home`, retrying per [`Config::retry`] when
+    /// the cluster's fault plan is enabled. A charge that still fails
+    /// after retries does *not* fail the read: the simulation's blocks
+    /// are node-visible memory, so the value is served from the
+    /// locale-local snapshot and counted as a fallback read.
+    #[inline]
+    fn charge_get(&self, home: LocaleId, bytes: usize) {
+        let Some(cluster) = self.comm() else { return };
+        if !cluster.fault().is_enabled() {
+            cluster.get_from(home, bytes);
+            return;
+        }
+        self.charge_get_faulty(cluster, home, bytes);
+    }
+
+    #[cold]
+    fn charge_get_faulty(&self, cluster: &Cluster, home: LocaleId, bytes: usize) {
+        let policy = self.shared.config.retry;
+        if policy
+            .run(cluster.comm(), || cluster.try_get_from(home, bytes))
+            .is_err()
+        {
+            self.shared.fallback_reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge a PUT against `home`, retrying per [`Config::retry`] when
+    /// the fault plan is enabled. A charge that exhausts its budget is
+    /// counted as a degraded write; the store still lands.
+    #[inline]
+    fn charge_put(&self, home: LocaleId, bytes: usize) {
+        let Some(cluster) = self.comm() else { return };
+        if !cluster.fault().is_enabled() {
+            cluster.put_to(home, bytes);
+            return;
+        }
+        self.charge_put_faulty(cluster, home, bytes);
+    }
+
+    #[cold]
+    fn charge_put_faulty(&self, cluster: &Cluster, home: LocaleId, bytes: usize) {
+        let policy = self.shared.config.retry;
+        if policy
+            .run(cluster.comm(), || cluster.try_put_to(home, bytes))
+            .is_err()
+        {
+            self.shared.degraded_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Retire a just-unlinked snapshot under the scheme's protocol
+    /// (Algorithm 3 lines 21–27): QSBR defers to the domain, EBR advances
+    /// the locale's epoch and drains its readers before freeing.
+    fn retire_snapshot(&self, st: &LocaleState<T>, old_ptr: NonNull<Snapshot<T>>) {
+        if S::IS_QSBR {
+            let old = SendSnap(old_ptr);
+            self.shared.qsbr.defer(move || {
+                // SAFETY: unlinked by the caller; QSBR frees it only after
+                // every participant passes a quiescent state.
+                unsafe { reclaim_box(old.into_inner()) };
+            });
+        } else {
+            let old_epoch = st.zone().advance();
+            st.zone().wait_for_readers(old_epoch);
+            // SAFETY: unlinked and all old-parity readers evacuated.
+            unsafe { reclaim_box(old_ptr) };
+        }
+    }
+
     /// Algorithm 3 `Helper` (lines 1–3): locate `idx` within a snapshot.
     #[inline]
     fn locate(&self, snap: &Snapshot<T>, idx: usize) -> (BlockRef<T>, usize) {
@@ -196,7 +280,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
     /// array borrow: sound because blocks are registry-owned and live as
     /// long as `self` keeps `shared` alive.
     #[inline]
-    fn cell_of<'a>(&'a self, block: BlockRef<T>, offset: usize) -> &'a T::Repr {
+    fn cell_of(&self, block: BlockRef<T>, offset: usize) -> &T::Repr {
         // SAFETY: `block` points into `self.shared.blocks`, which frees
         // nothing until the last array handle drops; `'a` borrows `self`.
         unsafe { &*(block.get().cell(offset) as *const T::Repr) }
@@ -242,12 +326,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
     /// (the view's borrow prevents calling `checkpoint` through `self`,
     /// and the closure has no access to the domain).
     pub fn with_view<R>(&self, f: impl FnOnce(SnapshotView<'_, T, S>) -> R) -> R {
-        self.with_snapshot(|snap| {
-            f(SnapshotView {
-                array: self,
-                snap,
-            })
-        })
+        self.with_snapshot(|snap| f(SnapshotView { array: self, snap }))
     }
 
     /// Read the element at `idx`.
@@ -260,9 +339,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
             let (block, off) = self.locate(snap, idx);
             // SAFETY: block outlives the call (registry-owned).
             let b = unsafe { block.get() };
-            if let Some(cluster) = self.comm() {
-                cluster.get_from(b.home(), T::byte_size());
-            }
+            self.charge_get(b.home(), T::byte_size());
             b.load(off)
         })
     }
@@ -288,9 +365,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
             let (block, off) = self.locate(snap, idx);
             // SAFETY: block outlives the call (registry-owned).
             let b = unsafe { block.get() };
-            if let Some(cluster) = self.comm() {
-                cluster.put_to(b.home(), T::byte_size());
-            }
+            self.charge_put(b.home(), T::byte_size());
             b.store(off, value);
         })
     }
@@ -318,68 +393,138 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
     ///
     /// Safe to call concurrently with reads, updates and other resizes;
     /// resizes serialize on the cluster-wide write lock.
+    ///
+    /// Under an enabled fault plan, faulted attempts are rolled back and
+    /// retried per [`Config::retry`]; exhausting the budget panics (use
+    /// [`try_resize`](Self::try_resize) to handle the error instead). On
+    /// a healthy cluster this path is never entered.
     pub fn resize(&self, additional: usize) -> usize {
+        if !self.shared.cluster.fault().is_enabled() {
+            // Infallible without fault injection.
+            return self.try_resize(additional).unwrap();
+        }
+        let policy = self.shared.config.retry;
+        policy
+            .run(self.shared.cluster.comm(), || self.try_resize(additional))
+            .unwrap_or_else(|e| panic!("RCUArray resize aborted: {e}"))
+    }
+
+    /// Fallible `Resize`: one attempt, no retry loop. On any fault —
+    /// lock timeout, allocation failure, publish failure, or a panic
+    /// injected mid-publish — the attempt is **rolled back**: every
+    /// locale whose snapshot was already swapped is re-published at the
+    /// old block count, the write lock is released, and the array remains
+    /// fully indexable at its previous capacity (update visibility per
+    /// Lemma 6 is unaffected because rolled-back snapshots recycle the
+    /// same blocks). Blocks allocated by the failed attempt stay owned by
+    /// the registry (freed when the array drops) — the same "never free
+    /// early" rule every other block obeys.
+    pub fn try_resize(&self, additional: usize) -> Result<usize, CommError> {
         let add = self.shared.config.round_up_to_blocks(additional);
         if add == 0 {
-            return self.capacity();
+            return Ok(self.capacity());
         }
         let bs = self.shared.config.block_size;
         let nblocks = add / bs;
         let num_locales = self.shared.cluster.num_locales();
+        let fault = self.shared.cluster.fault();
 
-        // Line 10: mutual exclusion with respect to all locales.
-        let guard = self.shared.write_lock.acquire();
+        // Line 10: mutual exclusion with respect to all locales. Under a
+        // fault plan the acquisition is bounded so a wedged writer (e.g.
+        // a down lock home) surfaces as a timeout instead of a hang.
+        fault.hit("resize.lock").map_err(|e| self.abort_resize(e))?;
+        let guard = if fault.is_enabled() {
+            match self
+                .shared
+                .write_lock
+                .try_acquire_for(self.shared.config.retry.op_timeout)
+            {
+                Some(g) => g,
+                None => {
+                    return Err(self.abort_resize(CommError::Timeout {
+                        op: OpKind::RemoteExec,
+                        locale: LocaleId::ZERO,
+                    }))
+                }
+            }
+        } else {
+            self.shared.write_lock.acquire()
+        };
+
+        // Armed from here on: any early return or unwind below rolls back
+        // partially-published locales and counts an aborted resize. Must
+        // be declared *after* `guard` so it drops (and republishes) while
+        // the write lock is still held.
+        let mut rollback = ResizeRollback {
+            array: self,
+            old_nblocks: self.capacity() / bs,
+            published: (0..num_locales).map(|_| AtomicBool::new(false)).collect(),
+            armed: true,
+        };
 
         // Lines 11–16: allocate blocks round-robin, each *on* its locale.
         let mut loc = self.shared.next_locale.peek();
         let mut new_blocks = Vec::with_capacity(nblocks);
         for _ in 0..nblocks {
             let home = loc;
-            let block_ref = self.shared.cluster.on(home, || {
+            fault.hit("resize.alloc")?;
+            let block_ref = self.shared.cluster.try_on(home, || {
                 let block = Block::<T>::new(home, bs);
                 self.shared
                     .cluster
                     .locale(home)
                     .record_allocation(block.byte_size());
                 self.shared.blocks.adopt(block)
-            });
+            })?;
             new_blocks.push(block_ref);
             loc = loc.next_round_robin(num_locales);
         }
 
         // Lines 18–27: replicate the snapshot swap on every locale in
-        // parallel (`coforall loc in Locales do on loc`).
+        // parallel (`coforall loc in Locales do on loc`). A locale that
+        // faults (or panics, for `FaultAction::Panic` triggers) simply
+        // never sets its `published` flag; the rollback guard restores
+        // the ones that did.
+        let first_err: Mutex<Option<CommError>> = Mutex::new(None);
         let new_blocks = &new_blocks;
+        let published = &rollback.published;
         self.shared.cluster.coforall_locales(|l| {
+            let faulted = fault
+                .hit("resize.publish")
+                .and_then(|()| fault.check(l, l, OpKind::RemoteExec));
+            if let Err(e) = faulted {
+                let mut slot = first_err.lock().unwrap();
+                slot.get_or_insert(e);
+                return;
+            }
             let st = self.state.get_on(l);
             // SAFETY: the write lock serializes writers, so this locale's
             // snapshot cannot change under us.
             let old_snap = unsafe { st.snapshot_ref() };
             let new_snap = old_snap.clone_recycled(new_blocks);
             let old_ptr = st.publish(new_snap);
-            if S::IS_QSBR {
-                // Lines 21–25: handle RCU directly, defer to QSBR.
-                let old = SendSnap(old_ptr);
-                self.shared.qsbr.defer(move || {
-                    // SAFETY: unlinked above; QSBR frees it only after
-                    // every participant passes a quiescent state.
-                    unsafe { reclaim_box(old.into_inner()) };
-                });
-            } else {
-                // Line 27: RCU_Write tail — advance, drain, delete.
-                let old_epoch = st.zone().advance();
-                st.zone().wait_for_readers(old_epoch);
-                // SAFETY: unlinked and all old-parity readers evacuated.
-                unsafe { reclaim_box(old_ptr) };
-            }
+            published[l.index()].store(true, Ordering::Release);
+            // Lines 21–27: retire the superseded snapshot.
+            self.retire_snapshot(st, old_ptr);
         });
+        if let Some(e) = first_err.into_inner().unwrap() {
+            return Err(e); // rollback guard restores published locales
+        }
+        rollback.armed = false;
 
         // Line 28: persist the round-robin cursor.
         self.shared.next_locale.set(loc);
         let new_cap = self.shared.capacity.fetch_add(add, Ordering::AcqRel) + add;
         self.shared.resizes.fetch_add(1, Ordering::Relaxed);
         drop(guard); // line 29
-        new_cap
+        Ok(new_cap)
+    }
+
+    /// Count an aborted attempt that never reached the rollback guard.
+    #[cold]
+    fn abort_resize(&self, e: CommError) -> CommError {
+        self.shared.aborted_resizes.fetch_add(1, Ordering::Relaxed);
+        e
     }
 
     /// Shrink the array's *visible* capacity to at most `new_capacity`
@@ -414,18 +559,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
                 old_snap.version() + 1,
             );
             let old_ptr = st.publish(new_snap);
-            if S::IS_QSBR {
-                let old = SendSnap(old_ptr);
-                self.shared.qsbr.defer(move || {
-                    // SAFETY: unlinked; QSBR gates the free.
-                    unsafe { reclaim_box(old.into_inner()) };
-                });
-            } else {
-                let old_epoch = st.zone().advance();
-                st.zone().wait_for_readers(old_epoch);
-                // SAFETY: unlinked and drained.
-                unsafe { reclaim_box(old_ptr) };
-            }
+            self.retire_snapshot(st, old_ptr);
         });
         self.shared.capacity.store(target, Ordering::Release);
         self.shared.resizes.fetch_add(1, Ordering::Relaxed);
@@ -449,9 +583,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
                 let take = (bs - off).min(range.end - idx);
                 // SAFETY: registry-owned block.
                 let b = unsafe { block.get() };
-                if let Some(cluster) = self.comm() {
-                    cluster.get_from(b.home(), take * T::byte_size());
-                }
+                self.charge_get(b.home(), take * T::byte_size());
                 for k in 0..take {
                     out.push(b.load(off + k));
                 }
@@ -476,9 +608,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
                 let take = (bs - off).min(values.len() - src);
                 // SAFETY: registry-owned block.
                 let b = unsafe { block.get() };
-                if let Some(cluster) = self.comm() {
-                    cluster.put_to(b.home(), take * T::byte_size());
-                }
+                self.charge_put(b.home(), take * T::byte_size());
                 for k in 0..take {
                     b.store(off + k, values[src + k]);
                 }
@@ -572,9 +702,50 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
                 .blocks
                 .per_locale_histogram(self.shared.cluster.num_locales()),
             resizes: self.shared.resizes.load(Ordering::Relaxed),
+            aborted_resizes: self.shared.aborted_resizes.load(Ordering::Relaxed),
+            fallback_reads: self.shared.fallback_reads.load(Ordering::Relaxed),
+            degraded_writes: self.shared.degraded_writes.load(Ordering::Relaxed),
             ebr,
             qsbr: self.shared.qsbr.stats(),
             comm: self.shared.cluster.comm_stats(),
+            fault: self.shared.cluster.comm().fault_totals(),
+        }
+    }
+}
+
+/// Drop guard arming [`RcuArray::try_resize`]: while armed, any early
+/// return or unwind re-publishes every locale whose snapshot swap already
+/// landed back at the old block count (recycling the same blocks, so
+/// element values and outstanding references are untouched) and counts
+/// one aborted resize. Declared after the write-lock guard in
+/// `try_resize`, so it drops — and republishes — while the lock is still
+/// held.
+struct ResizeRollback<'a, T: Element, S: Scheme> {
+    array: &'a RcuArray<T, S>,
+    old_nblocks: usize,
+    published: Vec<AtomicBool>,
+    armed: bool,
+}
+
+impl<T: Element, S: Scheme> Drop for ResizeRollback<'_, T, S> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let shared = &self.array.shared;
+        shared.aborted_resizes.fetch_add(1, Ordering::Relaxed);
+        for (l, flag) in self.published.iter().enumerate() {
+            if !flag.load(Ordering::Acquire) {
+                continue;
+            }
+            let st = self.array.state.get_on(LocaleId::new(l as u32));
+            // SAFETY: the aborting resize still holds the write lock, so
+            // this locale's snapshot is stable.
+            let cur = unsafe { st.snapshot_ref() };
+            let rolled =
+                Snapshot::from_blocks(cur.blocks()[..self.old_nblocks].to_vec(), cur.version() + 1);
+            let old_ptr = st.publish(rolled);
+            self.array.retire_snapshot(st, old_ptr);
         }
     }
 }
@@ -608,9 +779,7 @@ impl<T: Element, S: Scheme> SnapshotView<'_, T, S> {
         let (block, off) = self.array.locate(self.snap, idx);
         // SAFETY: registry-owned block.
         let b = unsafe { block.get() };
-        if let Some(cluster) = self.array.comm() {
-            cluster.get_from(b.home(), T::byte_size());
-        }
+        self.array.charge_get(b.home(), T::byte_size());
         b.load(off)
     }
 }
@@ -730,7 +899,11 @@ mod tests {
         a.resize(8 * 4); // 4 blocks: L0 L1 L2 L0
         a.resize(8 * 2); // 2 blocks continue: L1 L2  (NextLocaleId persisted)
         let hist = a.stats().blocks_per_locale;
-        assert_eq!(hist, vec![2, 2, 2], "round-robin must continue across resizes");
+        assert_eq!(
+            hist,
+            vec![2, 2, 2],
+            "round-robin must continue across resizes"
+        );
     }
 
     #[test]
@@ -936,7 +1109,11 @@ mod tests {
         let a: EbrArray<u64> = RcuArray::with_config(&c, small_config());
         a.resize(8);
         a.resize(8);
-        assert_eq!(a.stats().ebr.advances, 6, "one advance per locale per resize");
+        assert_eq!(
+            a.stats().ebr.advances,
+            6,
+            "one advance per locale per resize"
+        );
     }
 
     #[test]

@@ -149,6 +149,10 @@ impl<T: Element> std::fmt::Debug for BlockRef<T> {
 /// the write lock during resizes and freed only when the registry drops
 /// with the array.
 pub struct BlockRegistry<T: Element> {
+    // Each block stays in its own `Box`: `BlockRef`s are raw pointers to
+    // these allocations, so the vector may reallocate but the blocks must
+    // never move.
+    #[allow(clippy::vec_box)]
     owned: parking_lot::Mutex<Vec<Box<Block<T>>>>,
 }
 
@@ -199,7 +203,9 @@ impl<T: Element> BlockRegistry<T> {
 
 impl<T: Element> std::fmt::Debug for BlockRegistry<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BlockRegistry").field("blocks", &self.len()).finish()
+        f.debug_struct("BlockRegistry")
+            .field("blocks", &self.len())
+            .finish()
     }
 }
 
@@ -260,7 +266,7 @@ mod tests {
         let reg: BlockRegistry<u32> = BlockRegistry::new();
         let r1 = reg.adopt(Block::new(LocaleId::ZERO, 4));
         let r2 = r1; // Copy
-        // SAFETY: registry alive.
+                     // SAFETY: registry alive.
         unsafe {
             r1.get().store(1, 42);
             assert_eq!(r2.get().load(1), 42, "copies alias the same block");

@@ -1,6 +1,8 @@
-//! Array configuration: block size, EBR protocol ordering, accounting.
+//! Array configuration: block size, EBR protocol ordering, accounting,
+//! retry policy.
 
 use rcuarray_ebr::OrderingMode;
+use rcuarray_runtime::RetryPolicy;
 
 /// The paper's benchmarks resize "in increments of 1024" with blocks of
 /// that size; this is the default `BlockSize`.
@@ -18,6 +20,10 @@ pub struct Config {
     /// per access, identical across all array variants; disable it only
     /// for microbenchmarks that isolate the reclamation protocol itself.
     pub account_comm: bool,
+    /// How fault-injected communication failures are retried (consulted by
+    /// `read`/`write`/`resize` only when the cluster's fault plan is
+    /// enabled; a healthy cluster never enters the retry path).
+    pub retry: RetryPolicy,
 }
 
 impl Default for Config {
@@ -26,6 +32,7 @@ impl Default for Config {
             block_size: DEFAULT_BLOCK_SIZE,
             ordering: OrderingMode::SeqCst,
             account_comm: true,
+            retry: RetryPolicy::default(),
         }
     }
 }

@@ -117,9 +117,14 @@ impl Element for f32 {
 
     #[inline]
     fn compare_exchange(r: &Self::Repr, current: Self, new: Self) -> Result<Self, Self> {
-        r.compare_exchange(current.to_bits(), new.to_bits(), Ordering::AcqRel, Ordering::Acquire)
-            .map(f32::from_bits)
-            .map_err(f32::from_bits)
+        r.compare_exchange(
+            current.to_bits(),
+            new.to_bits(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
+        .map(f32::from_bits)
+        .map_err(f32::from_bits)
     }
 }
 
@@ -143,9 +148,14 @@ impl Element for f64 {
 
     #[inline]
     fn compare_exchange(r: &Self::Repr, current: Self, new: Self) -> Result<Self, Self> {
-        r.compare_exchange(current.to_bits(), new.to_bits(), Ordering::AcqRel, Ordering::Acquire)
-            .map(f64::from_bits)
-            .map_err(f64::from_bits)
+        r.compare_exchange(
+            current.to_bits(),
+            new.to_bits(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
+        .map(f64::from_bits)
+        .map_err(f64::from_bits)
     }
 }
 
@@ -221,6 +231,9 @@ mod tests {
             }
         });
         let v = u64::load(&cell);
-        assert!((1..=4).contains(&v), "final value must be one of the writes");
+        assert!(
+            (1..=4).contains(&v),
+            "final value must be one of the writes"
+        );
     }
 }

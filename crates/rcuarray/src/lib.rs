@@ -54,8 +54,8 @@
 pub mod array;
 pub mod block;
 pub mod config;
-pub mod element;
 pub mod elem_ref;
+pub mod element;
 pub mod handle;
 pub mod iter;
 pub mod scheme;
@@ -65,9 +65,13 @@ pub mod stats;
 pub use array::{EbrArray, QsbrArray, RcuArray, SnapshotView};
 pub use block::{Block, BlockRef, BlockRegistry};
 pub use config::{Config, DEFAULT_BLOCK_SIZE};
-pub use element::Element;
 pub use elem_ref::ElemRef;
+pub use element::Element;
 pub use iter::Iter;
 pub use scheme::{EbrScheme, QsbrScheme, Scheme};
 pub use snapshot::Snapshot;
 pub use stats::ArrayStats;
+
+// Fault-injection vocabulary, re-exported so applications handling
+// `try_resize` errors or configuring retries need only this crate.
+pub use rcuarray_runtime::{CommError, FaultPlan, RetryPolicy};

@@ -48,8 +48,8 @@ mod tests {
 
     #[test]
     fn flags_match_names() {
-        assert!(!EbrScheme::IS_QSBR);
-        assert!(QsbrScheme::IS_QSBR);
+        const { assert!(!EbrScheme::IS_QSBR) };
+        const { assert!(QsbrScheme::IS_QSBR) };
         assert_eq!(EbrScheme::NAME, "ebr");
         assert_eq!(QsbrScheme::NAME, "qsbr");
     }
@@ -60,7 +60,7 @@ mod tests {
         // Chapel's `param`.
         const E: bool = EbrScheme::IS_QSBR;
         const Q: bool = QsbrScheme::IS_QSBR;
-        assert!(!E);
-        assert!(Q);
+        const { assert!(!E) };
+        const { assert!(Q) };
     }
 }

@@ -2,7 +2,7 @@
 
 use rcuarray_ebr::ZoneStats;
 use rcuarray_qsbr::DomainStats;
-use rcuarray_runtime::CommStats;
+use rcuarray_runtime::{CommStats, FaultStats};
 
 /// A snapshot of an array's counters, aggregated across locales.
 #[derive(Debug, Clone, Default)]
@@ -16,6 +16,15 @@ pub struct ArrayStats {
     pub blocks_per_locale: Vec<usize>,
     /// Resize operations performed.
     pub resizes: u64,
+    /// Resize attempts that aborted (fault, timeout or panic) and were
+    /// rolled back; always zero on a healthy cluster.
+    pub aborted_resizes: u64,
+    /// Reads whose communication charge failed even after retries and
+    /// were served from the locale-local snapshot instead.
+    pub fallback_reads: u64,
+    /// Writes whose communication charge failed even after retries; the
+    /// store still landed in the (simulated shared-memory) block.
+    pub degraded_writes: u64,
     /// EBR protocol counters summed over every locale's zone (all zeros
     /// under QSBR).
     pub ebr: ZoneStats,
@@ -23,6 +32,9 @@ pub struct ArrayStats {
     pub qsbr: DomainStats,
     /// Cluster communication counters at the time of the call.
     pub comm: CommStats,
+    /// Cluster fault accounting (attempted/failed/retried) at the time of
+    /// the call; all zeros without an enabled fault plan.
+    pub fault: FaultStats,
 }
 
 impl ArrayStats {
@@ -32,6 +44,11 @@ impl ArrayStats {
         let max = self.blocks_per_locale.iter().copied().max().unwrap_or(0);
         let min = self.blocks_per_locale.iter().copied().min().unwrap_or(0);
         max - min
+    }
+
+    /// Retry attempts charged across the cluster.
+    pub fn retries(&self) -> u64 {
+        self.fault.retries
     }
 }
 

@@ -8,10 +8,12 @@
 //! locale; a reduce GETs one contribution per non-root locale; a barrier
 //! costs one remote notification per non-home participant.
 
+use crate::fault::{CommError, OpKind};
 use crate::locale::LocaleId;
 use crate::task;
 use crate::Cluster;
 use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Broadcast `value` from `root` to every locale, returning the
 /// per-locale copies in locale order. Charges one PUT of
@@ -22,7 +24,7 @@ pub fn broadcast<T: Clone>(cluster: &Cluster, root: LocaleId, value: &T) -> Vec<
         .map(|i| {
             let dst = LocaleId::new(i as u32);
             if dst != root {
-                cluster.comm().record_put(root, dst, bytes);
+                let _ = cluster.comm().record_put(root, dst, bytes);
             }
             value.clone()
         })
@@ -31,7 +33,13 @@ pub fn broadcast<T: Clone>(cluster: &Cluster, root: LocaleId, value: &T) -> Vec<
 
 /// Gather one contribution per locale (produced *on* that locale) and
 /// fold them on `root`. Charges one GET per non-root locale.
-pub fn reduce<T, F, R>(cluster: &Cluster, root: LocaleId, contribute: F, mut fold: impl FnMut(R, T) -> R, init: R) -> R
+pub fn reduce<T, F, R>(
+    cluster: &Cluster,
+    root: LocaleId,
+    contribute: F,
+    mut fold: impl FnMut(R, T) -> R,
+    init: R,
+) -> R
 where
     F: Fn(LocaleId) -> T,
 {
@@ -41,7 +49,7 @@ where
         let src = LocaleId::new(i as u32);
         let contribution = task::with_locale(src, || contribute(src));
         if src != root {
-            cluster.comm().record_get(root, src, bytes);
+            let _ = cluster.comm().record_get(root, src, bytes);
         }
         acc = fold(acc, contribution);
     }
@@ -107,7 +115,7 @@ impl ClusterBarrier {
         let from = task::current_locale();
         if from != self.home {
             // The arrival notification.
-            cluster.comm().record_put(from, self.home, 8);
+            let _ = cluster.comm().record_put(from, self.home, 8);
         }
         let mut st = self.state.lock();
         st.arrived += 1;
@@ -118,7 +126,7 @@ impl ClusterBarrier {
             for i in 0..cluster.num_locales() {
                 let dst = LocaleId::new(i as u32);
                 if dst != self.home {
-                    cluster.comm().record_put(self.home, dst, 8);
+                    let _ = cluster.comm().record_put(self.home, dst, 8);
                 }
             }
             drop(st);
@@ -131,6 +139,52 @@ impl ClusterBarrier {
             }
             false
         }
+    }
+
+    /// [`wait`](Self::wait) with failure semantics, for callers that must
+    /// not hang when the cluster is unhealthy (the resize path uses this):
+    ///
+    /// * the arrival notification PUT can fail under a fault plan, in
+    ///   which case the task never arrives and the error propagates;
+    /// * if the remaining parties do not arrive within `timeout`, the
+    ///   arrival is withdrawn (keeping the barrier reusable) and
+    ///   [`CommError::Timeout`] is returned.
+    pub fn wait_timeout(&self, cluster: &Cluster, timeout: Duration) -> Result<bool, CommError> {
+        let from = task::current_locale();
+        if from != self.home {
+            cluster.comm().record_put(from, self.home, 8)?;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        st.arrived += 1;
+        if st.arrived == self.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            for i in 0..cluster.num_locales() {
+                let dst = LocaleId::new(i as u32);
+                if dst != self.home {
+                    let _ = cluster.comm().record_put(self.home, dst, 8);
+                }
+            }
+            drop(st);
+            self.cond.notify_all();
+            return Ok(true);
+        }
+        let gen = st.generation;
+        while st.generation == gen {
+            if self.cond.wait_until(&mut st, deadline).timed_out() {
+                if st.generation != gen {
+                    // Released in the same instant the wait timed out.
+                    break;
+                }
+                st.arrived -= 1;
+                return Err(CommError::Timeout {
+                    op: OpKind::Put,
+                    locale: self.home,
+                });
+            }
+        }
+        Ok(false)
     }
 }
 
@@ -153,7 +207,7 @@ mod tests {
     #[test]
     fn broadcast_copies_and_charges() {
         let c = Cluster::new(Topology::new(4, 1));
-        let copies = broadcast(&*c, LocaleId::new(1), &42u64);
+        let copies = broadcast(&c, LocaleId::new(1), &42u64);
         assert_eq!(copies, vec![42; 4]);
         let s = c.comm_stats();
         assert_eq!(s.puts, 3, "one PUT per non-root locale");
@@ -164,7 +218,7 @@ mod tests {
     fn reduce_folds_per_locale_contributions() {
         let c = Cluster::new(Topology::new(4, 1));
         let sum = reduce(
-            &*c,
+            &c,
             LocaleId::ZERO,
             |loc| loc.index() as u64 + 1, // 1,2,3,4
             |a, b| a + b,
@@ -178,7 +232,7 @@ mod tests {
     fn reduce_contributions_run_on_their_locale() {
         let c = Cluster::new(Topology::new(3, 1));
         let ids = reduce(
-            &*c,
+            &c,
             LocaleId::ZERO,
             |_| task::current_locale().index(),
             |mut acc: Vec<usize>, x| {
@@ -187,13 +241,17 @@ mod tests {
             },
             Vec::new(),
         );
-        assert_eq!(ids, vec![0, 1, 2], "contribute must see its locale as `here`");
+        assert_eq!(
+            ids,
+            vec![0, 1, 2],
+            "contribute must see its locale as `here`"
+        );
     }
 
     #[test]
     fn all_reduce_gives_every_locale_the_total() {
         let c = Cluster::new(Topology::new(3, 1));
-        let totals = all_reduce(&*c, |loc| loc.index() as u64, |a, b| a + b, 0);
+        let totals = all_reduce(&c, |loc| loc.index() as u64, |a, b| a + b, 0);
         assert_eq!(totals, vec![3, 3, 3]);
         let s = c.comm_stats();
         assert_eq!(s.gets, 2);
@@ -260,5 +318,66 @@ mod tests {
     #[should_panic(expected = "at least one party")]
     fn zero_party_barrier_rejected() {
         let _ = ClusterBarrier::new(LocaleId::ZERO, 0);
+    }
+
+    #[test]
+    fn wait_timeout_succeeds_when_all_arrive() {
+        let c = Cluster::new(Topology::new(2, 2));
+        let barrier = Arc::new(ClusterBarrier::new(LocaleId::ZERO, 4));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        c.forall_tasks(|_, _| {
+            if barrier
+                .wait_timeout(&c, std::time::Duration::from_secs(10))
+                .unwrap()
+            {
+                leaders.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_timeout_expires_and_withdraws_arrival() {
+        let c = Cluster::new(Topology::new(1, 1));
+        let barrier = ClusterBarrier::new(LocaleId::ZERO, 2);
+        let out = task::with_locale(LocaleId::ZERO, || {
+            barrier.wait_timeout(&c, std::time::Duration::from_millis(30))
+        });
+        assert!(matches!(out, Err(CommError::Timeout { .. })));
+        // The withdrawn arrival leaves the barrier reusable: two on-time
+        // parties still release it.
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2u32 {
+                let b = &barrier;
+                let c = &c;
+                let leaders = &leaders;
+                s.spawn(move || {
+                    task::with_locale(LocaleId::ZERO, || {
+                        if b.wait_timeout(c, std::time::Duration::from_secs(10))
+                            .unwrap()
+                        {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_timeout_propagates_arrival_fault() {
+        use crate::fault::FaultPlan;
+        let c = Cluster::builder()
+            .topology(Topology::new(2, 1))
+            .fault_plan(FaultPlan::new(5).fail_puts(1.0))
+            .build();
+        let barrier = ClusterBarrier::new(LocaleId::ZERO, 2);
+        let out = task::with_locale(LocaleId::new(1), || {
+            barrier.wait_timeout(&c, std::time::Duration::from_secs(1))
+        });
+        assert!(matches!(out, Err(CommError::Transient { .. })));
+        assert_eq!(c.comm().fault_totals().puts_failed, 1);
     }
 }

@@ -16,14 +16,16 @@
 //! Counters are sharded per locale and padded to avoid the instrumentation
 //! itself becoming a contended cache line.
 
+use crate::fault::{CommError, FaultPlan, OpKind};
 use crate::locale::LocaleId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How much a remote operation should cost in wall-clock time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LatencyModel {
     /// Remote operations cost nothing extra (unit tests, fast CI).
+    #[default]
     None,
     /// Spin for a fixed number of nanoseconds per remote operation.
     ///
@@ -94,6 +96,74 @@ struct LocaleCounters {
 // poison every measurement in the workspace.
 const _: () = assert!(std::mem::align_of::<LocaleCounters>() >= CACHE_LINE);
 
+/// One locale's fault-path counters (attempt/failure/retry bookkeeping),
+/// padded like [`LocaleCounters`]. Kept separate so the healthy fast path
+/// touches one cache line, not two.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct FaultCounters {
+    gets_attempted: AtomicU64,
+    puts_attempted: AtomicU64,
+    ons_attempted: AtomicU64,
+    gets_failed: AtomicU64,
+    puts_failed: AtomicU64,
+    ons_failed: AtomicU64,
+    retries: AtomicU64,
+}
+
+const _: () = assert!(std::mem::align_of::<FaultCounters>() >= CACHE_LINE);
+
+/// Snapshot of one locale's (or the whole cluster's) fault accounting.
+///
+/// `attempted = completed + failed` per kind, where the completed counts
+/// are the corresponding [`CommStats`] fields — the split tests use to
+/// assert that faults and retries are charged to the *initiating* locale.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// GETs attempted (completed + failed).
+    pub gets_attempted: u64,
+    /// PUTs attempted (completed + failed).
+    pub puts_attempted: u64,
+    /// Remote executions attempted (completed + failed).
+    pub ons_attempted: u64,
+    /// GETs that failed with a [`CommError`].
+    pub gets_failed: u64,
+    /// PUTs that failed with a [`CommError`].
+    pub puts_failed: u64,
+    /// Remote executions that failed with a [`CommError`].
+    pub ons_failed: u64,
+    /// Retry attempts charged through a
+    /// [`RetryPolicy`](crate::fault::RetryPolicy).
+    pub retries: u64,
+}
+
+impl FaultStats {
+    /// Total operations that failed.
+    pub fn failed(&self) -> u64 {
+        self.gets_failed + self.puts_failed + self.ons_failed
+    }
+
+    /// Total operations attempted.
+    pub fn attempted(&self) -> u64 {
+        self.gets_attempted + self.puts_attempted + self.ons_attempted
+    }
+}
+
+impl std::ops::Add for FaultStats {
+    type Output = FaultStats;
+    fn add(self, rhs: FaultStats) -> FaultStats {
+        FaultStats {
+            gets_attempted: self.gets_attempted + rhs.gets_attempted,
+            puts_attempted: self.puts_attempted + rhs.puts_attempted,
+            ons_attempted: self.ons_attempted + rhs.ons_attempted,
+            gets_failed: self.gets_failed + rhs.gets_failed,
+            puts_failed: self.puts_failed + rhs.puts_failed,
+            ons_failed: self.ons_failed + rhs.ons_failed,
+            retries: self.retries + rhs.retries,
+        }
+    }
+}
+
 /// Aggregated communication statistics (a snapshot; counters keep moving).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
@@ -144,14 +214,26 @@ impl std::ops::Add for CommStats {
 #[derive(Debug)]
 pub struct CommLayer {
     per_locale: Box<[LocaleCounters]>,
+    fault_counters: Box<[FaultCounters]>,
     latency: LatencyModel,
+    fault: FaultPlan,
 }
 
 impl CommLayer {
+    /// A fault-free layer (unit tests of comm-adjacent code).
+    #[cfg(test)]
     pub(crate) fn new(num_locales: usize, latency: LatencyModel) -> Self {
+        Self::with_faults(num_locales, latency, FaultPlan::disabled())
+    }
+
+    pub(crate) fn with_faults(num_locales: usize, latency: LatencyModel, fault: FaultPlan) -> Self {
         CommLayer {
-            per_locale: (0..num_locales).map(|_| LocaleCounters::default()).collect(),
+            per_locale: (0..num_locales)
+                .map(|_| LocaleCounters::default())
+                .collect(),
+            fault_counters: (0..num_locales).map(|_| FaultCounters::default()).collect(),
             latency,
+            fault,
         }
     }
 
@@ -161,37 +243,93 @@ impl CommLayer {
         self.latency
     }
 
-    /// Record a GET of `bytes` bytes initiated by `from` against memory on
-    /// `to`, and charge its latency.
+    /// The installed fault plan (disabled unless the cluster was built with
+    /// one).
     #[inline]
-    pub fn record_get(&self, from: LocaleId, to: LocaleId, bytes: usize) {
+    pub fn fault(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// Record a GET of `bytes` bytes initiated by `from` against memory on
+    /// `to`, and charge its latency. Fails when the fault plan says so;
+    /// a failed operation is charged to `from` as attempted-but-failed and
+    /// moves no bytes.
+    #[inline]
+    pub fn record_get(&self, from: LocaleId, to: LocaleId, bytes: usize) -> Result<(), CommError> {
         debug_assert_ne!(from, to, "local accesses use record_local");
+        if let Err(e) = self.fault.check(from, to, OpKind::Get) {
+            let fc = &self.fault_counters[from.index()];
+            fc.gets_attempted.fetch_add(1, Ordering::Relaxed);
+            fc.gets_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
         let c = &self.per_locale[from.index()];
+        if self.fault.is_enabled() {
+            self.fault_counters[from.index()]
+                .gets_attempted
+                .fetch_add(1, Ordering::Relaxed);
+        }
         c.gets.fetch_add(1, Ordering::Relaxed);
         c.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
         self.latency.apply(bytes);
+        Ok(())
     }
 
     /// Record a PUT of `bytes` bytes initiated by `from` into memory on
-    /// `to`, and charge its latency.
+    /// `to`, and charge its latency. Fault semantics as
+    /// [`record_get`](Self::record_get).
     #[inline]
-    pub fn record_put(&self, from: LocaleId, to: LocaleId, bytes: usize) {
+    pub fn record_put(&self, from: LocaleId, to: LocaleId, bytes: usize) -> Result<(), CommError> {
         debug_assert_ne!(from, to, "local accesses use record_local");
+        if let Err(e) = self.fault.check(from, to, OpKind::Put) {
+            let fc = &self.fault_counters[from.index()];
+            fc.puts_attempted.fetch_add(1, Ordering::Relaxed);
+            fc.puts_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
         let c = &self.per_locale[from.index()];
+        if self.fault.is_enabled() {
+            self.fault_counters[from.index()]
+                .puts_attempted
+                .fetch_add(1, Ordering::Relaxed);
+        }
         c.puts.fetch_add(1, Ordering::Relaxed);
         c.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
         self.latency.apply(bytes);
+        Ok(())
     }
 
-    /// Record a remote `on`-block execution from `from` to `to`.
+    /// Record a remote `on`-block execution from `from` to `to`. Fault
+    /// semantics as [`record_get`](Self::record_get).
     #[inline]
-    pub fn record_on(&self, from: LocaleId, to: LocaleId) {
+    pub fn record_on(&self, from: LocaleId, to: LocaleId) -> Result<(), CommError> {
         debug_assert_ne!(from, to);
+        if let Err(e) = self.fault.check(from, to, OpKind::RemoteExec) {
+            let fc = &self.fault_counters[from.index()];
+            fc.ons_attempted.fetch_add(1, Ordering::Relaxed);
+            fc.ons_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        if self.fault.is_enabled() {
+            self.fault_counters[from.index()]
+                .ons_attempted
+                .fetch_add(1, Ordering::Relaxed);
+        }
         self.per_locale[from.index()]
             .remote_executes
             .fetch_add(1, Ordering::Relaxed);
         // An active message costs roughly one small transfer each way.
         self.latency.apply(0);
+        Ok(())
+    }
+
+    /// Charge one retry attempt to `locale` (called by
+    /// [`RetryPolicy::run`](crate::fault::RetryPolicy::run)).
+    #[inline]
+    pub fn record_retry(&self, locale: LocaleId) {
+        self.fault_counters[locale.index()]
+            .retries
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record an access that stayed on `locale`.
@@ -221,6 +359,27 @@ impl CommLayer {
             .fold(CommStats::default(), |a, b| a + b)
     }
 
+    /// Snapshot of one locale's fault accounting.
+    pub fn fault_stats_for(&self, locale: LocaleId) -> FaultStats {
+        let c = &self.fault_counters[locale.index()];
+        FaultStats {
+            gets_attempted: c.gets_attempted.load(Ordering::Relaxed),
+            puts_attempted: c.puts_attempted.load(Ordering::Relaxed),
+            ons_attempted: c.ons_attempted.load(Ordering::Relaxed),
+            gets_failed: c.gets_failed.load(Ordering::Relaxed),
+            puts_failed: c.puts_failed.load(Ordering::Relaxed),
+            ons_failed: c.ons_failed.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fault accounting summed over all locales.
+    pub fn fault_totals(&self) -> FaultStats {
+        (0..self.fault_counters.len())
+            .map(|i| self.fault_stats_for(LocaleId::new(i as u32)))
+            .fold(FaultStats::default(), |a, b| a + b)
+    }
+
     /// Reset every counter to zero (between benchmark phases).
     pub fn reset(&self) {
         for c in self.per_locale.iter() {
@@ -229,6 +388,15 @@ impl CommLayer {
             c.remote_executes.store(0, Ordering::Relaxed);
             c.local_accesses.store(0, Ordering::Relaxed);
             c.bytes_moved.store(0, Ordering::Relaxed);
+        }
+        for c in self.fault_counters.iter() {
+            c.gets_attempted.store(0, Ordering::Relaxed);
+            c.puts_attempted.store(0, Ordering::Relaxed);
+            c.ons_attempted.store(0, Ordering::Relaxed);
+            c.gets_failed.store(0, Ordering::Relaxed);
+            c.puts_failed.store(0, Ordering::Relaxed);
+            c.ons_failed.store(0, Ordering::Relaxed);
+            c.retries.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -244,9 +412,10 @@ mod tests {
     #[test]
     fn counters_attribute_to_initiator() {
         let c = layer(3);
-        c.record_get(LocaleId::new(1), LocaleId::new(2), 8);
-        c.record_put(LocaleId::new(1), LocaleId::new(0), 16);
-        c.record_on(LocaleId::new(2), LocaleId::new(0));
+        c.record_get(LocaleId::new(1), LocaleId::new(2), 8).unwrap();
+        c.record_put(LocaleId::new(1), LocaleId::new(0), 16)
+            .unwrap();
+        c.record_on(LocaleId::new(2), LocaleId::new(0)).unwrap();
         let l1 = c.stats_for(LocaleId::new(1));
         assert_eq!(l1.gets, 1);
         assert_eq!(l1.puts, 1);
@@ -260,8 +429,8 @@ mod tests {
     #[test]
     fn total_sums_all_locales() {
         let c = layer(2);
-        c.record_get(LocaleId::new(0), LocaleId::new(1), 4);
-        c.record_get(LocaleId::new(1), LocaleId::new(0), 4);
+        c.record_get(LocaleId::new(0), LocaleId::new(1), 4).unwrap();
+        c.record_get(LocaleId::new(1), LocaleId::new(0), 4).unwrap();
         c.record_local(LocaleId::new(0));
         let t = c.total();
         assert_eq!(t.gets, 2);
@@ -275,7 +444,7 @@ mod tests {
         for _ in 0..3 {
             c.record_local(LocaleId::new(0));
         }
-        c.record_get(LocaleId::new(0), LocaleId::new(1), 1);
+        c.record_get(LocaleId::new(0), LocaleId::new(1), 1).unwrap();
         assert!((c.total().locality() - 0.75).abs() < 1e-9);
     }
 
@@ -287,7 +456,7 @@ mod tests {
     #[test]
     fn reset_zeroes_everything() {
         let c = layer(2);
-        c.record_get(LocaleId::new(0), LocaleId::new(1), 4);
+        c.record_get(LocaleId::new(0), LocaleId::new(1), 4).unwrap();
         c.record_local(LocaleId::new(1));
         c.reset();
         assert_eq!(c.total(), CommStats::default());

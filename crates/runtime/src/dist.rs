@@ -214,9 +214,7 @@ mod tests {
     #[test]
     fn block_dist_balance_within_one() {
         let d = BlockDist::new(100, 7);
-        let sizes: Vec<usize> = (0..7)
-            .map(|l| d.chunk_of(LocaleId::new(l)).len())
-            .collect();
+        let sizes: Vec<usize> = (0..7).map(|l| d.chunk_of(LocaleId::new(l)).len()).collect();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();
         assert!(max - min <= 1, "sizes {sizes:?} not balanced");

@@ -83,8 +83,8 @@ impl GlobalLock {
                 // Reaching the remote lock word: one GET (read/try) and one
                 // PUT (the RMW write-back), the round trip a remote
                 // compare-and-swap costs on the wire.
-                comm.record_get(from, self.home, 8);
-                comm.record_put(from, self.home, 8);
+                let _ = comm.record_get(from, self.home, 8);
+                let _ = comm.record_put(from, self.home, 8);
             }
         }
         GlobalLockGuard {
@@ -101,8 +101,28 @@ impl GlobalLock {
         if from != self.home {
             self.remote_acquisitions.fetch_add(1, Ordering::Relaxed);
             if let Some(comm) = self.comm() {
-                comm.record_get(from, self.home, 8);
-                comm.record_put(from, self.home, 8);
+                let _ = comm.record_get(from, self.home, 8);
+                let _ = comm.record_put(from, self.home, 8);
+            }
+        }
+        Some(GlobalLockGuard {
+            lock: self,
+            _guard: guard,
+        })
+    }
+
+    /// Try to acquire, giving up after `timeout`. The bounded wait is what
+    /// keeps a resize from hanging forever behind a wedged or panicked
+    /// peer; communication is charged only on success.
+    pub fn try_acquire_for(&self, timeout: std::time::Duration) -> Option<GlobalLockGuard<'_>> {
+        let guard = self.inner.try_lock_for(timeout)?;
+        let from = task::current_locale();
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if from != self.home {
+            self.remote_acquisitions.fetch_add(1, Ordering::Relaxed);
+            if let Some(comm) = self.comm() {
+                let _ = comm.record_get(from, self.home, 8);
+                let _ = comm.record_put(from, self.home, 8);
             }
         }
         Some(GlobalLockGuard {
@@ -149,7 +169,7 @@ impl Drop for GlobalLockGuard<'_> {
         let from = task::current_locale();
         if from != self.lock.home {
             if let Some(comm) = self.lock.comm() {
-                comm.record_put(from, self.lock.home, 8);
+                let _ = comm.record_put(from, self.lock.home, 8);
             }
         }
     }
@@ -234,5 +254,38 @@ mod tests {
     fn home_must_be_in_cluster() {
         let cluster = Cluster::with_locales(2);
         let _ = GlobalLock::new(&cluster, LocaleId::new(5));
+    }
+
+    #[test]
+    fn try_acquire_for_times_out_then_succeeds() {
+        let lock = Arc::new(GlobalLock::detached());
+        let g = lock.acquire();
+        assert!(
+            lock.try_acquire_for(std::time::Duration::from_millis(30))
+                .is_none(),
+            "held lock must time out"
+        );
+        drop(g);
+        assert!(lock
+            .try_acquire_for(std::time::Duration::from_millis(30))
+            .is_some());
+    }
+
+    #[test]
+    fn acquisition_succeeds_after_holder_panics() {
+        // The RAII guard releases on unwind and the underlying mutex does
+        // not poison, so a panicking resize cannot wedge the cluster lock.
+        let lock = Arc::new(GlobalLock::detached());
+        let lock2 = Arc::clone(&lock);
+        let t = std::thread::spawn(move || {
+            let _g = lock2.acquire();
+            panic!("holder dies while holding the cluster lock");
+        });
+        assert!(t.join().is_err());
+        let g = lock
+            .try_acquire_for(std::time::Duration::from_secs(5))
+            .expect("lock must be acquirable after a holder panic");
+        drop(g);
+        assert!(!lock.is_locked());
     }
 }

@@ -45,6 +45,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod dist;
+pub mod fault;
 pub mod global_lock;
 pub mod locale;
 pub mod privatization;
@@ -53,8 +54,9 @@ pub mod task;
 pub mod topology;
 
 pub use collectives::{all_reduce, broadcast, reduce, ClusterBarrier};
-pub use comm::{CommLayer, CommStats, LatencyModel};
+pub use comm::{CommLayer, CommStats, FaultStats, LatencyModel};
 pub use dist::{BlockCyclicDist, BlockDist, RoundRobinCounter};
+pub use fault::{CommError, FaultAction, FaultEvent, FaultPlan, OpKind, RetryPolicy};
 pub use global_lock::{GlobalLock, GlobalLockGuard};
 pub use locale::{Locale, LocaleId};
 pub use privatization::{Pid, PrivHandle, PrivTable};
@@ -78,7 +80,67 @@ pub struct Cluster {
     privatization: PrivTable,
 }
 
+/// Step-by-step construction of a [`Cluster`]: topology, latency model and
+/// fault plan. Obtained from [`Cluster::builder`].
+#[derive(Debug, Default)]
+pub struct ClusterBuilder {
+    topology: Option<Topology>,
+    latency: LatencyModel,
+    fault_plan: FaultPlan,
+}
+
+impl ClusterBuilder {
+    /// Set the topology (locales × tasks per locale).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Shorthand: `n` locales, one task per locale.
+    pub fn locales(mut self, n: usize) -> Self {
+        self.topology = Some(Topology::new(n, 1));
+        self
+    }
+
+    /// Slow remote accesses down by `latency`.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Install a fault plan; without this call the cluster is fault-free.
+    pub fn fault_plan(mut self, plan: fault::FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Build the cluster. Defaults: 1 locale, no latency, no faults.
+    pub fn build(self) -> Arc<Cluster> {
+        let topology = self.topology.unwrap_or_else(|| Topology::new(1, 1));
+        let n = topology.num_locales();
+        assert!(
+            n <= fault::MAX_FAULT_LOCALES,
+            "fault tracking supports at most {} locales",
+            fault::MAX_FAULT_LOCALES
+        );
+        let locales = (0..n)
+            .map(|i| Locale::new(LocaleId::new(i as u32)))
+            .collect();
+        Arc::new(Cluster {
+            locales,
+            comm: CommLayer::with_faults(n, self.latency, self.fault_plan),
+            privatization: PrivTable::new(),
+            topology,
+        })
+    }
+}
+
 impl Cluster {
+    /// Start building a cluster (topology / latency / fault plan).
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
     /// Create a cluster with the given topology and no injected
     /// communication latency.
     pub fn new(topology: Topology) -> Arc<Self> {
@@ -87,14 +149,7 @@ impl Cluster {
 
     /// Create a cluster whose remote accesses are slowed by `latency`.
     pub fn with_latency(topology: Topology, latency: LatencyModel) -> Arc<Self> {
-        let n = topology.num_locales();
-        let locales = (0..n).map(|i| Locale::new(LocaleId::new(i as u32))).collect();
-        Arc::new(Cluster {
-            locales,
-            comm: CommLayer::new(n, latency),
-            privatization: PrivTable::new(),
-            topology,
-        })
+        Self::builder().topology(topology).latency(latency).build()
     }
 
     /// Convenience constructor: `n` locales, one task per locale.
@@ -138,18 +193,38 @@ impl Cluster {
         &self.privatization
     }
 
+    /// The installed fault plan (disabled unless built with one).
+    #[inline]
+    pub fn fault(&self) -> &FaultPlan {
+        self.comm.fault()
+    }
+
     /// Execute `f` "on" locale `target`, like Chapel's `on` statement.
     ///
     /// The closure runs on the current OS thread, but the task-local locale
     /// context is switched to `target` for its duration and a
     /// remote-execution is recorded (and delayed, under a latency model)
     /// when `target` differs from the calling task's locale.
+    ///
+    /// This path is fault-oblivious: an injected failure is charged to the
+    /// accounting but the execution proceeds (legacy callers predate the
+    /// fault layer). Fault-aware code uses [`try_on`](Self::try_on).
     pub fn on<R>(&self, target: LocaleId, f: impl FnOnce() -> R) -> R {
         let from = task::current_locale();
         if from != target {
-            self.comm.record_on(from, target);
+            let _ = self.comm.record_on(from, target);
         }
         task::with_locale(target, f)
+    }
+
+    /// Fallible [`on`](Self::on): when the fault plan fails the remote
+    /// execution, `f` does not run and the error is returned.
+    pub fn try_on<R>(&self, target: LocaleId, f: impl FnOnce() -> R) -> Result<R, CommError> {
+        let from = task::current_locale();
+        if from != target {
+            self.comm.record_on(from, target)?;
+        }
+        Ok(task::with_locale(target, f))
     }
 
     /// Run `f(locale)` once per locale, in parallel, waiting for all tasks —
@@ -204,25 +279,47 @@ impl Cluster {
 
     /// Record (and delay) a GET of `bytes` bytes by the current task from
     /// memory homed on `owner`. No-op accounting-wise when local.
+    ///
+    /// Fault-oblivious (failures are charged but swallowed); fault-aware
+    /// code uses [`try_get_from`](Self::try_get_from).
     #[inline]
     pub fn get_from(&self, owner: LocaleId, bytes: usize) {
-        let from = task::current_locale();
-        if from != owner {
-            self.comm.record_get(from, owner, bytes);
-        } else {
-            self.comm.record_local(from);
-        }
+        let _ = self.try_get_from(owner, bytes);
     }
 
     /// Record (and delay) a PUT of `bytes` bytes by the current task into
     /// memory homed on `owner`. No-op accounting-wise when local.
+    ///
+    /// Fault-oblivious (failures are charged but swallowed); fault-aware
+    /// code uses [`try_put_to`](Self::try_put_to).
     #[inline]
     pub fn put_to(&self, owner: LocaleId, bytes: usize) {
+        let _ = self.try_put_to(owner, bytes);
+    }
+
+    /// Fallible [`get_from`](Self::get_from): fails when the fault plan
+    /// drops the GET. Local accesses never fail.
+    #[inline]
+    pub fn try_get_from(&self, owner: LocaleId, bytes: usize) -> Result<(), CommError> {
         let from = task::current_locale();
         if from != owner {
-            self.comm.record_put(from, owner, bytes);
+            self.comm.record_get(from, owner, bytes)
         } else {
             self.comm.record_local(from);
+            Ok(())
+        }
+    }
+
+    /// Fallible [`put_to`](Self::put_to): fails when the fault plan drops
+    /// the PUT. Local accesses never fail.
+    #[inline]
+    pub fn try_put_to(&self, owner: LocaleId, bytes: usize) -> Result<(), CommError> {
+        let from = task::current_locale();
+        if from != owner {
+            self.comm.record_put(from, owner, bytes)
+        } else {
+            self.comm.record_local(from);
+            Ok(())
         }
     }
 
@@ -310,6 +407,48 @@ mod tests {
         assert_eq!(s.puts, 1);
         assert_eq!(s.local_accesses, 1);
         assert_eq!(s.bytes_moved, 16);
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let d = Cluster::builder().build();
+        assert_eq!(d.num_locales(), 1);
+        assert!(!d.fault().is_enabled());
+        let c = Cluster::builder()
+            .locales(3)
+            .latency(LatencyModel::SpinNanos(1))
+            .fault_plan(FaultPlan::new(11).fail_gets(1.0))
+            .build();
+        assert_eq!(c.num_locales(), 3);
+        assert_eq!(c.comm().latency_model(), LatencyModel::SpinNanos(1));
+        assert!(c.fault().is_enabled());
+    }
+
+    #[test]
+    fn try_ops_fail_under_full_fault_plan_and_legacy_ops_swallow() {
+        let c = Cluster::builder()
+            .locales(2)
+            .fault_plan(FaultPlan::new(2).fail_all(1.0))
+            .build();
+        task::with_locale(LocaleId::ZERO, || {
+            let other = LocaleId::new(1);
+            assert!(c.try_get_from(other, 8).is_err());
+            assert!(c.try_put_to(other, 8).is_err());
+            assert!(c.try_on(other, || unreachable!("must not run")).is_err());
+            // Local traffic never faults.
+            assert!(c.try_get_from(LocaleId::ZERO, 8).is_ok());
+            // Legacy paths complete, charging the failure to the initiator.
+            c.get_from(other, 8);
+            c.put_to(other, 8);
+            let mut ran = false;
+            c.on(other, || ran = true);
+            assert!(ran, "fault-oblivious on still executes");
+        });
+        let f = c.comm().fault_stats_for(LocaleId::ZERO);
+        assert_eq!(f.gets_failed, 2);
+        assert_eq!(f.puts_failed, 2);
+        assert_eq!(f.ons_failed, 2);
+        assert_eq!(c.comm_stats().remote_ops(), 0, "nothing completed");
     }
 
     #[test]

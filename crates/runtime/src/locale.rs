@@ -85,7 +85,8 @@ impl Locale {
     #[inline]
     pub fn record_allocation(&self, bytes: usize) {
         self.allocations.fetch_add(1, Ordering::Relaxed);
-        self.allocated_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.allocated_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Number of allocations homed on this locale.

@@ -116,7 +116,9 @@ impl PrivTable {
 
 impl std::fmt::Debug for PrivTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PrivTable").field("slots", &self.len()).finish()
+        f.debug_struct("PrivTable")
+            .field("slots", &self.len())
+            .finish()
     }
 }
 
@@ -212,8 +214,9 @@ mod tests {
     #[test]
     fn constructor_runs_with_locale_context() {
         let table = PrivTable::new();
-        let (_pid, handle) =
-            table.register(3, |_| Meta { home: task::current_locale() });
+        let (_pid, handle) = table.register(3, |_| Meta {
+            home: task::current_locale(),
+        });
         for (loc, inst) in handle.iter() {
             assert_eq!(inst.home, loc, "constructor saw wrong `here`");
         }

@@ -94,6 +94,28 @@ impl<T> SyncVar<T> {
         }
     }
 
+    /// `writeEF` with a timeout: `Err(value)` hands the value back if the
+    /// variable stayed full — the bounded companion of
+    /// [`read_fe_timeout`](Self::read_fe_timeout), so fault-aware code
+    /// never parks forever on a sync variable a dead task should have
+    /// emptied.
+    pub fn write_ef_timeout(&self, value: T, timeout: Duration) -> Result<(), T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock();
+        while st.value.is_some() {
+            if self.became_empty.wait_until(&mut st, deadline).timed_out() {
+                if st.value.is_none() {
+                    break;
+                }
+                return Err(value);
+            }
+        }
+        st.value = Some(value);
+        drop(st);
+        self.became_full.notify_one();
+        Ok(())
+    }
+
     /// Chapel `readFF`: block until full, read a copy, leave full.
     pub fn read_ff(&self) -> T
     where
@@ -144,7 +166,9 @@ impl<T> SyncVar<T> {
 
 impl<T> std::fmt::Debug for SyncVar<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SyncVar").field("full", &self.is_full()).finish()
+        f.debug_struct("SyncVar")
+            .field("full", &self.is_full())
+            .finish()
     }
 }
 
@@ -239,6 +263,15 @@ mod tests {
     fn read_fe_timeout_expires_on_empty() {
         let v: SyncVar<u8> = SyncVar::new_empty();
         assert_eq!(v.read_fe_timeout(Duration::from_millis(20)), None);
+    }
+
+    #[test]
+    fn write_ef_timeout_expires_on_full_and_returns_value() {
+        let v = SyncVar::new_full(1u8);
+        assert_eq!(v.write_ef_timeout(2, Duration::from_millis(20)), Err(2));
+        assert_eq!(v.read_fe(), 1, "stored value untouched");
+        assert_eq!(v.write_ef_timeout(3, Duration::from_millis(20)), Ok(()));
+        assert_eq!(v.read_fe(), 3);
     }
 
     #[test]

@@ -22,10 +22,7 @@ impl Topology {
     pub fn new(num_locales: usize, tasks_per_locale: usize) -> Self {
         assert!(num_locales > 0, "a cluster needs at least one locale");
         assert!(tasks_per_locale > 0, "each locale needs at least one task");
-        assert!(
-            num_locales <= u32::MAX as usize,
-            "locale ids are 32-bit"
-        );
+        assert!(num_locales <= u32::MAX as usize, "locale ids are 32-bit");
         Topology {
             num_locales,
             tasks_per_locale,

@@ -55,7 +55,7 @@ fn serve<R: Reclaim>(
         let (generation, backend) = table.read(|t| (t.generation, t.route(n)));
         assert!(u64::from(backend) < generation + 1024, "torn table");
         n += 1;
-        if n % quiesce_every == 0 {
+        if n.is_multiple_of(quiesce_every) {
             // Between requests: a natural quiescent point. A checkpoint
             // under QSBR, a no-op under EBR.
             table.reclaimer().quiesce();
@@ -112,5 +112,7 @@ fn main() {
     println!("hot-reloading a routing table under both reclamation back-ends\n");
     run("ebr", Arc::new(EbrReclaim::new()), 500);
     run("qsbr", Arc::new(QsbrReclaim::new()), 500);
-    println!("\nsame serve() code ran under both schemes — the paper's `isQSBR` as a type parameter");
+    println!(
+        "\nsame serve() code ran under both schemes — the paper's `isQSBR` as a type parameter"
+    );
 }

@@ -30,7 +30,9 @@ fn main() {
             let worker = (loc.index() * 8 + task) as u64;
             for k in 0..256u64 {
                 let key = worker * 1000 + k + 1;
-                table.insert(key, key * 2).expect("capacity sized for phase 1");
+                table
+                    .insert(key, key * 2)
+                    .expect("capacity sized for phase 1");
                 // Interleaved lookups of our own writes.
                 if k % 8 == 7 {
                     assert_eq!(table.get(key), Some(key * 2));
@@ -74,5 +76,9 @@ fn main() {
         });
     }
     println!("phase 3: verified all entries post-grow; removed half");
-    println!("final: {} live entries of {} slots", table.len(), table.capacity());
+    println!(
+        "final: {} live entries of {} slots",
+        table.len(),
+        table.capacity()
+    );
 }

@@ -96,7 +96,11 @@ fn main() {
     vec.checkpoint();
 
     let stats = vec.array.stats();
-    println!("pushed {} elements from {} tasks", total, cluster.topology().total_tasks());
+    println!(
+        "pushed {} elements from {} tasks",
+        total,
+        cluster.topology().total_tasks()
+    );
     println!(
         "backing array: {} elements in {} blocks, {} resizes, blocks/locale {:?}",
         stats.capacity, stats.num_blocks, stats.resizes, stats.blocks_per_locale
@@ -105,5 +109,8 @@ fn main() {
         "reclamation: {} snapshots deferred, {} reclaimed, {} pending",
         stats.qsbr.defers, stats.qsbr.reclaimed, stats.qsbr.pending
     );
-    println!("every push present exactly once — no updates lost across {} resizes", stats.resizes);
+    println!(
+        "every push present exactly once — no updates lost across {} resizes",
+        stats.resizes
+    );
 }

@@ -16,7 +16,11 @@ fn main() {
     // A QSBR-backed RCUArray of u64 with the paper's 1024-element blocks.
     let array: QsbrArray<u64> = QsbrArray::with_config(&cluster, Config::default());
     array.resize(8192);
-    println!("resized to {} elements in {} blocks", array.capacity(), array.num_blocks());
+    println!(
+        "resized to {} elements in {} blocks",
+        array.capacity(),
+        array.num_blocks()
+    );
 
     // Plain reads and updates, from any task on any locale.
     array.write(4096, 42);
@@ -28,7 +32,10 @@ fn main() {
     array.resize(8192);
     r.set(7);
     assert_eq!(array.read(100), 7);
-    println!("update through a pre-resize reference survived: {}", array.read(100));
+    println!(
+        "update through a pre-resize reference survived: {}",
+        array.read(100)
+    );
 
     // Reads, updates and resizes all at once, from every locale.
     let stop = AtomicBool::new(false);

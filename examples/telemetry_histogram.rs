@@ -14,9 +14,9 @@
 //! cargo run --release --example telemetry_histogram
 //! ```
 
-use rcuarray_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rcuarray_repro::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -64,11 +64,8 @@ fn main() {
     );
 
     // --- RCUArray (QSBR) ---
-    let hist: QsbrArray<u64> = QsbrArray::with_capacity(
-        &cluster,
-        Config::with_block_size(1024),
-        INITIAL_IDS,
-    );
+    let hist: QsbrArray<u64> =
+        QsbrArray::with_capacity(&cluster, Config::with_block_size(1024), INITIAL_IDS);
     let ids = AtomicUsize::new(INITIAL_IDS);
     let start = Instant::now();
     ingest(

@@ -43,7 +43,11 @@ fn show_violation<M: rcuarray_model::Model>(name: &str, outcome: CheckOutcome<M>
 }
 
 fn main() {
-    println!("== EBR (Algorithm 1): 1 writer x {} writes, 2 readers, epoch mod {} ==", EPOCH_MOD + 1, EPOCH_MOD);
+    println!(
+        "== EBR (Algorithm 1): 1 writer x {} writes, 2 readers, epoch mod {} ==",
+        EPOCH_MOD + 1,
+        EPOCH_MOD
+    );
     show_ok(
         "paper protocol (incl. epoch wrap)",
         explore(&EbrModel::default(), 5_000_000).expect_ok(),

@@ -27,7 +27,7 @@ pub use rcuarray_runtime;
 /// Convenience prelude for examples and tests.
 pub mod prelude {
     pub use rcuarray::{
-        Config, EbrArray, Element, ElemRef, QsbrArray, RcuArray, Scheme, DEFAULT_BLOCK_SIZE,
+        Config, EbrArray, ElemRef, Element, QsbrArray, RcuArray, Scheme, DEFAULT_BLOCK_SIZE,
     };
     pub use rcuarray_baselines::{
         HazardArray, LockFreeVector, RwLockArray, SyncArray, UnsafeArray,
@@ -37,6 +37,7 @@ pub mod prelude {
     pub use rcuarray_qsbr::QsbrDomain;
     pub use rcuarray_rcu::{EbrReclaim, QsbrReclaim, RcuList, RcuPtr, Reclaim};
     pub use rcuarray_runtime::{
-        current_locale, Cluster, LatencyModel, LocaleId, SyncVar, Topology,
+        current_locale, Cluster, CommError, FaultAction, FaultPlan, FaultStats, LatencyModel,
+        LocaleId, OpKind, RetryPolicy, SyncVar, Topology,
     };
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_blocksize-3eb65689d0f3d7c2.d: crates/bench/benches/ablation_blocksize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_blocksize-3eb65689d0f3d7c2.rmeta: crates/bench/benches/ablation_blocksize.rs Cargo.toml
+
+crates/bench/benches/ablation_blocksize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_clone-2051bfaf5b3a0597.d: crates/bench/benches/ablation_clone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_clone-2051bfaf5b3a0597.rmeta: crates/bench/benches/ablation_clone.rs Cargo.toml
+
+crates/bench/benches/ablation_clone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_reclaimers-32584e3e6d62898c.d: crates/bench/benches/ablation_reclaimers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_reclaimers-32584e3e6d62898c.rmeta: crates/bench/benches/ablation_reclaimers.rs Cargo.toml
+
+crates/bench/benches/ablation_reclaimers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

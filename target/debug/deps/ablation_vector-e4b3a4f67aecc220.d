@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_vector-e4b3a4f67aecc220.d: crates/bench/benches/ablation_vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_vector-e4b3a4f67aecc220.rmeta: crates/bench/benches/ablation_vector.rs Cargo.toml
+
+crates/bench/benches/ablation_vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

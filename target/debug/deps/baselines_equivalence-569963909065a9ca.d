@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_equivalence-569963909065a9ca.d: tests/baselines_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_equivalence-569963909065a9ca.rmeta: tests/baselines_equivalence.rs Cargo.toml
+
+tests/baselines_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

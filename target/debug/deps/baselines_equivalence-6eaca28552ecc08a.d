@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_equivalence-6eaca28552ecc08a.d: tests/baselines_equivalence.rs
+
+/root/repo/target/debug/deps/baselines_equivalence-6eaca28552ecc08a: tests/baselines_equivalence.rs
+
+tests/baselines_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_equivalence-a524f22844a38007.d: tests/baselines_equivalence.rs
+
+/root/repo/target/debug/deps/baselines_equivalence-a524f22844a38007: tests/baselines_equivalence.rs
+
+tests/baselines_equivalence.rs:

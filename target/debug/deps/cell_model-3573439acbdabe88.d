@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cell_model-3573439acbdabe88.d: crates/ebr/tests/cell_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcell_model-3573439acbdabe88.rmeta: crates/ebr/tests/cell_model.rs Cargo.toml
+
+crates/ebr/tests/cell_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

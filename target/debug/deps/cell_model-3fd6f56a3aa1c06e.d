@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cell_model-3fd6f56a3aa1c06e.d: crates/ebr/tests/cell_model.rs
+
+/root/repo/target/debug/deps/cell_model-3fd6f56a3aa1c06e: crates/ebr/tests/cell_model.rs
+
+crates/ebr/tests/cell_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/churn-876f4a5146a947a0.d: crates/qsbr/tests/churn.rs
+
+/root/repo/target/debug/deps/churn-876f4a5146a947a0: crates/qsbr/tests/churn.rs
+
+crates/qsbr/tests/churn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/churn-f860ddbdbf7b41a5.d: crates/qsbr/tests/churn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchurn-f860ddbdbf7b41a5.rmeta: crates/qsbr/tests/churn.rs Cargo.toml
+
+crates/qsbr/tests/churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

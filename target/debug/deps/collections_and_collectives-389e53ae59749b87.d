@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collections_and_collectives-389e53ae59749b87.d: tests/collections_and_collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollections_and_collectives-389e53ae59749b87.rmeta: tests/collections_and_collectives.rs Cargo.toml
+
+tests/collections_and_collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collections_and_collectives-47c11c660c3cc214.d: tests/collections_and_collectives.rs
+
+/root/repo/target/debug/deps/collections_and_collectives-47c11c660c3cc214: tests/collections_and_collectives.rs
+
+tests/collections_and_collectives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collections_and_collectives-fb9f2e3c4666b394.d: tests/collections_and_collectives.rs
+
+/root/repo/target/debug/deps/collections_and_collectives-fb9f2e3c4666b394: tests/collections_and_collectives.rs
+
+tests/collections_and_collectives.rs:

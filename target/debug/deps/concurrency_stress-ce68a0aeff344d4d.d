@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency_stress-ce68a0aeff344d4d.d: tests/concurrency_stress.rs
+
+/root/repo/target/debug/deps/concurrency_stress-ce68a0aeff344d4d: tests/concurrency_stress.rs
+
+tests/concurrency_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency_stress-ddd95e3a784f582d.d: tests/concurrency_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency_stress-ddd95e3a784f582d.rmeta: tests/concurrency_stress.rs Cargo.toml
+
+tests/concurrency_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

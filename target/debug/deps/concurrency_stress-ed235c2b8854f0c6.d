@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency_stress-ed235c2b8854f0c6.d: tests/concurrency_stress.rs
+
+/root/repo/target/debug/deps/concurrency_stress-ed235c2b8854f0c6: tests/concurrency_stress.rs
+
+tests/concurrency_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_scheme-68af9380c2838648.d: tests/cross_scheme.rs
+
+/root/repo/target/debug/deps/cross_scheme-68af9380c2838648: tests/cross_scheme.rs
+
+tests/cross_scheme.rs:

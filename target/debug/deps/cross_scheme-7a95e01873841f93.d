@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_scheme-7a95e01873841f93.d: tests/cross_scheme.rs
+
+/root/repo/target/debug/deps/cross_scheme-7a95e01873841f93: tests/cross_scheme.rs
+
+tests/cross_scheme.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distribution-871de17b5f53b81c.d: tests/distribution.rs
+
+/root/repo/target/debug/deps/distribution-871de17b5f53b81c: tests/distribution.rs
+
+tests/distribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distribution-c36e10422d04917a.d: tests/distribution.rs
+
+/root/repo/target/debug/deps/distribution-c36e10422d04917a: tests/distribution.rs
+
+tests/distribution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distribution-e5be09b0b4161a8b.d: tests/distribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistribution-e5be09b0b4161a8b.rmeta: tests/distribution.rs Cargo.toml
+
+tests/distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-051c1c4eb4ed74bb.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-051c1c4eb4ed74bb: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_indexing-e12881ba31ef4fc0.d: crates/bench/benches/fig2_indexing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_indexing-e12881ba31ef4fc0.rmeta: crates/bench/benches/fig2_indexing.rs Cargo.toml
+
+crates/bench/benches/fig2_indexing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_resize-8658e60a007c6ac0.d: crates/bench/benches/fig3_resize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_resize-8658e60a007c6ac0.rmeta: crates/bench/benches/fig3_resize.rs Cargo.toml
+
+crates/bench/benches/fig3_resize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_checkpoint-bca4117ef686455d.d: crates/bench/benches/fig4_checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_checkpoint-bca4117ef686455d.rmeta: crates/bench/benches/fig4_checkpoint.rs Cargo.toml
+
+crates/bench/benches/fig4_checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-c084b9a7e8334590.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-c084b9a7e8334590: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-c4a587585e48e648.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-c4a587585e48e648: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-c815c70ca3dfc79a.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-c815c70ca3dfc79a: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-17bfbf8195328b1b.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-17bfbf8195328b1b: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

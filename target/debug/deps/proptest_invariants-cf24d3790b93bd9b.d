@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-cf24d3790b93bd9b.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-cf24d3790b93bd9b: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rcuarray-06a62640f2770494.d: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/element.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs
+
+/root/repo/target/debug/deps/rcuarray-06a62640f2770494: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/element.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs
+
+crates/rcuarray/src/lib.rs:
+crates/rcuarray/src/array.rs:
+crates/rcuarray/src/block.rs:
+crates/rcuarray/src/config.rs:
+crates/rcuarray/src/elem_ref.rs:
+crates/rcuarray/src/element.rs:
+crates/rcuarray/src/handle.rs:
+crates/rcuarray/src/iter.rs:
+crates/rcuarray/src/scheme.rs:
+crates/rcuarray/src/snapshot.rs:
+crates/rcuarray/src/stats.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rcuarray-6af172396887b9de.d: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/element.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs
+
+/root/repo/target/debug/deps/librcuarray-6af172396887b9de.rlib: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/element.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs
+
+/root/repo/target/debug/deps/librcuarray-6af172396887b9de.rmeta: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/element.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs
+
+crates/rcuarray/src/lib.rs:
+crates/rcuarray/src/array.rs:
+crates/rcuarray/src/block.rs:
+crates/rcuarray/src/config.rs:
+crates/rcuarray/src/element.rs:
+crates/rcuarray/src/elem_ref.rs:
+crates/rcuarray/src/handle.rs:
+crates/rcuarray/src/iter.rs:
+crates/rcuarray/src/scheme.rs:
+crates/rcuarray/src/snapshot.rs:
+crates/rcuarray/src/stats.rs:

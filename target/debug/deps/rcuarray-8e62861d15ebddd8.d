@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rcuarray-8e62861d15ebddd8.d: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/element.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcuarray-8e62861d15ebddd8.rmeta: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/element.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs Cargo.toml
+
+crates/rcuarray/src/lib.rs:
+crates/rcuarray/src/array.rs:
+crates/rcuarray/src/block.rs:
+crates/rcuarray/src/config.rs:
+crates/rcuarray/src/elem_ref.rs:
+crates/rcuarray/src/element.rs:
+crates/rcuarray/src/handle.rs:
+crates/rcuarray/src/iter.rs:
+crates/rcuarray/src/scheme.rs:
+crates/rcuarray/src/snapshot.rs:
+crates/rcuarray/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

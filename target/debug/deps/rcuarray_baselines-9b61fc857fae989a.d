@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rcuarray_baselines-9b61fc857fae989a.d: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcuarray_baselines-9b61fc857fae989a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hazard.rs:
+crates/baselines/src/lockfree_vector.rs:
+crates/baselines/src/rwlock_array.rs:
+crates/baselines/src/sync_array.rs:
+crates/baselines/src/unsafe_array.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

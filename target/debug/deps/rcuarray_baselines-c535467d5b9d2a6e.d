@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rcuarray_baselines-c535467d5b9d2a6e.d: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs
+
+/root/repo/target/debug/deps/librcuarray_baselines-c535467d5b9d2a6e.rlib: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs
+
+/root/repo/target/debug/deps/librcuarray_baselines-c535467d5b9d2a6e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hazard.rs:
+crates/baselines/src/lockfree_vector.rs:
+crates/baselines/src/rwlock_array.rs:
+crates/baselines/src/sync_array.rs:
+crates/baselines/src/unsafe_array.rs:

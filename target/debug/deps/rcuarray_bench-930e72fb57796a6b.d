@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rcuarray_bench-930e72fb57796a6b.d: crates/bench/src/lib.rs crates/bench/src/arrays.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/librcuarray_bench-930e72fb57796a6b.rlib: crates/bench/src/lib.rs crates/bench/src/arrays.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/librcuarray_bench-930e72fb57796a6b.rmeta: crates/bench/src/lib.rs crates/bench/src/arrays.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/arrays.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rcuarray_bench-9e09f1a09dac6717.d: crates/bench/src/lib.rs crates/bench/src/arrays.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcuarray_bench-9e09f1a09dac6717.rmeta: crates/bench/src/lib.rs crates/bench/src/arrays.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/workload.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/arrays.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rcuarray_collections-03af928cc27725ce.d: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+/root/repo/target/debug/deps/rcuarray_collections-03af928cc27725ce: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/dist_table.rs:
+crates/collections/src/dist_vector.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rcuarray_collections-3eccfbca2aab9165.d: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcuarray_collections-3eccfbca2aab9165.rmeta: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs Cargo.toml
+
+crates/collections/src/lib.rs:
+crates/collections/src/dist_table.rs:
+crates/collections/src/dist_vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

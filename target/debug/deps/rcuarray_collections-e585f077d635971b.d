@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rcuarray_collections-e585f077d635971b.d: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+/root/repo/target/debug/deps/librcuarray_collections-e585f077d635971b.rlib: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+/root/repo/target/debug/deps/librcuarray_collections-e585f077d635971b.rmeta: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/dist_table.rs:
+crates/collections/src/dist_vector.rs:

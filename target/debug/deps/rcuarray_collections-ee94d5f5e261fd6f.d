@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rcuarray_collections-ee94d5f5e261fd6f.d: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+/root/repo/target/debug/deps/rcuarray_collections-ee94d5f5e261fd6f: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/dist_table.rs:
+crates/collections/src/dist_vector.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rcuarray_ebr-ae587c4f7d41884e.d: crates/ebr/src/lib.rs crates/ebr/src/backoff.rs crates/ebr/src/epoch.rs crates/ebr/src/guard.rs crates/ebr/src/ordering.rs crates/ebr/src/rcu_cell.rs crates/ebr/src/sharded.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcuarray_ebr-ae587c4f7d41884e.rmeta: crates/ebr/src/lib.rs crates/ebr/src/backoff.rs crates/ebr/src/epoch.rs crates/ebr/src/guard.rs crates/ebr/src/ordering.rs crates/ebr/src/rcu_cell.rs crates/ebr/src/sharded.rs Cargo.toml
+
+crates/ebr/src/lib.rs:
+crates/ebr/src/backoff.rs:
+crates/ebr/src/epoch.rs:
+crates/ebr/src/guard.rs:
+crates/ebr/src/ordering.rs:
+crates/ebr/src/rcu_cell.rs:
+crates/ebr/src/sharded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rcuarray_model-35a7a86b69a6db09.d: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+/root/repo/target/debug/deps/librcuarray_model-35a7a86b69a6db09.rlib: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+/root/repo/target/debug/deps/librcuarray_model-35a7a86b69a6db09.rmeta: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+crates/model/src/lib.rs:
+crates/model/src/ebr_model.rs:
+crates/model/src/explorer.rs:
+crates/model/src/qsbr_model.rs:

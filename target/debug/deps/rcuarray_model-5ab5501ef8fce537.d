@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rcuarray_model-5ab5501ef8fce537.d: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+/root/repo/target/debug/deps/rcuarray_model-5ab5501ef8fce537: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+crates/model/src/lib.rs:
+crates/model/src/ebr_model.rs:
+crates/model/src/explorer.rs:
+crates/model/src/qsbr_model.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rcuarray_model-efd3d4793e232d47.d: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcuarray_model-efd3d4793e232d47.rmeta: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/ebr_model.rs:
+crates/model/src/explorer.rs:
+crates/model/src/qsbr_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

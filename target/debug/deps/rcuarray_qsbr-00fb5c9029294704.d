@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rcuarray_qsbr-00fb5c9029294704.d: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcuarray_qsbr-00fb5c9029294704.rmeta: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs Cargo.toml
+
+crates/qsbr/src/lib.rs:
+crates/qsbr/src/defer_list.rs:
+crates/qsbr/src/domain.rs:
+crates/qsbr/src/record.rs:
+crates/qsbr/src/registry.rs:
+crates/qsbr/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rcuarray_qsbr-843534e7e064ee11.d: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs
+
+/root/repo/target/debug/deps/librcuarray_qsbr-843534e7e064ee11.rlib: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs
+
+/root/repo/target/debug/deps/librcuarray_qsbr-843534e7e064ee11.rmeta: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs
+
+crates/qsbr/src/lib.rs:
+crates/qsbr/src/defer_list.rs:
+crates/qsbr/src/domain.rs:
+crates/qsbr/src/record.rs:
+crates/qsbr/src/registry.rs:
+crates/qsbr/src/state.rs:

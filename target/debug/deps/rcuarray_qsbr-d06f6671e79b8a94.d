@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rcuarray_qsbr-d06f6671e79b8a94.d: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs
+
+/root/repo/target/debug/deps/rcuarray_qsbr-d06f6671e79b8a94: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs
+
+crates/qsbr/src/lib.rs:
+crates/qsbr/src/defer_list.rs:
+crates/qsbr/src/domain.rs:
+crates/qsbr/src/record.rs:
+crates/qsbr/src/registry.rs:
+crates/qsbr/src/state.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rcuarray_rcu-53605852e4ffc662.d: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs
+
+/root/repo/target/debug/deps/librcuarray_rcu-53605852e4ffc662.rlib: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs
+
+/root/repo/target/debug/deps/librcuarray_rcu-53605852e4ffc662.rmeta: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs
+
+crates/rcu/src/lib.rs:
+crates/rcu/src/list.rs:
+crates/rcu/src/rcu_ptr.rs:
+crates/rcu/src/reclaimer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rcuarray_rcu-69a181117b095573.d: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcuarray_rcu-69a181117b095573.rmeta: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs Cargo.toml
+
+crates/rcu/src/lib.rs:
+crates/rcu/src/list.rs:
+crates/rcu/src/rcu_ptr.rs:
+crates/rcu/src/reclaimer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rcuarray_rcu-811e6d31ac04cfc5.d: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcuarray_rcu-811e6d31ac04cfc5.rmeta: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs Cargo.toml
+
+crates/rcu/src/lib.rs:
+crates/rcu/src/list.rs:
+crates/rcu/src/rcu_ptr.rs:
+crates/rcu/src/reclaimer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rcuarray_repro-023d88b391959509.d: src/lib.rs
+
+/root/repo/target/debug/deps/rcuarray_repro-023d88b391959509: src/lib.rs
+
+src/lib.rs:

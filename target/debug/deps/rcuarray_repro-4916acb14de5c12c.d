@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rcuarray_repro-4916acb14de5c12c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcuarray_repro-4916acb14de5c12c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rcuarray_repro-4b46813a9759a46d.d: src/lib.rs
+
+/root/repo/target/debug/deps/librcuarray_repro-4b46813a9759a46d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librcuarray_repro-4b46813a9759a46d.rmeta: src/lib.rs
+
+src/lib.rs:

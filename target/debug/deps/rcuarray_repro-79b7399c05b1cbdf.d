@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rcuarray_repro-79b7399c05b1cbdf.d: src/lib.rs
+
+/root/repo/target/debug/deps/librcuarray_repro-79b7399c05b1cbdf.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librcuarray_repro-79b7399c05b1cbdf.rmeta: src/lib.rs
+
+src/lib.rs:

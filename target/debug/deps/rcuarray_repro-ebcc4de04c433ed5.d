@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rcuarray_repro-ebcc4de04c433ed5.d: src/lib.rs
+
+/root/repo/target/debug/deps/rcuarray_repro-ebcc4de04c433ed5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rcuarray_runtime-f5f054ae33ef1d51.d: crates/runtime/src/lib.rs crates/runtime/src/collectives.rs crates/runtime/src/comm.rs crates/runtime/src/dist.rs crates/runtime/src/fault.rs crates/runtime/src/global_lock.rs crates/runtime/src/locale.rs crates/runtime/src/privatization.rs crates/runtime/src/sync_var.rs crates/runtime/src/task.rs crates/runtime/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcuarray_runtime-f5f054ae33ef1d51.rmeta: crates/runtime/src/lib.rs crates/runtime/src/collectives.rs crates/runtime/src/comm.rs crates/runtime/src/dist.rs crates/runtime/src/fault.rs crates/runtime/src/global_lock.rs crates/runtime/src/locale.rs crates/runtime/src/privatization.rs crates/runtime/src/sync_var.rs crates/runtime/src/task.rs crates/runtime/src/topology.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/collectives.rs:
+crates/runtime/src/comm.rs:
+crates/runtime/src/dist.rs:
+crates/runtime/src/fault.rs:
+crates/runtime/src/global_lock.rs:
+crates/runtime/src/locale.rs:
+crates/runtime/src/privatization.rs:
+crates/runtime/src/sync_var.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reclamation-32c0c9785fbde261.d: tests/reclamation.rs
+
+/root/repo/target/debug/deps/reclamation-32c0c9785fbde261: tests/reclamation.rs
+
+tests/reclamation.rs:

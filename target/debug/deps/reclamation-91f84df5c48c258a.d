@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reclamation-91f84df5c48c258a.d: tests/reclamation.rs
+
+/root/repo/target/debug/deps/reclamation-91f84df5c48c258a: tests/reclamation.rs
+
+tests/reclamation.rs:

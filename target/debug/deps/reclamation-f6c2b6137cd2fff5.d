@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reclamation-f6c2b6137cd2fff5.d: tests/reclamation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreclamation-f6c2b6137cd2fff5.rmeta: tests/reclamation.rs Cargo.toml
+
+tests/reclamation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_hot_reload-225e96dccb11e9ab.d: examples/config_hot_reload.rs
+
+/root/repo/target/debug/examples/config_hot_reload-225e96dccb11e9ab: examples/config_hot_reload.rs
+
+examples/config_hot_reload.rs:

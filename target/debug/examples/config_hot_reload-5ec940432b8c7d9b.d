@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_hot_reload-5ec940432b8c7d9b.d: examples/config_hot_reload.rs
+
+/root/repo/target/debug/examples/config_hot_reload-5ec940432b8c7d9b: examples/config_hot_reload.rs
+
+examples/config_hot_reload.rs:

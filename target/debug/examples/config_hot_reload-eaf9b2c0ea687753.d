@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/config_hot_reload-eaf9b2c0ea687753.d: examples/config_hot_reload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconfig_hot_reload-eaf9b2c0ea687753.rmeta: examples/config_hot_reload.rs Cargo.toml
+
+examples/config_hot_reload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_table-0fcc1e5aef1cf5eb.d: examples/distributed_table.rs
+
+/root/repo/target/debug/examples/distributed_table-0fcc1e5aef1cf5eb: examples/distributed_table.rs
+
+examples/distributed_table.rs:

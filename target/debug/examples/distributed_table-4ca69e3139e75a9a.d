@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_table-4ca69e3139e75a9a.d: examples/distributed_table.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_table-4ca69e3139e75a9a.rmeta: examples/distributed_table.rs Cargo.toml
+
+examples/distributed_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_table-c5f907c4e9521e93.d: examples/distributed_table.rs
+
+/root/repo/target/debug/examples/distributed_table-c5f907c4e9521e93: examples/distributed_table.rs
+
+examples/distributed_table.rs:

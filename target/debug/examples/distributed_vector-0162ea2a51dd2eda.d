@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_vector-0162ea2a51dd2eda.d: examples/distributed_vector.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_vector-0162ea2a51dd2eda.rmeta: examples/distributed_vector.rs Cargo.toml
+
+examples/distributed_vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

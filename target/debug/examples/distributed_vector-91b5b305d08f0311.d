@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_vector-91b5b305d08f0311.d: examples/distributed_vector.rs
+
+/root/repo/target/debug/examples/distributed_vector-91b5b305d08f0311: examples/distributed_vector.rs
+
+examples/distributed_vector.rs:

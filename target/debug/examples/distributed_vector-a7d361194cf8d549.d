@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_vector-a7d361194cf8d549.d: examples/distributed_vector.rs
+
+/root/repo/target/debug/examples/distributed_vector-a7d361194cf8d549: examples/distributed_vector.rs
+
+examples/distributed_vector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_chaos-99154692d4e49666.d: examples/fault_chaos.rs
+
+/root/repo/target/debug/examples/fault_chaos-99154692d4e49666: examples/fault_chaos.rs
+
+examples/fault_chaos.rs:

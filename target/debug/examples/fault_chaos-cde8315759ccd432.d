@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_chaos-cde8315759ccd432.d: examples/fault_chaos.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_chaos-cde8315759ccd432.rmeta: examples/fault_chaos.rs Cargo.toml
+
+examples/fault_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-227406767e73b2fb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-227406767e73b2fb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ffd6549f2796850c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ffd6549f2796850c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/telemetry_histogram-0483049117f48c7a.d: examples/telemetry_histogram.rs
+
+/root/repo/target/debug/examples/telemetry_histogram-0483049117f48c7a: examples/telemetry_histogram.rs
+
+examples/telemetry_histogram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/telemetry_histogram-1b25034c79d3953d.d: examples/telemetry_histogram.rs
+
+/root/repo/target/debug/examples/telemetry_histogram-1b25034c79d3953d: examples/telemetry_histogram.rs
+
+examples/telemetry_histogram.rs:

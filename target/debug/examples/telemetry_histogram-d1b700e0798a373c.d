@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/telemetry_histogram-d1b700e0798a373c.d: examples/telemetry_histogram.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtelemetry_histogram-d1b700e0798a373c.rmeta: examples/telemetry_histogram.rs Cargo.toml
+
+examples/telemetry_histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_protocols-520910d9a4709b14.d: examples/verify_protocols.rs
+
+/root/repo/target/debug/examples/verify_protocols-520910d9a4709b14: examples/verify_protocols.rs
+
+examples/verify_protocols.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/verify_protocols-6f753e0277d971ad.d: examples/verify_protocols.rs Cargo.toml
+
+/root/repo/target/debug/examples/libverify_protocols-6f753e0277d971ad.rmeta: examples/verify_protocols.rs Cargo.toml
+
+examples/verify_protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_protocols-7f991e8bdbda72d7.d: examples/verify_protocols.rs
+
+/root/repo/target/debug/examples/verify_protocols-7f991e8bdbda72d7: examples/verify_protocols.rs
+
+examples/verify_protocols.rs:

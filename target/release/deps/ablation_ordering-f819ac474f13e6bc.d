@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ordering-f819ac474f13e6bc.d: crates/bench/benches/ablation_ordering.rs
+
+/root/repo/target/release/deps/ablation_ordering-f819ac474f13e6bc: crates/bench/benches/ablation_ordering.rs
+
+crates/bench/benches/ablation_ordering.rs:

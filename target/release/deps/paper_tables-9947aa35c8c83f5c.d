@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_tables-9947aa35c8c83f5c.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/release/deps/paper_tables-9947aa35c8c83f5c: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

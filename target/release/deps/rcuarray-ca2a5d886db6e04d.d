@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/rcuarray-ca2a5d886db6e04d.d: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/element.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs
+
+/root/repo/target/release/deps/librcuarray-ca2a5d886db6e04d.rlib: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/element.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs
+
+/root/repo/target/release/deps/librcuarray-ca2a5d886db6e04d.rmeta: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/element.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs
+
+crates/rcuarray/src/lib.rs:
+crates/rcuarray/src/array.rs:
+crates/rcuarray/src/block.rs:
+crates/rcuarray/src/config.rs:
+crates/rcuarray/src/elem_ref.rs:
+crates/rcuarray/src/element.rs:
+crates/rcuarray/src/handle.rs:
+crates/rcuarray/src/iter.rs:
+crates/rcuarray/src/scheme.rs:
+crates/rcuarray/src/snapshot.rs:
+crates/rcuarray/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rcuarray_baselines-0d5688a3c3160294.d: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs
+
+/root/repo/target/release/deps/librcuarray_baselines-0d5688a3c3160294.rlib: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs
+
+/root/repo/target/release/deps/librcuarray_baselines-0d5688a3c3160294.rmeta: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hazard.rs:
+crates/baselines/src/lockfree_vector.rs:
+crates/baselines/src/rwlock_array.rs:
+crates/baselines/src/sync_array.rs:
+crates/baselines/src/unsafe_array.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rcuarray_bench-ced5cf820dc015cd.d: crates/bench/src/lib.rs crates/bench/src/arrays.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/librcuarray_bench-ced5cf820dc015cd.rlib: crates/bench/src/lib.rs crates/bench/src/arrays.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/librcuarray_bench-ced5cf820dc015cd.rmeta: crates/bench/src/lib.rs crates/bench/src/arrays.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/arrays.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rcuarray_collections-6981207b243e249e.d: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+/root/repo/target/release/deps/librcuarray_collections-6981207b243e249e.rlib: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+/root/repo/target/release/deps/librcuarray_collections-6981207b243e249e.rmeta: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/dist_table.rs:
+crates/collections/src/dist_vector.rs:

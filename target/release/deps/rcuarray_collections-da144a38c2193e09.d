@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rcuarray_collections-da144a38c2193e09.d: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+/root/repo/target/release/deps/librcuarray_collections-da144a38c2193e09.rlib: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+/root/repo/target/release/deps/librcuarray_collections-da144a38c2193e09.rmeta: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/dist_table.rs:
+crates/collections/src/dist_vector.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rcuarray_ebr-b498893c42398a34.d: crates/ebr/src/lib.rs crates/ebr/src/backoff.rs crates/ebr/src/epoch.rs crates/ebr/src/guard.rs crates/ebr/src/ordering.rs crates/ebr/src/rcu_cell.rs crates/ebr/src/sharded.rs
+
+/root/repo/target/release/deps/librcuarray_ebr-b498893c42398a34.rlib: crates/ebr/src/lib.rs crates/ebr/src/backoff.rs crates/ebr/src/epoch.rs crates/ebr/src/guard.rs crates/ebr/src/ordering.rs crates/ebr/src/rcu_cell.rs crates/ebr/src/sharded.rs
+
+/root/repo/target/release/deps/librcuarray_ebr-b498893c42398a34.rmeta: crates/ebr/src/lib.rs crates/ebr/src/backoff.rs crates/ebr/src/epoch.rs crates/ebr/src/guard.rs crates/ebr/src/ordering.rs crates/ebr/src/rcu_cell.rs crates/ebr/src/sharded.rs
+
+crates/ebr/src/lib.rs:
+crates/ebr/src/backoff.rs:
+crates/ebr/src/epoch.rs:
+crates/ebr/src/guard.rs:
+crates/ebr/src/ordering.rs:
+crates/ebr/src/rcu_cell.rs:
+crates/ebr/src/sharded.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rcuarray_model-45606b508d4f4896.d: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+/root/repo/target/release/deps/librcuarray_model-45606b508d4f4896.rlib: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+/root/repo/target/release/deps/librcuarray_model-45606b508d4f4896.rmeta: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+crates/model/src/lib.rs:
+crates/model/src/ebr_model.rs:
+crates/model/src/explorer.rs:
+crates/model/src/qsbr_model.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rcuarray_qsbr-6672f212b9780dc3.d: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs
+
+/root/repo/target/release/deps/librcuarray_qsbr-6672f212b9780dc3.rlib: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs
+
+/root/repo/target/release/deps/librcuarray_qsbr-6672f212b9780dc3.rmeta: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs
+
+crates/qsbr/src/lib.rs:
+crates/qsbr/src/defer_list.rs:
+crates/qsbr/src/domain.rs:
+crates/qsbr/src/record.rs:
+crates/qsbr/src/registry.rs:
+crates/qsbr/src/state.rs:

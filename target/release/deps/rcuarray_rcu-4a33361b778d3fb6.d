@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rcuarray_rcu-4a33361b778d3fb6.d: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs
+
+/root/repo/target/release/deps/librcuarray_rcu-4a33361b778d3fb6.rlib: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs
+
+/root/repo/target/release/deps/librcuarray_rcu-4a33361b778d3fb6.rmeta: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs
+
+crates/rcu/src/lib.rs:
+crates/rcu/src/list.rs:
+crates/rcu/src/rcu_ptr.rs:
+crates/rcu/src/reclaimer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rcuarray_repro-5de159512f700d76.d: src/lib.rs
+
+/root/repo/target/release/deps/rcuarray_repro-5de159512f700d76: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rcuarray_repro-c4c36e0cb8bb94e9.d: src/lib.rs
+
+/root/repo/target/release/deps/librcuarray_repro-c4c36e0cb8bb94e9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librcuarray_repro-c4c36e0cb8bb94e9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rcuarray_repro-df00f4ba7d890bd1.d: src/lib.rs
+
+/root/repo/target/release/deps/librcuarray_repro-df00f4ba7d890bd1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librcuarray_repro-df00f4ba7d890bd1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rcuarray_runtime-515fb611ab584424.d: crates/runtime/src/lib.rs crates/runtime/src/collectives.rs crates/runtime/src/comm.rs crates/runtime/src/dist.rs crates/runtime/src/global_lock.rs crates/runtime/src/locale.rs crates/runtime/src/privatization.rs crates/runtime/src/sync_var.rs crates/runtime/src/task.rs crates/runtime/src/topology.rs
+
+/root/repo/target/release/deps/librcuarray_runtime-515fb611ab584424.rlib: crates/runtime/src/lib.rs crates/runtime/src/collectives.rs crates/runtime/src/comm.rs crates/runtime/src/dist.rs crates/runtime/src/global_lock.rs crates/runtime/src/locale.rs crates/runtime/src/privatization.rs crates/runtime/src/sync_var.rs crates/runtime/src/task.rs crates/runtime/src/topology.rs
+
+/root/repo/target/release/deps/librcuarray_runtime-515fb611ab584424.rmeta: crates/runtime/src/lib.rs crates/runtime/src/collectives.rs crates/runtime/src/comm.rs crates/runtime/src/dist.rs crates/runtime/src/global_lock.rs crates/runtime/src/locale.rs crates/runtime/src/privatization.rs crates/runtime/src/sync_var.rs crates/runtime/src/task.rs crates/runtime/src/topology.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/collectives.rs:
+crates/runtime/src/comm.rs:
+crates/runtime/src/dist.rs:
+crates/runtime/src/global_lock.rs:
+crates/runtime/src/locale.rs:
+crates/runtime/src/privatization.rs:
+crates/runtime/src/sync_var.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/topology.rs:

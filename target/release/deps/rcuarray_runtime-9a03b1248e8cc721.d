@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/rcuarray_runtime-9a03b1248e8cc721.d: crates/runtime/src/lib.rs crates/runtime/src/collectives.rs crates/runtime/src/comm.rs crates/runtime/src/dist.rs crates/runtime/src/fault.rs crates/runtime/src/global_lock.rs crates/runtime/src/locale.rs crates/runtime/src/privatization.rs crates/runtime/src/sync_var.rs crates/runtime/src/task.rs crates/runtime/src/topology.rs
+
+/root/repo/target/release/deps/librcuarray_runtime-9a03b1248e8cc721.rlib: crates/runtime/src/lib.rs crates/runtime/src/collectives.rs crates/runtime/src/comm.rs crates/runtime/src/dist.rs crates/runtime/src/fault.rs crates/runtime/src/global_lock.rs crates/runtime/src/locale.rs crates/runtime/src/privatization.rs crates/runtime/src/sync_var.rs crates/runtime/src/task.rs crates/runtime/src/topology.rs
+
+/root/repo/target/release/deps/librcuarray_runtime-9a03b1248e8cc721.rmeta: crates/runtime/src/lib.rs crates/runtime/src/collectives.rs crates/runtime/src/comm.rs crates/runtime/src/dist.rs crates/runtime/src/fault.rs crates/runtime/src/global_lock.rs crates/runtime/src/locale.rs crates/runtime/src/privatization.rs crates/runtime/src/sync_var.rs crates/runtime/src/task.rs crates/runtime/src/topology.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/collectives.rs:
+crates/runtime/src/comm.rs:
+crates/runtime/src/dist.rs:
+crates/runtime/src/fault.rs:
+crates/runtime/src/global_lock.rs:
+crates/runtime/src/locale.rs:
+crates/runtime/src/privatization.rs:
+crates/runtime/src/sync_var.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/config_hot_reload-3b5e9ce0a6c8860f.d: examples/config_hot_reload.rs
+
+/root/repo/target/release/examples/config_hot_reload-3b5e9ce0a6c8860f: examples/config_hot_reload.rs
+
+examples/config_hot_reload.rs:

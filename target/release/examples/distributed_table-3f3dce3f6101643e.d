@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_table-3f3dce3f6101643e.d: examples/distributed_table.rs
+
+/root/repo/target/release/examples/distributed_table-3f3dce3f6101643e: examples/distributed_table.rs
+
+examples/distributed_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_vector-4d273cf05cfe68ab.d: examples/distributed_vector.rs
+
+/root/repo/target/release/examples/distributed_vector-4d273cf05cfe68ab: examples/distributed_vector.rs
+
+examples/distributed_vector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_vector-f14a228ad3b965aa.d: examples/distributed_vector.rs
+
+/root/repo/target/release/examples/distributed_vector-f14a228ad3b965aa: examples/distributed_vector.rs
+
+examples/distributed_vector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_chaos-bdc5d3147d69a51b.d: examples/fault_chaos.rs
+
+/root/repo/target/release/examples/fault_chaos-bdc5d3147d69a51b: examples/fault_chaos.rs
+
+examples/fault_chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d0e9360573918237.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d0e9360573918237: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/telemetry_histogram-0bb022dd2dd6e74b.d: examples/telemetry_histogram.rs
+
+/root/repo/target/release/examples/telemetry_histogram-0bb022dd2dd6e74b: examples/telemetry_histogram.rs
+
+examples/telemetry_histogram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_protocols-85521a62b1b1e726.d: examples/verify_protocols.rs
+
+/root/repo/target/release/examples/verify_protocols-85521a62b1b1e726: examples/verify_protocols.rs
+
+examples/verify_protocols.rs:

@@ -31,53 +31,149 @@ fn variants(cluster: &Arc<Cluster>) -> Vec<Variant> {
     vec![
         Variant {
             name: "EbrArray",
-            read: { let a = Arc::clone(&ebr); Box::new(move |i| a.read(i)) },
-            write: { let a = Arc::clone(&ebr); Box::new(move |i, v| a.write(i, v)) },
-            resize: { let a = Arc::clone(&ebr); Box::new(move |n| { a.resize(n); }) },
-            capacity: { let a = ebr; Box::new(move || a.capacity()) },
+            read: {
+                let a = Arc::clone(&ebr);
+                Box::new(move |i| a.read(i))
+            },
+            write: {
+                let a = Arc::clone(&ebr);
+                Box::new(move |i, v| a.write(i, v))
+            },
+            resize: {
+                let a = Arc::clone(&ebr);
+                Box::new(move |n| {
+                    a.resize(n);
+                })
+            },
+            capacity: {
+                let a = ebr;
+                Box::new(move || a.capacity())
+            },
         },
         Variant {
             name: "QsbrArray",
-            read: { let a = Arc::clone(&qsbr); Box::new(move |i| a.read(i)) },
-            write: { let a = Arc::clone(&qsbr); Box::new(move |i, v| a.write(i, v)) },
-            resize: { let a = Arc::clone(&qsbr); Box::new(move |n| { a.resize(n); }) },
-            capacity: { let a = qsbr; Box::new(move || a.capacity()) },
+            read: {
+                let a = Arc::clone(&qsbr);
+                Box::new(move |i| a.read(i))
+            },
+            write: {
+                let a = Arc::clone(&qsbr);
+                Box::new(move |i, v| a.write(i, v))
+            },
+            resize: {
+                let a = Arc::clone(&qsbr);
+                Box::new(move |n| {
+                    a.resize(n);
+                })
+            },
+            capacity: {
+                let a = qsbr;
+                Box::new(move || a.capacity())
+            },
         },
         Variant {
             name: "UnsafeArray",
-            read: { let a = Arc::clone(&unsafe_a); Box::new(move |i| a.read(i)) },
-            write: { let a = Arc::clone(&unsafe_a); Box::new(move |i, v| a.write(i, v)) },
+            read: {
+                let a = Arc::clone(&unsafe_a);
+                Box::new(move |i| a.read(i))
+            },
+            write: {
+                let a = Arc::clone(&unsafe_a);
+                Box::new(move |i, v| a.write(i, v))
+            },
             // Match RCUArray's block rounding so capacities line up.
-            resize: { let a = Arc::clone(&unsafe_a); Box::new(move |n| { a.resize(n.div_ceil(16) * 16); }) },
-            capacity: { let a = unsafe_a; Box::new(move || a.capacity()) },
+            resize: {
+                let a = Arc::clone(&unsafe_a);
+                Box::new(move |n| {
+                    a.resize(n.div_ceil(16) * 16);
+                })
+            },
+            capacity: {
+                let a = unsafe_a;
+                Box::new(move || a.capacity())
+            },
         },
         Variant {
             name: "SyncArray",
-            read: { let a = Arc::clone(&sync_a); Box::new(move |i| a.read(i)) },
-            write: { let a = Arc::clone(&sync_a); Box::new(move |i, v| a.write(i, v)) },
-            resize: { let a = Arc::clone(&sync_a); Box::new(move |n| { a.resize(n.div_ceil(16) * 16); }) },
-            capacity: { let a = sync_a; Box::new(move || a.capacity()) },
+            read: {
+                let a = Arc::clone(&sync_a);
+                Box::new(move |i| a.read(i))
+            },
+            write: {
+                let a = Arc::clone(&sync_a);
+                Box::new(move |i, v| a.write(i, v))
+            },
+            resize: {
+                let a = Arc::clone(&sync_a);
+                Box::new(move |n| {
+                    a.resize(n.div_ceil(16) * 16);
+                })
+            },
+            capacity: {
+                let a = sync_a;
+                Box::new(move || a.capacity())
+            },
         },
         Variant {
             name: "RwLockArray",
-            read: { let a = Arc::clone(&rw); Box::new(move |i| a.read(i)) },
-            write: { let a = Arc::clone(&rw); Box::new(move |i, v| a.write(i, v)) },
-            resize: { let a = Arc::clone(&rw); Box::new(move |n| { a.resize(n.div_ceil(16) * 16); }) },
-            capacity: { let a = rw; Box::new(move || a.capacity()) },
+            read: {
+                let a = Arc::clone(&rw);
+                Box::new(move |i| a.read(i))
+            },
+            write: {
+                let a = Arc::clone(&rw);
+                Box::new(move |i, v| a.write(i, v))
+            },
+            resize: {
+                let a = Arc::clone(&rw);
+                Box::new(move |n| {
+                    a.resize(n.div_ceil(16) * 16);
+                })
+            },
+            capacity: {
+                let a = rw;
+                Box::new(move || a.capacity())
+            },
         },
         Variant {
             name: "HazardArray",
-            read: { let a = Arc::clone(&hz); Box::new(move |i| a.read(i)) },
-            write: { let a = Arc::clone(&hz); Box::new(move |i, v| a.write(i, v)) },
-            resize: { let a = Arc::clone(&hz); Box::new(move |n| { a.resize(n); }) },
-            capacity: { let a = hz; Box::new(move || a.capacity()) },
+            read: {
+                let a = Arc::clone(&hz);
+                Box::new(move |i| a.read(i))
+            },
+            write: {
+                let a = Arc::clone(&hz);
+                Box::new(move |i, v| a.write(i, v))
+            },
+            resize: {
+                let a = Arc::clone(&hz);
+                Box::new(move |n| {
+                    a.resize(n);
+                })
+            },
+            capacity: {
+                let a = hz;
+                Box::new(move || a.capacity())
+            },
         },
         Variant {
             name: "LockFreeVector",
-            read: { let a = Arc::clone(&lf); Box::new(move |i| a.read(i)) },
-            write: { let a = Arc::clone(&lf); Box::new(move |i, v| a.write(i, v)) },
-            resize: { let a = Arc::clone(&lf); Box::new(move |n| a.extend_default(n.div_ceil(16) * 16)) },
-            capacity: { let a = lf; Box::new(move || a.len()) },
+            read: {
+                let a = Arc::clone(&lf);
+                Box::new(move |i| a.read(i))
+            },
+            write: {
+                let a = Arc::clone(&lf);
+                Box::new(move |i, v| a.write(i, v))
+            },
+            resize: {
+                let a = Arc::clone(&lf);
+                Box::new(move |n| a.extend_default(n.div_ceil(16) * 16))
+            },
+            capacity: {
+                let a = lf;
+                Box::new(move || a.len())
+            },
         },
     ]
 }
@@ -108,11 +204,7 @@ fn all_seven_variants_agree_on_a_deterministic_workload() {
     }
 
     for (k, v) in vs.iter().enumerate().skip(1) {
-        assert_eq!(
-            logs[0], logs[k],
-            "{} disagrees with {}",
-            v.name, vs[0].name
-        );
+        assert_eq!(logs[0], logs[k], "{} disagrees with {}", v.name, vs[0].name);
         assert_eq!((vs[0].capacity)(), (v.capacity)(), "{} capacity", v.name);
     }
 

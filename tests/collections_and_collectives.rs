@@ -115,7 +115,10 @@ fn barrier_coordinates_phases_across_locales() {
         phase2_sum.fetch_add(1, Ordering::Relaxed);
         a.checkpoint();
     });
-    assert_eq!(phase2_sum.load(Ordering::Relaxed), c.topology().total_tasks());
+    assert_eq!(
+        phase2_sum.load(Ordering::Relaxed),
+        c.topology().total_tasks()
+    );
 }
 
 #[test]

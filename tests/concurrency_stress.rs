@@ -51,10 +51,7 @@ fn stress<S: rcuarray::Scheme>(make: impl Fn(&Arc<Cluster>) -> RcuArray<u64, S>)
                     let cap = array.capacity();
                     let i = (k * 7) % cap;
                     let v = array.read(i);
-                    assert!(
-                        v == 0 || v == (i as u64) * 2 + 1,
-                        "slot {i} corrupted: {v}"
-                    );
+                    assert!(v == 0 || v == (i as u64) * 2 + 1, "slot {i} corrupted: {v}");
                     k += 1;
                     reads_done.fetch_add(1, Ordering::Relaxed);
                 }
@@ -151,5 +148,8 @@ fn concurrent_resizes_from_every_locale_serialize_correctly() {
     assert_eq!(array.capacity(), 3 * 10 * 32);
     let stats = array.stats();
     assert_eq!(stats.num_blocks, 30);
-    assert!(stats.block_imbalance() <= 1, "round-robin held under contention");
+    assert!(
+        stats.block_imbalance() <= 1,
+        "round-robin held under contention"
+    );
 }

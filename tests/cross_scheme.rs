@@ -18,14 +18,18 @@ fn cfg() -> Config {
 }
 
 /// A deterministic mixed op sequence applied to any array-like object.
-fn drive(read: impl Fn(usize) -> u64, write: impl Fn(usize, u64), resize: impl Fn(usize) -> usize) -> Vec<u64> {
+fn drive(
+    read: impl Fn(usize) -> u64,
+    write: impl Fn(usize, u64),
+    resize: impl Fn(usize) -> usize,
+) -> Vec<u64> {
     let mut log = Vec::new();
     let mut cap = resize(32);
     for step in 0..500u64 {
         let idx = (step as usize * 31) % cap;
         match step % 7 {
-            0 | 1 | 2 => log.push(read(idx)),
-            3 | 4 | 5 => write(idx, step * 3 + 1),
+            0..=2 => log.push(read(idx)),
+            3..=5 => write(idx, step * 3 + 1),
             _ => {
                 if cap < 512 {
                     cap = resize(16);
@@ -44,7 +48,11 @@ fn ebr_and_qsbr_arrays_agree_with_each_other_and_a_vec_model() {
     let qsbr: QsbrArray<u64> = QsbrArray::with_config(&c, cfg());
 
     let log_e = drive(|i| ebr.read(i), |i, v| ebr.write(i, v), |n| ebr.resize(n));
-    let log_q = drive(|i| qsbr.read(i), |i, v| qsbr.write(i, v), |n| qsbr.resize(n));
+    let log_q = drive(
+        |i| qsbr.read(i),
+        |i, v| qsbr.write(i, v),
+        |n| qsbr.resize(n),
+    );
     assert_eq!(log_e, log_q, "schemes must be observably identical");
 
     // Model: a plain Vec with the same rounding-up growth rule.
@@ -75,9 +83,7 @@ fn generic_code_runs_under_either_scheme() {
     let c = cluster();
     let e: EbrArray<u64> = EbrArray::with_config(&c, cfg());
     let q: QsbrArray<u64> = QsbrArray::with_config(&c, cfg());
-    for a in [&e as &dyn std::any::Any] {
-        let _ = a; // type-level point only
-    }
+    let _ = &e as &dyn std::any::Any; // type-level point only
     e.resize(32);
     q.resize(32);
     e.fill(2);
@@ -108,7 +114,11 @@ fn scheme_specific_reclamation_behaviour() {
     for _ in 0..5 {
         e.resize(16);
     }
-    assert_eq!(e.stats().qsbr.defers, 0, "EBR must not touch the QSBR domain");
+    assert_eq!(
+        e.stats().qsbr.defers,
+        0,
+        "EBR must not touch the QSBR domain"
+    );
     assert_eq!(e.stats().ebr.advances, 5 * c.num_locales() as u64);
 
     // QSBR defers: snapshots pend until quiescence.

@@ -116,10 +116,7 @@ fn sync_array_lock_contention_grows_with_remote_tasks() {
     let s = cluster.comm_stats();
     // 3 of 4 locales are remote to the lock; every one of their 16 ops
     // pays a lock round trip (2 puts + 1 get) beyond any element traffic.
-    assert!(
-        s.puts >= 3 * 16 * 2,
-        "remote lock traffic missing: {s:?}"
-    );
+    assert!(s.puts >= 3 * 16 * 2, "remote lock traffic missing: {s:?}");
 }
 
 #[test]
@@ -194,5 +191,84 @@ fn arc_cluster_shared_by_all_structures() {
     a.resize(8);
     b.resize(8);
     c2.resize(8);
-    assert!(Arc::strong_count(&cluster) >= 4, "structures share the cluster");
+    assert!(
+        Arc::strong_count(&cluster) >= 4,
+        "structures share the cluster"
+    );
+}
+
+#[test]
+fn retries_are_charged_to_the_initiating_locale() {
+    // Every remote GET fails; the retry budget is spent by whichever
+    // locale initiated the access, not the (innocent) block owner.
+    let plan = FaultPlan::new(11).fail_gets(1.0);
+    let cluster = Cluster::builder()
+        .topology(Topology::new(2, 1))
+        .fault_plan(plan)
+        .build();
+    let retry = RetryPolicy::new(3, std::time::Duration::from_secs(5));
+    let a: QsbrArray<u64> = QsbrArray::with_config(
+        &cluster,
+        Config {
+            block_size: 8,
+            retry,
+            ..Config::default()
+        },
+    );
+    a.resize(16); // block 0 homed on L0, block 1 on L1
+    rcuarray_runtime::task::with_locale(LocaleId::new(1), || {
+        let _ = a.read(0); // remote GET against L0: fails, retried, degrades
+    });
+    let l1 = cluster.comm().fault_stats_for(LocaleId::new(1));
+    let l0 = cluster.comm().fault_stats_for(LocaleId::ZERO);
+    assert_eq!(
+        l1.retries,
+        u64::from(retry.max_retries),
+        "initiator pays the whole retry budget: {l1:?}"
+    );
+    assert_eq!(l0.retries, 0, "the block owner pays nothing: {l0:?}");
+    assert_eq!(l1.gets_attempted, l1.gets_failed, "p=1.0: every GET fails");
+    assert_eq!(
+        l1.gets_attempted,
+        u64::from(retry.max_retries) + 1,
+        "first attempt + retries are all attributed to the initiator"
+    );
+    assert_eq!(a.stats().fallback_reads, 1, "the read degraded locally");
+    a.checkpoint();
+}
+
+#[test]
+fn fault_accounting_balances_attempted_against_failed_per_locale() {
+    let plan = FaultPlan::new(23).fail_gets(0.3).fail_puts(0.3);
+    let cluster = Cluster::builder()
+        .topology(Topology::new(3, 1))
+        .fault_plan(plan)
+        .build();
+    let a: QsbrArray<u64> = QsbrArray::with_config(&cluster, Config::with_block_size(8));
+    a.resize(24);
+    for l in 0..3u32 {
+        rcuarray_runtime::task::with_locale(LocaleId::new(l), || {
+            for i in 0..24 {
+                a.write(i, i as u64);
+                let _ = a.read(i);
+            }
+        });
+    }
+    // Attempted counters only include fault-checked (plan-enabled) ops,
+    // so completed + failed must reconcile exactly per locale.
+    let comm = cluster.comm();
+    let totals = comm.fault_totals();
+    assert!(
+        totals.failed() > 0,
+        "p=0.3 must inject something: {totals:?}"
+    );
+    let per: Vec<_> = (0..3u32)
+        .map(|l| comm.fault_stats_for(LocaleId::new(l)))
+        .collect();
+    let sum_attempted: u64 = per
+        .iter()
+        .map(|s| s.gets_attempted + s.puts_attempted)
+        .sum();
+    assert_eq!(sum_attempted, totals.gets_attempted + totals.puts_attempted);
+    a.checkpoint();
 }

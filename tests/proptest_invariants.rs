@@ -2,8 +2,8 @@
 //! lemmas, checked against reference models under randomized inputs.
 
 use proptest::prelude::*;
-use rcuarray_repro::prelude::*;
 use rcuarray_qsbr::DeferList;
+use rcuarray_repro::prelude::*;
 use rcuarray_runtime::{BlockCyclicDist, BlockDist, RoundRobinCounter};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

@@ -58,7 +58,11 @@ fn qsbr_defers_free_exactly_once_with_canaries() {
     }
     assert_eq!(drops.load(Ordering::SeqCst), 0);
     domain.checkpoint();
-    assert_eq!(drops.load(Ordering::SeqCst), N, "each canary dropped exactly once");
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        N,
+        "each canary dropped exactly once"
+    );
     domain.checkpoint();
     assert_eq!(drops.load(Ordering::SeqCst), N, "no double drops");
 }

@@ -1,0 +1,363 @@
+//! Offline shim exposing the `criterion` API subset this workspace's
+//! benches use.
+//!
+//! The build environment has no crates.io access; this shim keeps
+//! `cargo bench` runnable. Each benchmark runs a short warm-up, then
+//! enough iterations to fill the configured measurement time, and prints
+//! `name ... mean ns/iter (throughput)` — no outlier analysis, HTML
+//! reports or comparison baselines. Numbers are honest wall-clock means,
+//! good enough to compare variants within one run on one machine.
+
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units the measured iteration count is reported in.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim treats every variant as
+/// per-iteration setup excluded from timing.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small batches (shim: same as PerIteration).
+    SmallInput,
+    /// Large batches (shim: same as PerIteration).
+    LargeInput,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter display value.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Total time spent in measured iterations.
+    elapsed: Duration,
+    /// Measured iterations executed.
+    iters: u64,
+    /// Measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up + calibration: one untimed call.
+        black_box(routine());
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine`, dropping its (large) output outside the timed
+    /// region.
+    pub fn iter_with_large_drop<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            let out = black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            drop(out);
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Run `routine(iters)` once per sample with a caller-measured
+    /// duration. The shim sizes `iters` so one sample roughly fills the
+    /// measurement budget, calibrating with a small probe batch.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        const PROBE: u64 = 16;
+        let probe = routine(PROBE).max(Duration::from_nanos(1));
+        let per_iter = probe.as_secs_f64() / PROBE as f64;
+        let iters = ((self.budget.as_secs_f64() / per_iter) as u64).clamp(1, 1 << 24);
+        self.elapsed += routine(iters);
+        self.iters += iters;
+    }
+
+    /// Time `routine` on inputs built by `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{name:<50} no iterations");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let extra = match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 * self.iters as f64 / self.elapsed.as_secs_f64();
+                format!("  {:>12.0} elem/s", per_sec)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 * self.iters as f64 / self.elapsed.as_secs_f64();
+                format!("  {:>12.0} B/s", per_sec)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{name:<50} {ns:>14.1} ns/iter ({} iters){extra}",
+            self.iters
+        );
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(50),
+        }
+    }
+}
+
+/// The benchmark manager.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            settings: Settings::default(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.settings.clone(), None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion-compatible no-op: the shim sizes by time, not samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // The real criterion spreads `d` over many samples; the shim uses
+        // a fraction so full bench sweeps stay tractable.
+        self.settings.measurement_time = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Set the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d.min(Duration::from_millis(500));
+        self
+    }
+
+    /// Declare the units one iteration processes.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.settings.clone(), self.throughput, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.settings.clone(), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up pass with a tiny budget, discarded.
+    let mut warm = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        budget: settings.warm_up_time,
+    };
+    f(&mut warm);
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        budget: settings.measurement_time,
+    };
+    f(&mut b);
+    b.report(name, throughput);
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+            .throughput(Throughput::Elements(1));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert!(calls > 1, "routine must run repeatedly, got {calls}");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: Duration::from_millis(5),
+        };
+        b.iter_batched(
+            || std::thread::sleep(Duration::from_micros(200)),
+            |_| {},
+            BatchSize::PerIteration,
+        );
+        // Setup slept ~200µs/iter; measured time must be far below total.
+        assert!(b.elapsed < Duration::from_millis(5));
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("reads", 4);
+        assert_eq!(id.to_string(), "reads/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline shim exposing the `proptest` API subset this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real `proptest`
+//! cannot be fetched. This shim keeps the property tests *running* (not
+//! merely compiling): every `proptest!` test executes
+//! `ProptestConfig::cases` generated inputs drawn from deterministic
+//! per-test seeds, so failures reproduce run-to-run. What it does not do
+//! is shrink counterexamples — a failing case panics with the ordinary
+//! assertion message plus the case number.
+
+pub mod strategy {
+    //! Value-generation strategies (generation only, no shrink trees).
+
+    /// Deterministic generator handed to strategies (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded deterministically.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `usize` in `[0, bound)`; `bound` must be nonzero.
+        #[inline]
+        pub fn below(&mut self, bound: usize) -> usize {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+        }
+    }
+
+    /// A generation strategy for values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f` (proptest's `prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    self.start + ((rng.next_u64() as u128 * span) >> 64) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "empty range strategy");
+                    let span = (e - s) as u128 + 1;
+                    s + ((rng.next_u64() as u128 * span) >> 64) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Box a strategy for use in a heterogeneous [`Union`].
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Uniform choice between branches (proptest's `prop_oneof!`).
+    pub struct Union<V> {
+        branches: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given branches (must be non-empty).
+        pub fn new(branches: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!branches.is_empty(), "prop_oneof! needs branches");
+            Union { branches }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let k = rng.below(self.branches.len());
+            self.branches[k].generate(rng)
+        }
+    }
+
+    /// Full-domain strategy for a primitive (the `ANY` constants).
+    pub struct Any<T>(pub std::marker::PhantomData<T>);
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Strategy for Any<u32> {
+        type Value = u32;
+        fn generate(&self, rng: &mut TestRng) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Strategy for Any<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy for `Vec`s with length drawn from a size strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod test_runner {
+    //! Case scheduling for the `proptest!` macro.
+
+    /// Execution knobs (only `cases` is honored by the shim).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated inputs per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps the suite fast while still
+            // exploring meaningfully many inputs per property.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Stable 64-bit FNV-1a of the test name: the per-test seed base, so
+    /// each property gets its own deterministic stream.
+    pub fn seed_for(name: &str, case: u32) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ ((case as u64) << 32 | case as u64)
+    }
+}
+
+pub mod collection {
+    //! `proptest::collection` shim.
+    pub use crate::strategy::vec;
+}
+
+pub mod num {
+    //! `proptest::num` shim: `ANY` constants per primitive.
+    pub use crate::strategy::Any;
+    pub use std::marker::PhantomData;
+
+    /// u64 strategies.
+    pub mod u64 {
+        /// Any `u64`.
+        pub const ANY: super::Any<u64> = super::Any(super::PhantomData);
+    }
+    /// u32 strategies.
+    pub mod u32 {
+        /// Any `u32`.
+        pub const ANY: super::Any<u32> = super::Any(super::PhantomData);
+    }
+    /// usize strategies.
+    pub mod usize {
+        /// Any `usize`.
+        pub const ANY: super::Any<usize> = super::Any(super::PhantomData);
+    }
+}
+
+#[allow(non_snake_case)]
+pub mod bool {
+    //! `proptest::bool` shim.
+    use crate::strategy::Any;
+    use std::marker::PhantomData;
+
+    /// Any `bool`.
+    pub const ANY: Any<std::primitive::bool> = Any(PhantomData);
+}
+
+pub mod prelude {
+    //! `proptest::prelude` shim.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop` module alias (`prop::collection::vec`, `prop::num::…`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Assert inside a property (panics; no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+/// The `proptest!` test-definition macro (generation-only shim).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::strategy::TestRng::new(
+                        $crate::test_runner::seed_for(stringify!($name), case),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            &mut rng,
+                        );
+                    )+
+                    // An inner closure keeps `continue`/`return` in the
+                    // body scoped to the property, not the case loop.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| $body)();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::{Strategy, TestRng};
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_covers_all_branches() {
+        let s = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let s = crate::collection::vec(0u64..5, 2..7);
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_round_trip(x in 0usize..100, flip in prop::bool::ANY) {
+            prop_assert!(x < 100);
+            let _ = flip;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tuple_and_map(pair in ((0u64..10), (0u64..10)).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair < 19);
+        }
+    }
+}
