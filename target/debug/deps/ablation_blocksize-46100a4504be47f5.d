@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_blocksize-46100a4504be47f5.d: crates/bench/benches/ablation_blocksize.rs
+
+/root/repo/target/debug/deps/libablation_blocksize-46100a4504be47f5.rmeta: crates/bench/benches/ablation_blocksize.rs
+
+crates/bench/benches/ablation_blocksize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_clone-c5b959b4586e18cc.d: crates/bench/benches/ablation_clone.rs
+
+/root/repo/target/debug/deps/libablation_clone-c5b959b4586e18cc.rmeta: crates/bench/benches/ablation_clone.rs
+
+crates/bench/benches/ablation_clone.rs:

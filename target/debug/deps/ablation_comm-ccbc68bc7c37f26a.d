@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_comm-ccbc68bc7c37f26a.d: crates/bench/benches/ablation_comm.rs
+
+/root/repo/target/debug/deps/libablation_comm-ccbc68bc7c37f26a.rmeta: crates/bench/benches/ablation_comm.rs
+
+crates/bench/benches/ablation_comm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ordering-13f1b5cb4e93532d.d: crates/bench/benches/ablation_ordering.rs
+
+/root/repo/target/debug/deps/libablation_ordering-13f1b5cb4e93532d.rmeta: crates/bench/benches/ablation_ordering.rs
+
+crates/bench/benches/ablation_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_reclaimers-eb52849c06baf01e.d: crates/bench/benches/ablation_reclaimers.rs
+
+/root/repo/target/debug/deps/libablation_reclaimers-eb52849c06baf01e.rmeta: crates/bench/benches/ablation_reclaimers.rs
+
+crates/bench/benches/ablation_reclaimers.rs:

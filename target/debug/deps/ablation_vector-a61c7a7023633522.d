@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_vector-a61c7a7023633522.d: crates/bench/benches/ablation_vector.rs
+
+/root/repo/target/debug/deps/libablation_vector-a61c7a7023633522.rmeta: crates/bench/benches/ablation_vector.rs
+
+crates/bench/benches/ablation_vector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_equivalence-fdc5acaa7c2661c1.d: tests/baselines_equivalence.rs
+
+/root/repo/target/debug/deps/libbaselines_equivalence-fdc5acaa7c2661c1.rmeta: tests/baselines_equivalence.rs
+
+tests/baselines_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cell_model-de26ce18d7c21a65.d: crates/ebr/tests/cell_model.rs
+
+/root/repo/target/debug/deps/libcell_model-de26ce18d7c21a65.rmeta: crates/ebr/tests/cell_model.rs
+
+crates/ebr/tests/cell_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/churn-647d7e642dc64a92.d: crates/qsbr/tests/churn.rs
+
+/root/repo/target/debug/deps/libchurn-647d7e642dc64a92.rmeta: crates/qsbr/tests/churn.rs
+
+crates/qsbr/tests/churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collections_and_collectives-efb88ba06e5e55ff.d: tests/collections_and_collectives.rs
+
+/root/repo/target/debug/deps/libcollections_and_collectives-efb88ba06e5e55ff.rmeta: tests/collections_and_collectives.rs
+
+tests/collections_and_collectives.rs:

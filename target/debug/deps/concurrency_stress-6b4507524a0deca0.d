@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency_stress-6b4507524a0deca0.d: tests/concurrency_stress.rs
+
+/root/repo/target/debug/deps/libconcurrency_stress-6b4507524a0deca0.rmeta: tests/concurrency_stress.rs
+
+tests/concurrency_stress.rs:

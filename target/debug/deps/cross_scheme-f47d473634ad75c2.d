@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_scheme-f47d473634ad75c2.d: tests/cross_scheme.rs
+
+/root/repo/target/debug/deps/libcross_scheme-f47d473634ad75c2.rmeta: tests/cross_scheme.rs
+
+tests/cross_scheme.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distribution-aefcc3b2cbdf4e19.d: tests/distribution.rs
+
+/root/repo/target/debug/deps/libdistribution-aefcc3b2cbdf4e19.rmeta: tests/distribution.rs
+
+tests/distribution.rs:

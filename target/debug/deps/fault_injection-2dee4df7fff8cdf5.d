@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-2dee4df7fff8cdf5.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/libfault_injection-2dee4df7fff8cdf5.rmeta: tests/fault_injection.rs
+
+tests/fault_injection.rs:

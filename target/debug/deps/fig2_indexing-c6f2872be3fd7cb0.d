@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_indexing-c6f2872be3fd7cb0.d: crates/bench/benches/fig2_indexing.rs
+
+/root/repo/target/debug/deps/libfig2_indexing-c6f2872be3fd7cb0.rmeta: crates/bench/benches/fig2_indexing.rs
+
+crates/bench/benches/fig2_indexing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_resize-abffdc40727b7ed5.d: crates/bench/benches/fig3_resize.rs
+
+/root/repo/target/debug/deps/libfig3_resize-abffdc40727b7ed5.rmeta: crates/bench/benches/fig3_resize.rs
+
+crates/bench/benches/fig3_resize.rs:

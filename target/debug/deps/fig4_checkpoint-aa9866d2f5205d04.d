@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_checkpoint-aa9866d2f5205d04.d: crates/bench/benches/fig4_checkpoint.rs
+
+/root/repo/target/debug/deps/libfig4_checkpoint-aa9866d2f5205d04.rmeta: crates/bench/benches/fig4_checkpoint.rs
+
+crates/bench/benches/fig4_checkpoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-f16291abb3238861.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/libpaper_tables-f16291abb3238861.rmeta: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-f44b0fa0a708d7d1.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/libpaper_tables-f44b0fa0a708d7d1.rmeta: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

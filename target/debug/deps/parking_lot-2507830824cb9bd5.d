@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-2507830824cb9bd5.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-2507830824cb9bd5.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

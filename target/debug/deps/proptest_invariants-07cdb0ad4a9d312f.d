@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-07cdb0ad4a9d312f.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/libproptest_invariants-07cdb0ad4a9d312f.rmeta: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

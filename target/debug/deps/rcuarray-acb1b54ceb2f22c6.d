@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rcuarray-acb1b54ceb2f22c6.d: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/element.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs
+
+/root/repo/target/debug/deps/librcuarray-acb1b54ceb2f22c6.rmeta: crates/rcuarray/src/lib.rs crates/rcuarray/src/array.rs crates/rcuarray/src/block.rs crates/rcuarray/src/config.rs crates/rcuarray/src/elem_ref.rs crates/rcuarray/src/element.rs crates/rcuarray/src/handle.rs crates/rcuarray/src/iter.rs crates/rcuarray/src/scheme.rs crates/rcuarray/src/snapshot.rs crates/rcuarray/src/stats.rs
+
+crates/rcuarray/src/lib.rs:
+crates/rcuarray/src/array.rs:
+crates/rcuarray/src/block.rs:
+crates/rcuarray/src/config.rs:
+crates/rcuarray/src/elem_ref.rs:
+crates/rcuarray/src/element.rs:
+crates/rcuarray/src/handle.rs:
+crates/rcuarray/src/iter.rs:
+crates/rcuarray/src/scheme.rs:
+crates/rcuarray/src/snapshot.rs:
+crates/rcuarray/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rcuarray_baselines-2e86574cc391785d.d: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs
+
+/root/repo/target/debug/deps/librcuarray_baselines-2e86574cc391785d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hazard.rs:
+crates/baselines/src/lockfree_vector.rs:
+crates/baselines/src/rwlock_array.rs:
+crates/baselines/src/sync_array.rs:
+crates/baselines/src/unsafe_array.rs:

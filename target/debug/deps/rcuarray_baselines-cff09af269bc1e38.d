@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rcuarray_baselines-cff09af269bc1e38.d: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs
+
+/root/repo/target/debug/deps/librcuarray_baselines-cff09af269bc1e38.rmeta: crates/baselines/src/lib.rs crates/baselines/src/hazard.rs crates/baselines/src/lockfree_vector.rs crates/baselines/src/rwlock_array.rs crates/baselines/src/sync_array.rs crates/baselines/src/unsafe_array.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hazard.rs:
+crates/baselines/src/lockfree_vector.rs:
+crates/baselines/src/rwlock_array.rs:
+crates/baselines/src/sync_array.rs:
+crates/baselines/src/unsafe_array.rs:

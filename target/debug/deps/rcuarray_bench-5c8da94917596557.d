@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rcuarray_bench-5c8da94917596557.d: crates/bench/src/lib.rs crates/bench/src/arrays.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/librcuarray_bench-5c8da94917596557.rmeta: crates/bench/src/lib.rs crates/bench/src/arrays.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/arrays.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rcuarray_collections-8f3fb88decad023d.d: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+/root/repo/target/debug/deps/librcuarray_collections-8f3fb88decad023d.rmeta: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/dist_table.rs:
+crates/collections/src/dist_vector.rs:

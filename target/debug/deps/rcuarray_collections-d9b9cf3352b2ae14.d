@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rcuarray_collections-d9b9cf3352b2ae14.d: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+/root/repo/target/debug/deps/librcuarray_collections-d9b9cf3352b2ae14.rmeta: crates/collections/src/lib.rs crates/collections/src/dist_table.rs crates/collections/src/dist_vector.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/dist_table.rs:
+crates/collections/src/dist_vector.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rcuarray_ebr-335e046b2cbd4c04.d: crates/ebr/src/lib.rs crates/ebr/src/backoff.rs crates/ebr/src/epoch.rs crates/ebr/src/guard.rs crates/ebr/src/ordering.rs crates/ebr/src/rcu_cell.rs crates/ebr/src/sharded.rs
+
+/root/repo/target/debug/deps/librcuarray_ebr-335e046b2cbd4c04.rmeta: crates/ebr/src/lib.rs crates/ebr/src/backoff.rs crates/ebr/src/epoch.rs crates/ebr/src/guard.rs crates/ebr/src/ordering.rs crates/ebr/src/rcu_cell.rs crates/ebr/src/sharded.rs
+
+crates/ebr/src/lib.rs:
+crates/ebr/src/backoff.rs:
+crates/ebr/src/epoch.rs:
+crates/ebr/src/guard.rs:
+crates/ebr/src/ordering.rs:
+crates/ebr/src/rcu_cell.rs:
+crates/ebr/src/sharded.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rcuarray_model-1acef0b0ecd4429d.d: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+/root/repo/target/debug/deps/librcuarray_model-1acef0b0ecd4429d.rmeta: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+crates/model/src/lib.rs:
+crates/model/src/ebr_model.rs:
+crates/model/src/explorer.rs:
+crates/model/src/qsbr_model.rs:

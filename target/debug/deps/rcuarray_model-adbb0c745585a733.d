@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rcuarray_model-adbb0c745585a733.d: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+/root/repo/target/debug/deps/librcuarray_model-adbb0c745585a733.rmeta: crates/model/src/lib.rs crates/model/src/ebr_model.rs crates/model/src/explorer.rs crates/model/src/qsbr_model.rs
+
+crates/model/src/lib.rs:
+crates/model/src/ebr_model.rs:
+crates/model/src/explorer.rs:
+crates/model/src/qsbr_model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rcuarray_qsbr-98b4c3f6f1f89ecd.d: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs
+
+/root/repo/target/debug/deps/librcuarray_qsbr-98b4c3f6f1f89ecd.rmeta: crates/qsbr/src/lib.rs crates/qsbr/src/defer_list.rs crates/qsbr/src/domain.rs crates/qsbr/src/record.rs crates/qsbr/src/registry.rs crates/qsbr/src/state.rs
+
+crates/qsbr/src/lib.rs:
+crates/qsbr/src/defer_list.rs:
+crates/qsbr/src/domain.rs:
+crates/qsbr/src/record.rs:
+crates/qsbr/src/registry.rs:
+crates/qsbr/src/state.rs:

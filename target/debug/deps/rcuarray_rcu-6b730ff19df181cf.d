@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rcuarray_rcu-6b730ff19df181cf.d: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs
+
+/root/repo/target/debug/deps/librcuarray_rcu-6b730ff19df181cf.rmeta: crates/rcu/src/lib.rs crates/rcu/src/list.rs crates/rcu/src/rcu_ptr.rs crates/rcu/src/reclaimer.rs
+
+crates/rcu/src/lib.rs:
+crates/rcu/src/list.rs:
+crates/rcu/src/rcu_ptr.rs:
+crates/rcu/src/reclaimer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rcuarray_repro-41317bb875b29687.d: src/lib.rs
+
+/root/repo/target/debug/deps/librcuarray_repro-41317bb875b29687.rmeta: src/lib.rs
+
+src/lib.rs:

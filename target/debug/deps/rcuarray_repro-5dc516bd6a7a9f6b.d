@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rcuarray_repro-5dc516bd6a7a9f6b.d: src/lib.rs
+
+/root/repo/target/debug/deps/librcuarray_repro-5dc516bd6a7a9f6b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rcuarray_runtime-981c222d5d386009.d: crates/runtime/src/lib.rs crates/runtime/src/collectives.rs crates/runtime/src/comm.rs crates/runtime/src/dist.rs crates/runtime/src/fault.rs crates/runtime/src/global_lock.rs crates/runtime/src/locale.rs crates/runtime/src/privatization.rs crates/runtime/src/sync_var.rs crates/runtime/src/task.rs crates/runtime/src/topology.rs
+
+/root/repo/target/debug/deps/librcuarray_runtime-981c222d5d386009.rmeta: crates/runtime/src/lib.rs crates/runtime/src/collectives.rs crates/runtime/src/comm.rs crates/runtime/src/dist.rs crates/runtime/src/fault.rs crates/runtime/src/global_lock.rs crates/runtime/src/locale.rs crates/runtime/src/privatization.rs crates/runtime/src/sync_var.rs crates/runtime/src/task.rs crates/runtime/src/topology.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/collectives.rs:
+crates/runtime/src/comm.rs:
+crates/runtime/src/dist.rs:
+crates/runtime/src/fault.rs:
+crates/runtime/src/global_lock.rs:
+crates/runtime/src/locale.rs:
+crates/runtime/src/privatization.rs:
+crates/runtime/src/sync_var.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reclamation-592347ec05e54169.d: tests/reclamation.rs
+
+/root/repo/target/debug/deps/libreclamation-592347ec05e54169.rmeta: tests/reclamation.rs
+
+tests/reclamation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_hot_reload-c0187c6df1796cb6.d: examples/config_hot_reload.rs
+
+/root/repo/target/debug/examples/libconfig_hot_reload-c0187c6df1796cb6.rmeta: examples/config_hot_reload.rs
+
+examples/config_hot_reload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_table-804ba76ce67d04b2.d: examples/distributed_table.rs
+
+/root/repo/target/debug/examples/libdistributed_table-804ba76ce67d04b2.rmeta: examples/distributed_table.rs
+
+examples/distributed_table.rs:

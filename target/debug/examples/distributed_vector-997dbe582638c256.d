@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_vector-997dbe582638c256.d: examples/distributed_vector.rs
+
+/root/repo/target/debug/examples/libdistributed_vector-997dbe582638c256.rmeta: examples/distributed_vector.rs
+
+examples/distributed_vector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_chaos-2241b600e42a0fd3.d: examples/fault_chaos.rs
+
+/root/repo/target/debug/examples/libfault_chaos-2241b600e42a0fd3.rmeta: examples/fault_chaos.rs
+
+examples/fault_chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5964dbffc38c01b9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-5964dbffc38c01b9.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

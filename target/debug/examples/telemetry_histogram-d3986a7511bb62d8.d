@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/telemetry_histogram-d3986a7511bb62d8.d: examples/telemetry_histogram.rs
+
+/root/repo/target/debug/examples/libtelemetry_histogram-d3986a7511bb62d8.rmeta: examples/telemetry_histogram.rs
+
+examples/telemetry_histogram.rs:

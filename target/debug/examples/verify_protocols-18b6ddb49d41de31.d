@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_protocols-18b6ddb49d41de31.d: examples/verify_protocols.rs
+
+/root/repo/target/debug/examples/libverify_protocols-18b6ddb49d41de31.rmeta: examples/verify_protocols.rs
+
+examples/verify_protocols.rs:
