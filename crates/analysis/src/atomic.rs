@@ -1,0 +1,307 @@
+//! The atomics facade.
+//!
+//! Without the `check` feature this module re-exports `std::sync::atomic`
+//! wholesale — zero cost, identical types. With `check` enabled, each
+//! atomic type becomes a thin wrapper that routes every operation through
+//! the deterministic checker when (and only when) the calling thread is
+//! registered with a live session; otherwise the operation falls through
+//! to the plain one, so instrumented-but-idle builds behave identically.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(feature = "check"))]
+pub use std::sync::atomic::{
+    fence, AtomicBool, AtomicI16, AtomicI32, AtomicI64, AtomicI8, AtomicIsize, AtomicPtr,
+    AtomicU16, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+};
+
+#[cfg(feature = "check")]
+pub use checked::{
+    fence, AtomicBool, AtomicI16, AtomicI32, AtomicI64, AtomicI8, AtomicIsize, AtomicPtr,
+    AtomicU16, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+};
+
+#[cfg(feature = "check")]
+mod checked {
+    use super::Ordering;
+    use crate::checker::{self, LocSlot};
+
+    /// Instrumented memory fence.
+    #[inline]
+    pub fn fence(order: Ordering) {
+        checker::fence_op(order);
+        std::sync::atomic::fence(order);
+    }
+
+    macro_rules! common_atomic {
+        ($name:ident, $std:ident, $t:ty) => {
+            /// Instrumented drop-in for the std atomic of the same name.
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+                meta: LocSlot,
+            }
+
+            impl $name {
+                pub const fn new(v: $t) -> Self {
+                    $name {
+                        inner: std::sync::atomic::$std::new(v),
+                        meta: LocSlot::new(),
+                    }
+                }
+
+                #[inline]
+                #[track_caller]
+                pub fn load(&self, order: Ordering) -> $t {
+                    checker::atomic_load(&self.meta, order, || self.inner.load(order))
+                }
+
+                #[inline]
+                #[track_caller]
+                pub fn store(&self, val: $t, order: Ordering) {
+                    checker::atomic_store(&self.meta, order, || self.inner.store(val, order))
+                }
+
+                #[inline]
+                #[track_caller]
+                pub fn swap(&self, val: $t, order: Ordering) -> $t {
+                    checker::atomic_rmw(&self.meta, order, || self.inner.swap(val, order))
+                }
+
+                #[inline]
+                #[track_caller]
+                pub fn compare_exchange(
+                    &self,
+                    current: $t,
+                    new: $t,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$t, $t> {
+                    checker::atomic_cas(&self.meta, success, failure, || {
+                        self.inner.compare_exchange(current, new, success, failure)
+                    })
+                }
+
+                #[inline]
+                #[track_caller]
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $t,
+                    new: $t,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$t, $t> {
+                    checker::atomic_cas(&self.meta, success, failure, || {
+                        self.inner
+                            .compare_exchange_weak(current, new, success, failure)
+                    })
+                }
+
+                /// Mirrors `std`'s CAS loop, with every attempt visible
+                /// to the scheduler.
+                #[track_caller]
+                pub fn fetch_update(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    mut f: impl FnMut($t) -> Option<$t>,
+                ) -> Result<$t, $t> {
+                    let mut prev = self.load(fetch_order);
+                    while let Some(next) = f(prev) {
+                        match self.compare_exchange_weak(prev, next, set_order, fetch_order) {
+                            Ok(x) => return Ok(x),
+                            Err(next_prev) => prev = next_prev,
+                        }
+                    }
+                    Err(prev)
+                }
+
+                #[inline]
+                pub fn get_mut(&mut self) -> &mut $t {
+                    self.inner.get_mut()
+                }
+
+                #[inline]
+                pub fn into_inner(self) -> $t {
+                    self.inner.into_inner()
+                }
+            }
+
+            impl From<$t> for $name {
+                fn from(v: $t) -> Self {
+                    Self::new(v)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    // Uninstrumented peek, like std's Debug impl.
+                    std::fmt::Debug::fmt(&self.inner.load(Ordering::Relaxed), f)
+                }
+            }
+        };
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $std:ident, $t:ty) => {
+            common_atomic!($name, $std, $t);
+
+            impl $name {
+                #[inline]
+                #[track_caller]
+                pub fn fetch_add(&self, val: $t, order: Ordering) -> $t {
+                    checker::atomic_rmw(&self.meta, order, || self.inner.fetch_add(val, order))
+                }
+
+                #[inline]
+                #[track_caller]
+                pub fn fetch_sub(&self, val: $t, order: Ordering) -> $t {
+                    checker::atomic_rmw(&self.meta, order, || self.inner.fetch_sub(val, order))
+                }
+
+                #[inline]
+                #[track_caller]
+                pub fn fetch_and(&self, val: $t, order: Ordering) -> $t {
+                    checker::atomic_rmw(&self.meta, order, || self.inner.fetch_and(val, order))
+                }
+
+                #[inline]
+                #[track_caller]
+                pub fn fetch_or(&self, val: $t, order: Ordering) -> $t {
+                    checker::atomic_rmw(&self.meta, order, || self.inner.fetch_or(val, order))
+                }
+
+                #[inline]
+                #[track_caller]
+                pub fn fetch_xor(&self, val: $t, order: Ordering) -> $t {
+                    checker::atomic_rmw(&self.meta, order, || self.inner.fetch_xor(val, order))
+                }
+
+                #[inline]
+                #[track_caller]
+                pub fn fetch_max(&self, val: $t, order: Ordering) -> $t {
+                    checker::atomic_rmw(&self.meta, order, || self.inner.fetch_max(val, order))
+                }
+
+                #[inline]
+                #[track_caller]
+                pub fn fetch_min(&self, val: $t, order: Ordering) -> $t {
+                    checker::atomic_rmw(&self.meta, order, || self.inner.fetch_min(val, order))
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(0)
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicU8, AtomicU8, u8);
+    int_atomic!(AtomicU16, AtomicU16, u16);
+    int_atomic!(AtomicU32, AtomicU32, u32);
+    int_atomic!(AtomicU64, AtomicU64, u64);
+    int_atomic!(AtomicUsize, AtomicUsize, usize);
+    int_atomic!(AtomicI8, AtomicI8, i8);
+    int_atomic!(AtomicI16, AtomicI16, i16);
+    int_atomic!(AtomicI32, AtomicI32, i32);
+    int_atomic!(AtomicI64, AtomicI64, i64);
+    int_atomic!(AtomicIsize, AtomicIsize, isize);
+
+    common_atomic!(AtomicBool, AtomicBool, bool);
+
+    impl AtomicBool {
+        #[inline]
+        #[track_caller]
+        pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+            checker::atomic_rmw(&self.meta, order, || self.inner.fetch_and(val, order))
+        }
+
+        #[inline]
+        #[track_caller]
+        pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+            checker::atomic_rmw(&self.meta, order, || self.inner.fetch_or(val, order))
+        }
+
+        #[inline]
+        #[track_caller]
+        pub fn fetch_xor(&self, val: bool, order: Ordering) -> bool {
+            checker::atomic_rmw(&self.meta, order, || self.inner.fetch_xor(val, order))
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    /// Instrumented drop-in for `std::sync::atomic::AtomicPtr`.
+    pub struct AtomicPtr<T> {
+        inner: std::sync::atomic::AtomicPtr<T>,
+        meta: LocSlot,
+    }
+
+    impl<T> AtomicPtr<T> {
+        pub const fn new(p: *mut T) -> Self {
+            AtomicPtr {
+                inner: std::sync::atomic::AtomicPtr::new(p),
+                meta: LocSlot::new(),
+            }
+        }
+
+        #[inline]
+        #[track_caller]
+        pub fn load(&self, order: Ordering) -> *mut T {
+            checker::atomic_load(&self.meta, order, || self.inner.load(order))
+        }
+
+        #[inline]
+        #[track_caller]
+        pub fn store(&self, val: *mut T, order: Ordering) {
+            checker::atomic_store(&self.meta, order, || self.inner.store(val, order))
+        }
+
+        #[inline]
+        #[track_caller]
+        pub fn swap(&self, val: *mut T, order: Ordering) -> *mut T {
+            checker::atomic_rmw(&self.meta, order, || self.inner.swap(val, order))
+        }
+
+        #[inline]
+        #[track_caller]
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            checker::atomic_cas(&self.meta, success, failure, || {
+                self.inner.compare_exchange(current, new, success, failure)
+            })
+        }
+
+        #[inline]
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.inner.get_mut()
+        }
+
+        #[inline]
+        pub fn into_inner(self) -> *mut T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T> Default for AtomicPtr<T> {
+        fn default() -> Self {
+            Self::new(std::ptr::null_mut())
+        }
+    }
+
+    impl<T> std::fmt::Debug for AtomicPtr<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&self.inner.load(Ordering::Relaxed), f)
+        }
+    }
+}

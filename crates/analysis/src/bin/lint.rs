@@ -1,0 +1,46 @@
+//! Repo lint entry point: `cargo run -p rcuarray-analysis --bin lint`.
+//!
+//! Lints `.rs` files under the given roots (default: `crates` and `src`
+//! relative to the workspace root). Exits 1 when any violation is found.
+
+use rcuarray_analysis::lint;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        // Resolve the workspace root from this crate's manifest dir so
+        // the binary works from any cwd (cargo run sets the cwd to the
+        // invocation dir, not the workspace).
+        let ws = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .expect("workspace root");
+        ["crates", "src"]
+            .iter()
+            .map(|d| ws.join(d))
+            .filter(|p| p.exists())
+            .collect()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    match lint::lint_paths(&roots) {
+        Ok((violations, files)) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            if violations.is_empty() {
+                eprintln!("lint: {files} files clean");
+            } else {
+                eprintln!("lint: {} violation(s) in {files} files", violations.len());
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: error walking sources: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! [`CheckedCell`]: plain (non-atomic) shared data for checker harnesses.
+//!
+//! This is the analogue of loom's `UnsafeCell`: test harnesses model the
+//! *data* protected by a synchronization protocol with `CheckedCell`s, and
+//! the checker flags any pair of conflicting accesses that are not
+//! ordered by happens-before — i.e. the accesses that would be undefined
+//! behavior if the data were accessed through real unsynchronized memory.
+//!
+//! Inside a checker session, execution is serialized (one thread runs
+//! between scheduling points), so the underlying accesses never actually
+//! overlap; races are *detected* via vector clocks, not suffered.
+
+use std::cell::UnsafeCell;
+
+#[cfg(feature = "check")]
+use crate::checker::LocSlot;
+
+/// A shared cell of plain data whose accesses are race-checked when a
+/// checker session is active (requires the `check` feature; otherwise it
+/// is a plain unsynchronized cell for single-threaded use).
+pub struct CheckedCell<T> {
+    inner: UnsafeCell<T>,
+    #[cfg(feature = "check")]
+    meta: LocSlot,
+}
+
+impl<T: Default> Default for CheckedCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+// SAFETY: `CheckedCell` is a checking harness primitive. Within checker
+// sessions all accesses are serialized by the scheduler, so shared
+// references never produce overlapping loads/stores; the point of the
+// type is to *report* the schedules in which the protocol under test
+// fails to order them.
+unsafe impl<T: Send> Send for CheckedCell<T> {}
+// SAFETY: see the `Send` impl above.
+unsafe impl<T: Send> Sync for CheckedCell<T> {}
+
+impl<T> CheckedCell<T> {
+    pub const fn new(v: T) -> Self {
+        CheckedCell {
+            inner: UnsafeCell::new(v),
+            #[cfg(feature = "check")]
+            meta: LocSlot::new(),
+        }
+    }
+
+    /// Read the value (a checked plain-data load).
+    #[track_caller]
+    pub fn read(&self) -> T
+    where
+        T: Copy,
+    {
+        #[cfg(feature = "check")]
+        {
+            // SAFETY: serialized by the session scheduler (see type docs).
+            crate::checker::data_read(&self.meta, || unsafe { *self.inner.get() })
+        }
+        #[cfg(not(feature = "check"))]
+        {
+            // SAFETY: without `check` this type is only used single-threaded.
+            unsafe { *self.inner.get() }
+        }
+    }
+
+    /// Write the value (a checked plain-data store).
+    #[track_caller]
+    pub fn write(&self, v: T) {
+        #[cfg(feature = "check")]
+        {
+            // SAFETY: serialized by the session scheduler (see type docs).
+            crate::checker::data_write(&self.meta, || unsafe { *self.inner.get() = v })
+        }
+        #[cfg(not(feature = "check"))]
+        {
+            // SAFETY: without `check` this type is only used single-threaded.
+            unsafe { *self.inner.get() = v }
+        }
+    }
+
+    /// Exclusive access (no checking needed: `&mut` proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: std::fmt::Debug + Copy> std::fmt::Debug for CheckedCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // SAFETY: debug peek; serialized in sessions, single-threaded otherwise.
+        let v = unsafe { *self.inner.get() };
+        f.debug_tuple("CheckedCell").field(&v).finish()
+    }
+}

@@ -1,0 +1,1083 @@
+//! The deterministic concurrency checker.
+//!
+//! A [`Checker`] runs a closure many times, once per seed. Each run is a
+//! *session*: threads spawned through [`crate::thread::spawn`] register
+//! with the session, and every instrumented operation (facade atomics,
+//! locks, [`crate::cell::CheckedCell`] accesses) becomes a scheduling
+//! point. The session serializes execution — exactly one registered
+//! thread runs between two scheduling points — and the schedule is chosen
+//! by a seeded policy ([`crate::sched::Policy`]), so any interleaving the
+//! checker explores can be replayed from its seed alone.
+//!
+//! On top of the schedule the session maintains FastTrack-style
+//! happens-before state (see [`crate::clock`]):
+//!
+//! * each thread carries a vector clock, ticked at every operation;
+//! * each atomic location carries a *sync clock*: release stores replace
+//!   it with the writer's clock, release RMWs join into it (release
+//!   sequences), relaxed stores clear it, and acquire loads/RMWs join it
+//!   into the reader's clock;
+//! * `SeqCst` operations and fences additionally join through a global SC
+//!   clock (this can only add edges, i.e. hide races — never invent one);
+//! * mutexes, rwlocks and condvars carry clocks joined on acquire/release;
+//! * plain-data accesses via `CheckedCell` are checked: two conflicting
+//!   accesses with incomparable clocks are reported as a data race with
+//!   both source locations and the reproducing seed.
+//!
+//! Threads never truly block inside a session: facade locks spin through
+//! scheduling points, condvar waits are modeled as spurious wakeups, and
+//! a step budget aborts runaway interleavings deterministically.
+
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::clock::VectorClock;
+use crate::sched::{sample_change_points, Policy, Rng};
+
+pub use std::sync::atomic::Ordering;
+
+// ---------------------------------------------------------------------------
+// Global session plumbing
+// ---------------------------------------------------------------------------
+
+/// Fast-path guard: when zero, no session exists anywhere in the process
+/// and every instrumented operation falls through to the plain one.
+static ACTIVE_SESSIONS: StdAtomicUsize = StdAtomicUsize::new(0);
+
+/// Location ids are global and monotonic, lazily stamped into each
+/// facade object on first checked access. Fresh objects always get fresh
+/// ids, so address reuse across (or within) sessions cannot alias state.
+static NEXT_LOC_ID: StdAtomicUsize = StdAtomicUsize::new(1);
+
+std::thread_local! {
+    static TLS_SESSION: std::cell::RefCell<Option<(Arc<Session>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// One checker session at a time per process: sessions serialize their
+/// registered threads, and interleaving two sessions' real threads would
+/// make wall-clock behavior (not correctness) noisy.
+static RUN_LOCK: StdMutex<()> = StdMutex::new(());
+
+fn lock_state(sess: &Session) -> StdMutexGuard<'_, State> {
+    sess.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Panic payload used to unwind registered threads when a session aborts
+/// (step budget exceeded, or stop-on-first-race). Swallowed by the spawn
+/// wrapper; never surfaces to user code as a test failure.
+struct SessionAbort;
+
+/// Per-object slot for the lazily assigned location id.
+pub struct LocSlot(StdAtomicUsize);
+
+impl LocSlot {
+    #[allow(clippy::new_without_default)] // mirrors atomic `new`; always const-constructed
+    pub const fn new() -> Self {
+        LocSlot(StdAtomicUsize::new(0))
+    }
+
+    fn id(&self) -> usize {
+        let v = self.0.load(StdOrdering::Relaxed);
+        if v != 0 {
+            return v;
+        }
+        let fresh = NEXT_LOC_ID.fetch_add(1, StdOrdering::Relaxed);
+        match self
+            .0
+            .compare_exchange(0, fresh, StdOrdering::Relaxed, StdOrdering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(winner) => winner,
+        }
+    }
+}
+
+/// The session + thread index of the caller, if the caller is a thread
+/// registered with a live session and not currently unwinding. Returns
+/// `None` otherwise — the caller must then perform the plain operation.
+fn session_for_op() -> Option<(Arc<Session>, usize)> {
+    if ACTIVE_SESSIONS.load(StdOrdering::Relaxed) == 0 || std::thread::panicking() {
+        return None;
+    }
+    TLS_SESSION.with(|t| t.borrow().clone())
+}
+
+// ---------------------------------------------------------------------------
+// Session state
+// ---------------------------------------------------------------------------
+
+/// What a parked thread is waiting for. Blocked threads are not schedule
+/// candidates until the condition clears (under `Policy::Random`,
+/// condvar waits stay eligible — modeling spurious wakeups).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BlockedOn {
+    /// `JoinHandle::join` on a checked thread.
+    Thread(usize),
+    /// A facade lock (by location id); cleared on release.
+    Lock(usize),
+    /// A facade condvar (by location id); cleared on notify.
+    Cv(usize),
+}
+
+struct ThreadSt {
+    clock: VectorClock,
+    /// Parked at a scheduling point, waiting for the grant.
+    waiting: bool,
+    finished: bool,
+    blocked: Option<BlockedOn>,
+    /// PCT priority; initial values live in `[2^64, 2^65)`, demotions
+    /// count down from `2^64 - 1`, so any demoted thread ranks below any
+    /// undemoted one and successive demotions rank lower still.
+    priority: u128,
+}
+
+#[derive(Default)]
+struct DataState {
+    last_write: Option<Access>,
+    /// Reads since the last write (one entry per reading thread).
+    reads: Vec<Access>,
+}
+
+#[derive(Clone)]
+struct Access {
+    thread: usize,
+    /// The accessor's own clock component at the access.
+    at: u64,
+    site: &'static Location<'static>,
+}
+
+struct State {
+    seed: u64,
+    rng: Rng,
+    policy: Policy,
+    max_steps: usize,
+    steps: usize,
+    stop_on_first_race: bool,
+    aborted: bool,
+    budget_exhausted: bool,
+    deadlocked: bool,
+    /// Thread currently granted execution (runs until its next
+    /// scheduling point).
+    active: Option<usize>,
+    last_ran: Option<usize>,
+    threads: Vec<ThreadSt>,
+    unfinished: usize,
+    /// Sync clocks for atomic locations.
+    atomics: HashMap<usize, VectorClock>,
+    /// Clocks for mutexes / rwlocks.
+    locks: HashMap<usize, VectorClock>,
+    /// Clocks for condvars.
+    cvs: HashMap<usize, VectorClock>,
+    /// Plain-data (CheckedCell) access history.
+    datas: HashMap<usize, DataState>,
+    /// Global SC order clock.
+    sc_clock: VectorClock,
+    races: Vec<Race>,
+    panics: Vec<Box<dyn std::any::Any + Send + 'static>>,
+    /// PCT change points (ascending step numbers) not yet applied.
+    change_points: std::collections::VecDeque<usize>,
+    demote_next: u128,
+}
+
+pub(crate) struct Session {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+}
+
+enum AtomKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Session {
+    fn new(seed: u64, cfg: &Config) -> Arc<Self> {
+        let mut rng = Rng::new(seed);
+        let change_points = match cfg.policy {
+            Policy::Pct { depth } => {
+                sample_change_points(&mut rng, depth.saturating_sub(1), cfg.max_steps)
+            }
+            Policy::Random => Vec::new(),
+        };
+        Arc::new(Session {
+            state: StdMutex::new(State {
+                seed,
+                rng,
+                policy: cfg.policy,
+                max_steps: cfg.max_steps,
+                steps: 0,
+                stop_on_first_race: cfg.stop_on_first_race,
+                aborted: false,
+                budget_exhausted: false,
+                deadlocked: false,
+                active: None,
+                last_ran: None,
+                threads: Vec::new(),
+                unfinished: 0,
+                atomics: HashMap::new(),
+                locks: HashMap::new(),
+                cvs: HashMap::new(),
+                datas: HashMap::new(),
+                sc_clock: VectorClock::new(),
+                races: Vec::new(),
+                panics: Vec::new(),
+                change_points: change_points.into(),
+                demote_next: (1u128 << 64) - 1,
+            }),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    /// Register a new checked thread; `parent` is `None` for the root.
+    fn register_thread(&self, parent: Option<usize>) -> usize {
+        let mut st = lock_state(self);
+        let idx = st.threads.len();
+        let mut clock = match parent {
+            Some(p) => {
+                // Spawn edge: child starts after everything the parent
+                // did so far; parent ticks so the spawn point is distinct.
+                st.threads[p].clock.tick(p);
+                st.threads[p].clock.clone()
+            }
+            None => VectorClock::new(),
+        };
+        clock.tick(idx);
+        let priority = (1u128 << 64) + st.rng.next_u64() as u128;
+        st.threads.push(ThreadSt {
+            clock,
+            waiting: false,
+            finished: false,
+            blocked: None,
+            priority,
+        });
+        st.unfinished += 1;
+        idx
+    }
+
+    fn thread_finished(&self, me: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = lock_state(self);
+        st.threads[me].finished = true;
+        st.threads[me].waiting = false;
+        st.unfinished -= 1;
+        if st.active == Some(me) {
+            st.active = None;
+        }
+        if let Some(p) = panic {
+            if !p.is::<SessionAbort>() {
+                st.panics.push(p);
+                // A dead thread can no longer order its past accesses
+                // with anyone; stop exploring this interleaving.
+                st.aborted = true;
+            }
+        }
+        Self::schedule(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Block (without consuming a scheduling step) until `idx` is parked
+    /// at its first scheduling point — keeps the candidate set at every
+    /// decision deterministic.
+    fn wait_parked(&self, idx: usize) {
+        let mut st = lock_state(self);
+        while !st.threads[idx].waiting && !st.threads[idx].finished && !st.aborted {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Used by non-session threads (e.g. `JoinHandle::join` from outside
+    /// the session) to await a checked thread.
+    fn wait_finished(&self, idx: usize) {
+        let mut st = lock_state(self);
+        while !st.threads[idx].finished && !st.aborted {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn wait_all_finished(&self) {
+        let mut st = lock_state(self);
+        while st.unfinished > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Pick the next thread to run, if no grant is outstanding. Also
+    /// detects true deadlocks (every live thread parked and blocked).
+    fn schedule(st: &mut State) {
+        if st.aborted || st.active.is_some() {
+            return;
+        }
+        // Under Random, condvar-blocked threads stay eligible: being
+        // granted models a spurious wakeup. PCT keeps them blocked so
+        // its priority guarantees are not washed out by wakeup spam.
+        let spurious_cv_wakeups = matches!(st.policy, Policy::Random);
+        let mut cands: Vec<usize> = Vec::new();
+        for i in 0..st.threads.len() {
+            let t = &st.threads[i];
+            if !t.waiting || t.finished {
+                continue;
+            }
+            let eligible = match t.blocked {
+                None => true,
+                Some(BlockedOn::Thread(target)) => st.threads[target].finished,
+                Some(BlockedOn::Lock(_)) => false,
+                Some(BlockedOn::Cv(_)) => spurious_cv_wakeups,
+            };
+            if eligible {
+                cands.push(i);
+            }
+        }
+        if cands.is_empty() {
+            // If nothing is runnable and nothing is executing toward its
+            // next scheduling point, the remaining threads wait on each
+            // other forever: a deadlock.
+            let running = st
+                .threads
+                .iter()
+                .filter(|t| !t.finished && !t.waiting)
+                .count();
+            if running == 0 && st.unfinished > 0 {
+                st.aborted = true;
+                st.deadlocked = true;
+            }
+            return;
+        }
+        let pick = match st.policy {
+            Policy::Random => {
+                // Preemption bounding: usually let the last thread keep
+                // going when it wants to.
+                match st.last_ran {
+                    Some(last) if cands.contains(&last) && st.rng.ratio(3, 4) => last,
+                    _ => cands[st.rng.below(cands.len())],
+                }
+            }
+            Policy::Pct { .. } => {
+                // Apply any change points crossed since the last pick:
+                // demote the thread that was running below everyone.
+                while let Some(&p) = st.change_points.front() {
+                    if p > st.steps {
+                        break;
+                    }
+                    st.change_points.pop_front();
+                    if let Some(last) = st.last_ran {
+                        st.threads[last].priority = st.demote_next;
+                        st.demote_next = st.demote_next.saturating_sub(1);
+                    }
+                }
+                *cands
+                    .iter()
+                    .max_by_key(|&&i| st.threads[i].priority)
+                    .expect("non-empty candidate set")
+            }
+        };
+        st.active = Some(pick);
+        st.last_ran = Some(pick);
+    }
+}
+
+/// Park at a scheduling point, wait for the grant, consume one step, and
+/// run `f` (the instrumented operation + its clock bookkeeping) while
+/// serialized. Panics with the session-abort payload when the session
+/// aborted or the step budget is exhausted.
+fn with_step<R>(sess: &Session, me: usize, f: impl FnOnce(&mut State, usize) -> R) -> R {
+    let mut st = lock_state(sess);
+    if st.aborted {
+        drop(st);
+        std::panic::panic_any(SessionAbort);
+    }
+    st.threads[me].waiting = true;
+    if st.active == Some(me) {
+        st.active = None;
+    }
+    Session::schedule(&mut st);
+    sess.cv.notify_all();
+    while st.active != Some(me) && !st.aborted {
+        st = sess.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    if st.aborted {
+        drop(st);
+        std::panic::panic_any(SessionAbort);
+    }
+    st.threads[me].waiting = false;
+    // Being granted wakes the thread: for Random-policy condvar waits
+    // this is exactly a spurious wakeup.
+    st.threads[me].blocked = None;
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        st.aborted = true;
+        st.budget_exhausted = true;
+        sess.cv.notify_all();
+        drop(st);
+        std::panic::panic_any(SessionAbort);
+    }
+    let r = f(&mut st, me);
+    if st.aborted {
+        // The operation set the abort flag (stop-on-first-race or a
+        // detected deadlock): wake every parked thread so they unwind.
+        sess.cv.notify_all();
+    }
+    r
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented-operation hooks (used by the facade modules)
+// ---------------------------------------------------------------------------
+
+fn record_atomic(st: &mut State, me: usize, loc: usize, kind: AtomKind, o: Ordering) {
+    let State {
+        threads,
+        atomics,
+        sc_clock,
+        ..
+    } = st;
+    let clock = &mut threads[me].clock;
+    clock.tick(me);
+    let sync = atomics.entry(loc).or_default();
+    match kind {
+        AtomKind::Load => {
+            if is_acquire(o) {
+                clock.join(sync);
+            }
+        }
+        AtomKind::Store => {
+            if is_release(o) {
+                *sync = clock.clone();
+            } else {
+                // A relaxed store breaks the release sequence: later
+                // acquire loads observing it gain no edges.
+                sync.clear();
+            }
+        }
+        AtomKind::Rmw => {
+            if is_acquire(o) {
+                clock.join(sync);
+            }
+            if is_release(o) {
+                sync.join(clock);
+            }
+            // A relaxed RMW neither contributes nor destroys: it extends
+            // the release sequence of the store it read from (C++20
+            // [atomics.order]), so `sync` is left intact.
+        }
+    }
+    if o == Ordering::SeqCst {
+        clock.join(sc_clock);
+        sc_clock.join(clock);
+    }
+}
+
+pub(crate) fn atomic_load<T>(slot: &LocSlot, o: Ordering, f: impl FnOnce() -> T) -> T {
+    match session_for_op() {
+        None => f(),
+        Some((s, me)) => with_step(&s, me, |st, me| {
+            record_atomic(st, me, slot.id(), AtomKind::Load, o);
+            f()
+        }),
+    }
+}
+
+pub(crate) fn atomic_store<T>(slot: &LocSlot, o: Ordering, f: impl FnOnce() -> T) -> T {
+    match session_for_op() {
+        None => f(),
+        Some((s, me)) => with_step(&s, me, |st, me| {
+            record_atomic(st, me, slot.id(), AtomKind::Store, o);
+            f()
+        }),
+    }
+}
+
+pub(crate) fn atomic_rmw<T>(slot: &LocSlot, o: Ordering, f: impl FnOnce() -> T) -> T {
+    match session_for_op() {
+        None => f(),
+        Some((s, me)) => with_step(&s, me, |st, me| {
+            record_atomic(st, me, slot.id(), AtomKind::Rmw, o);
+            f()
+        }),
+    }
+}
+
+/// Compare-exchange: records an RMW with `success` ordering when the
+/// exchange succeeded, a load with `failure` ordering when it did not.
+pub(crate) fn atomic_cas<T>(
+    slot: &LocSlot,
+    success: Ordering,
+    failure: Ordering,
+    f: impl FnOnce() -> Result<T, T>,
+) -> Result<T, T> {
+    match session_for_op() {
+        None => f(),
+        Some((s, me)) => with_step(&s, me, |st, me| {
+            let r = f();
+            let (kind, o) = match &r {
+                Ok(_) => (AtomKind::Rmw, success),
+                Err(_) => (AtomKind::Load, failure),
+            };
+            record_atomic(st, me, slot.id(), kind, o);
+            r
+        }),
+    }
+}
+
+/// Memory fence. Only `SeqCst` fences get a semantics (the global SC
+/// clock); weaker fences are recorded as plain steps. This is
+/// conservative toward false *negatives* only.
+pub(crate) fn fence_op(o: Ordering) {
+    if let Some((s, me)) = session_for_op() {
+        with_step(&s, me, |st, me| {
+            let State {
+                threads, sc_clock, ..
+            } = st;
+            let clock = &mut threads[me].clock;
+            clock.tick(me);
+            if o == Ordering::SeqCst {
+                clock.join(sc_clock);
+                sc_clock.join(clock);
+            }
+        })
+    }
+}
+
+fn record_data(
+    st: &mut State,
+    me: usize,
+    loc: usize,
+    is_write: bool,
+    site: &'static Location<'static>,
+) {
+    let State {
+        threads,
+        datas,
+        races,
+        seed,
+        aborted,
+        stop_on_first_race,
+        ..
+    } = st;
+    let clock = &mut threads[me].clock;
+    let at = clock.tick(me);
+    let d = datas.entry(loc).or_default();
+    let mine = Access {
+        thread: me,
+        at,
+        site,
+    };
+    let mut conflicts: Vec<(Access, RaceKind)> = Vec::new();
+    if let Some(w) = &d.last_write {
+        if w.thread != me && clock.get(w.thread) < w.at {
+            let kind = if is_write {
+                RaceKind::WriteWrite
+            } else {
+                RaceKind::WriteRead
+            };
+            conflicts.push((w.clone(), kind));
+        }
+    }
+    if is_write {
+        for r in &d.reads {
+            if r.thread != me && clock.get(r.thread) < r.at {
+                conflicts.push((r.clone(), RaceKind::ReadWrite));
+            }
+        }
+        d.reads.clear();
+        d.last_write = Some(mine.clone());
+    } else {
+        d.reads.retain(|r| r.thread != me);
+        d.reads.push(mine.clone());
+    }
+    for (prior, kind) in conflicts {
+        if races.len() < 64 {
+            races.push(Race {
+                seed: *seed,
+                kind,
+                first: AccessLabel::new(&prior),
+                second: AccessLabel::new(&mine),
+            });
+        }
+        if *stop_on_first_race {
+            *aborted = true;
+        }
+    }
+}
+
+#[track_caller]
+pub(crate) fn data_read<T>(slot: &LocSlot, f: impl FnOnce() -> T) -> T {
+    let site = Location::caller();
+    match session_for_op() {
+        None => f(),
+        Some((s, me)) => with_step(&s, me, |st, me| {
+            record_data(st, me, slot.id(), false, site);
+            f()
+        }),
+    }
+}
+
+#[track_caller]
+pub(crate) fn data_write<T>(slot: &LocSlot, f: impl FnOnce() -> T) -> T {
+    let site = Location::caller();
+    match session_for_op() {
+        None => f(),
+        Some((s, me)) => with_step(&s, me, |st, me| {
+            record_data(st, me, slot.id(), true, site);
+            f()
+        }),
+    }
+}
+
+/// One attempt to acquire a lock-like object; on success, joins the
+/// lock's clock into the acquirer's.
+pub(crate) fn lock_acquire_attempt<G>(slot: &LocSlot, f: impl FnOnce() -> Option<G>) -> Option<G> {
+    match session_for_op() {
+        None => f(),
+        Some((s, me)) => with_step(&s, me, |st, me| {
+            let g = f();
+            if g.is_some() {
+                let State { threads, locks, .. } = st;
+                let clock = &mut threads[me].clock;
+                clock.tick(me);
+                clock.join(locks.entry(slot.id()).or_default());
+            } else {
+                st.threads[me].clock.tick(me);
+                // Park until the holder releases (release clears this).
+                st.threads[me].blocked = Some(BlockedOn::Lock(slot.id()));
+            }
+            g
+        }),
+    }
+}
+
+/// A single non-blocking acquisition attempt (`try_lock` semantics):
+/// like [`lock_acquire_attempt`] but failure does not park the caller.
+pub(crate) fn lock_try_once<G>(slot: &LocSlot, f: impl FnOnce() -> Option<G>) -> Option<G> {
+    match session_for_op() {
+        None => f(),
+        Some((s, me)) => with_step(&s, me, |st, me| {
+            let g = f();
+            let State { threads, locks, .. } = st;
+            let clock = &mut threads[me].clock;
+            clock.tick(me);
+            if g.is_some() {
+                clock.join(locks.entry(slot.id()).or_default());
+            }
+            g
+        }),
+    }
+}
+
+/// Release a lock-like object: joins the releaser's clock into the
+/// lock's clock, then runs `f` (which drops the real guard).
+pub(crate) fn lock_release<R>(slot: &LocSlot, f: impl FnOnce() -> R) -> R {
+    match session_for_op() {
+        None => f(),
+        Some((s, me)) => with_step(&s, me, |st, me| {
+            let loc = slot.id();
+            let State { threads, locks, .. } = st;
+            let clock = &mut threads[me].clock;
+            clock.tick(me);
+            locks.entry(loc).or_default().join(clock);
+            for t in threads.iter_mut() {
+                if t.blocked == Some(BlockedOn::Lock(loc)) {
+                    t.blocked = None;
+                }
+            }
+            f()
+        }),
+    }
+}
+
+pub(crate) fn cv_notify(slot: &LocSlot, f: impl FnOnce()) {
+    match session_for_op() {
+        None => f(),
+        Some((s, me)) => with_step(&s, me, |st, me| {
+            let loc = slot.id();
+            let State { threads, cvs, .. } = st;
+            let clock = &mut threads[me].clock;
+            clock.tick(me);
+            cvs.entry(loc).or_default().join(clock);
+            for t in threads.iter_mut() {
+                if t.blocked == Some(BlockedOn::Cv(loc)) {
+                    t.blocked = None;
+                }
+            }
+            f()
+        }),
+    }
+}
+
+/// First half of a modeled condvar wait, as one scheduling step: mark
+/// the caller blocked on the condvar, release the mutex's clock (and its
+/// lock-blocked waiters), and run `f` to drop the real guard.
+pub(crate) fn cv_block_and_release(cv: &LocSlot, mutex: &LocSlot, f: impl FnOnce()) {
+    match session_for_op() {
+        None => f(),
+        Some((s, me)) => with_step(&s, me, |st, me| {
+            let cv_loc = cv.id();
+            let mutex_loc = mutex.id();
+            let State { threads, locks, .. } = st;
+            let clock = &mut threads[me].clock;
+            clock.tick(me);
+            locks.entry(mutex_loc).or_default().join(clock);
+            for t in threads.iter_mut() {
+                if t.blocked == Some(BlockedOn::Lock(mutex_loc)) {
+                    t.blocked = None;
+                }
+            }
+            threads[me].blocked = Some(BlockedOn::Cv(cv_loc));
+            f()
+        }),
+    }
+}
+
+/// After a (modeled) condvar wakeup: join the condvar's clock.
+pub(crate) fn cv_wake(slot: &LocSlot) {
+    if let Some((s, me)) = session_for_op() {
+        with_step(&s, me, |st, me| {
+            let State { threads, cvs, .. } = st;
+            let clock = &mut threads[me].clock;
+            clock.tick(me);
+            clock.join(cvs.entry(slot.id()).or_default());
+        })
+    }
+}
+
+/// A pure scheduling point (facade `yield_now`, spin backoff, modeled
+/// sleeps).
+pub(crate) fn yield_step() {
+    if let Some((s, me)) = session_for_op() {
+        with_step(&s, me, |st, me| {
+            st.threads[me].clock.tick(me);
+        })
+    }
+}
+
+/// True when the calling thread is registered with a live session (used
+/// by facade locks to pick the spin-try path over real blocking).
+pub(crate) fn in_session() -> bool {
+    session_for_op().is_some()
+}
+
+// ---------------------------------------------------------------------------
+// Checked thread spawning (used by crate::thread)
+// ---------------------------------------------------------------------------
+
+pub(crate) struct CheckedSpawn {
+    pub(crate) session: Arc<Session>,
+    pub(crate) child: usize,
+}
+
+/// Register a child of the calling (registered) thread and return the
+/// session handle to pass into the native thread. `None` when the caller
+/// is not in a session.
+pub(crate) fn prepare_spawn() -> Option<CheckedSpawn> {
+    let (session, parent) = session_for_op()?;
+    let child = session.register_thread(Some(parent));
+    Some(CheckedSpawn { session, child })
+}
+
+/// Entry hook for the native child thread: adopt the session, park at
+/// the first scheduling point, then run `f` under the schedule.
+/// Returns `None` when the closure was unwound by a session abort.
+pub(crate) fn run_child<T>(spawn: CheckedSpawn, f: impl FnOnce() -> T) -> Option<T> {
+    let CheckedSpawn { session, child } = spawn;
+    TLS_SESSION.with(|t| *t.borrow_mut() = Some((session.clone(), child)));
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // First scheduling point: parks, which also signals the parent
+        // that the candidate set now includes this thread.
+        yield_step();
+        f()
+    }));
+    TLS_SESSION.with(|t| *t.borrow_mut() = None);
+    let out = match r {
+        Ok(v) => {
+            session.thread_finished(child, None);
+            Some(v)
+        }
+        Err(p) => {
+            session.thread_finished(child, Some(p));
+            None
+        }
+    };
+    // Hold the OS thread alive until the whole iteration is done: TLS
+    // destructors of checked code (e.g. QSBR's registry cleanup) run at
+    // OS-thread exit, outside instrumentation. Were the thread to exit
+    // now, those destructors would mutate shared state concurrently with
+    // the still-running schedule — nondeterministically and invisibly to
+    // the race detector. After the iteration nothing is scheduled, so
+    // the destructors can no longer interleave with checked code.
+    session.wait_all_finished();
+    out
+}
+
+/// Non-blocking, non-stepping query: has the checked thread finished?
+pub(crate) fn peek_finished(session: &Arc<Session>, target: usize) -> bool {
+    let st = lock_state(session);
+    st.threads[target].finished
+}
+
+/// Parent-side barrier after spawning: wait until the child parked.
+pub(crate) fn await_parked(spawn_session: &Arc<Session>, child: usize) {
+    spawn_session.wait_parked(child);
+}
+
+/// One scheduled poll of a checked join: returns true (joining the
+/// target's final clock) once the target finished.
+pub(crate) fn join_poll(session: &Arc<Session>, target: usize) -> bool {
+    match session_for_op() {
+        Some((s, me)) if Arc::ptr_eq(&s, session) => with_step(&s, me, |st, me| {
+            if st.threads[target].finished {
+                let final_clock = st.threads[target].clock.clone();
+                let clock = &mut st.threads[me].clock;
+                clock.tick(me);
+                clock.join(&final_clock);
+                true
+            } else {
+                // Park until the target finishes (`thread_finished` on
+                // the target makes this thread eligible again).
+                st.threads[me].blocked = Some(BlockedOn::Thread(target));
+                false
+            }
+        }),
+        _ => {
+            // Joiner is outside the session (or in another): block
+            // without consuming schedule steps.
+            session.wait_finished(target);
+            true
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API: Config / Checker / Report
+// ---------------------------------------------------------------------------
+
+/// Checker configuration. All fields have conservative defaults; the
+/// important contract is that a `(Config, seed)` pair fully determines
+/// the explored schedule.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// First seed; iteration `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Number of schedules to explore.
+    pub iterations: usize,
+    /// Per-iteration scheduling-step budget (aborts livelocks).
+    pub max_steps: usize,
+    /// Schedule policy.
+    pub policy: Policy,
+    /// Abort an iteration at its first detected race.
+    pub stop_on_first_race: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            base_seed: 0x5eed,
+            iterations: 32,
+            max_steps: 20_000,
+            policy: Policy::Random,
+            stop_on_first_race: false,
+        }
+    }
+}
+
+/// How two accesses conflicted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Prior write, current write.
+    WriteWrite,
+    /// Prior write, current read.
+    WriteRead,
+    /// Prior read, current write.
+    ReadWrite,
+}
+
+/// One endpoint of a detected race.
+#[derive(Clone, Debug)]
+pub struct AccessLabel {
+    /// Session-local thread index (0 = the root closure's thread).
+    pub thread: usize,
+    /// `file:line:column` of the access.
+    pub site: String,
+}
+
+impl AccessLabel {
+    fn new(a: &Access) -> Self {
+        AccessLabel {
+            thread: a.thread,
+            site: format!("{}:{}:{}", a.site.file(), a.site.line(), a.site.column()),
+        }
+    }
+}
+
+/// A detected data race, with the seed that reproduces the schedule.
+#[derive(Clone, Debug)]
+pub struct Race {
+    pub seed: u64,
+    pub kind: RaceKind,
+    pub first: AccessLabel,
+    pub second: AccessLabel,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (a, b) = match self.kind {
+            RaceKind::WriteWrite => ("write", "write"),
+            RaceKind::WriteRead => ("write", "read"),
+            RaceKind::ReadWrite => ("read", "write"),
+        };
+        write!(
+            f,
+            "data race (seed {:#x}): {} at {} (thread {}) is unordered with {} at {} (thread {})",
+            self.seed,
+            a,
+            self.first.site,
+            self.first.thread,
+            b,
+            self.second.site,
+            self.second.thread
+        )
+    }
+}
+
+/// Aggregate result of a checker run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// All detected races (bounded per iteration), in detection order.
+    pub races: Vec<Race>,
+    /// Seeds whose iteration blew the step budget.
+    pub budget_exhausted: Vec<u64>,
+    /// Seeds whose iteration ended with every live thread blocked.
+    pub deadlocks: Vec<u64>,
+}
+
+impl Report {
+    /// No races detected.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty()
+    }
+
+    pub fn first_race(&self) -> Option<&Race> {
+        self.races.first()
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "checker: {} iterations, {} race(s), {} budget-exhausted, {} deadlocked",
+            self.iterations,
+            self.races.len(),
+            self.budget_exhausted.len(),
+            self.deadlocks.len()
+        )?;
+        for r in &self.races {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic checker. See the module docs.
+pub struct Checker {
+    config: Config,
+}
+
+impl Checker {
+    pub fn new(config: Config) -> Self {
+        Checker { config }
+    }
+
+    /// Explore `config.iterations` seeded schedules of `f`. The closure
+    /// runs once per iteration on a fresh registered root thread; any
+    /// thread it spawns through [`crate::thread::spawn`] joins the
+    /// schedule. Panics from the closure (assertion failures) are
+    /// re-raised here after the iteration's threads wind down.
+    pub fn run<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut report = Report::default();
+        for i in 0..self.config.iterations {
+            let seed = self.config.base_seed.wrapping_add(i as u64);
+            let outcome = Self::run_one(seed, &self.config, f.clone());
+            report.iterations += 1;
+            let had_race = !outcome.races.is_empty();
+            report.races.extend(outcome.races);
+            if outcome.budget_exhausted {
+                report.budget_exhausted.push(seed);
+            }
+            if outcome.deadlocked {
+                report.deadlocks.push(seed);
+            }
+            if let Some(p) = outcome.panic {
+                std::panic::resume_unwind(p);
+            }
+            if had_race && self.config.stop_on_first_race {
+                break;
+            }
+        }
+        report
+    }
+
+    /// Re-run a single seed (e.g. one reported by [`Race::seed`]).
+    pub fn replay<F>(seed: u64, config: &Config, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        Checker::new(Config {
+            base_seed: seed,
+            iterations: 1,
+            ..config.clone()
+        })
+        .run(f)
+    }
+
+    fn run_one(seed: u64, cfg: &Config, f: Arc<dyn Fn() + Send + Sync>) -> IterOutcome {
+        let session = Session::new(seed, cfg);
+        ACTIVE_SESSIONS.fetch_add(1, StdOrdering::SeqCst);
+        let root = session.register_thread(None);
+        let s2 = session.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("checked-root-{seed:#x}"))
+            .spawn(move || {
+                let spawn = CheckedSpawn {
+                    session: s2,
+                    child: root,
+                };
+                run_child(spawn, move || f());
+            })
+            .expect("spawn checked root");
+        session.wait_all_finished();
+        let _ = handle.join();
+        ACTIVE_SESSIONS.fetch_sub(1, StdOrdering::SeqCst);
+        let mut st = lock_state(&session);
+        let outcome = IterOutcome {
+            races: std::mem::take(&mut st.races),
+            budget_exhausted: st.budget_exhausted,
+            deadlocked: st.deadlocked,
+            panic: st.panics.drain(..).next(),
+        };
+        drop(st);
+        outcome
+    }
+}
+
+struct IterOutcome {
+    races: Vec<Race>,
+    budget_exhausted: bool,
+    deadlocked: bool,
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}

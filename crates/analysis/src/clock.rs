@@ -1,0 +1,118 @@
+//! Vector clocks for happens-before race detection.
+//!
+//! Each checked thread carries a [`VectorClock`]; every synchronization
+//! object (atomic location, mutex, condvar) carries one too. An access by
+//! thread `t` happens-before an access by thread `u` iff `u`'s clock at
+//! its access dominates `t`'s component at `t`'s access. Two conflicting
+//! plain-data accesses that are not ordered either way are a data race
+//! (the FastTrack formulation, kept in full-vector form for clarity —
+//! checked runs involve a handful of threads, so the O(n) joins are
+//! irrelevant).
+
+/// A grow-on-demand vector of per-thread logical timestamps.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct VectorClock {
+    v: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for thread `i` (0 when never set).
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        self.v.get(i).copied().unwrap_or(0)
+    }
+
+    /// Set component `i` to `val`.
+    pub fn set(&mut self, i: usize, val: u64) {
+        if self.v.len() <= i {
+            self.v.resize(i + 1, 0);
+        }
+        self.v[i] = val;
+    }
+
+    /// Advance thread `i`'s own component by one and return the new value.
+    pub fn tick(&mut self, i: usize) -> u64 {
+        let next = self.get(i) + 1;
+        self.set(i, next);
+        next
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, `self` dominates both
+    /// inputs. This is the effect of an acquire observing a release.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.v.len() < other.v.len() {
+            self.v.resize(other.v.len(), 0);
+        }
+        for (s, o) in self.v.iter_mut().zip(other.v.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// Forget everything (used when a relaxed store breaks a release
+    /// sequence: later acquire loads gain no edges from it).
+    pub fn clear(&mut self) {
+        self.v.clear();
+    }
+
+    /// True when `self` dominates `other` pointwise (`other` ≤ `self`).
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        (0..other.v.len().max(self.v.len())).all(|i| self.get(i) >= other.get(i))
+    }
+
+    /// True when every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.v.iter().all(|&x| x == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock_dominated_by_all() {
+        let z = VectorClock::new();
+        let mut c = VectorClock::new();
+        c.tick(3);
+        assert!(c.dominates(&z));
+        assert!(!z.dominates(&c));
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn tick_advances_component() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.tick(1), 1);
+        assert_eq!(c.tick(1), 2);
+        assert_eq!(c.get(1), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 5);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 3);
+        b.set(1, 7);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (5, 7, 1));
+        assert!(a.dominates(&b));
+    }
+
+    #[test]
+    fn concurrent_clocks_incomparable() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+}

@@ -1,0 +1,43 @@
+//! rcuarray-analysis: the concurrency analysis layer.
+//!
+//! Three pieces, mirroring the issue that motivated them:
+//!
+//! 1. **A sync facade** ([`atomic`], [`sync`], [`thread`], [`cell`]).
+//!    The concurrency crates (`rcuarray-ebr`, `rcuarray-qsbr`,
+//!    `rcuarray`, parts of `rcuarray-runtime`) import their atomics,
+//!    locks and thread spawns from here instead of `std`/`parking_lot`.
+//!    Without the `check` feature the facade re-exports the plain types
+//!    (zero cost). With `check`, every operation becomes a scheduling
+//!    point of the deterministic checker — against the *real* shipped
+//!    code, not a model of it.
+//!
+//! 2. **A deterministic checker** ([`checker`], with [`sched`] and
+//!    [`clock`]): seeded-random and PCT schedules with bounded
+//!    preemptions, serialized execution of registered threads, and
+//!    vector-clock happens-before race detection over instrumented
+//!    accesses. Every report carries the seed that replays it.
+//!
+//! 3. **A source lint** ([`lint`], `cargo run -p rcuarray-analysis --bin
+//!    lint`): every `unsafe` site must carry a `SAFETY:`/`# Safety`
+//!    justification, `Ordering::Relaxed` and bare `std::sync::atomic` /
+//!    `std::thread::spawn` are confined to explicit allowlists.
+//!
+//! See DESIGN.md §6 for the architecture and README "Checking" for the
+//! commands.
+
+pub mod atomic;
+pub mod cell;
+#[cfg(feature = "check")]
+pub mod checker;
+pub mod clock;
+pub mod lint;
+pub mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use cell::CheckedCell;
+pub use sched::Policy;
+pub use sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(feature = "check")]
+pub use checker::{Checker, Config, Race, RaceKind, Report};

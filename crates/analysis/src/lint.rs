@@ -1,0 +1,517 @@
+//! Source-level concurrency lint.
+//!
+//! Walks Rust sources and enforces three repo rules:
+//!
+//! 1. **`unsafe` sites must be justified**: every `unsafe` block, `unsafe
+//!    fn`, or `unsafe impl` must have a `// SAFETY:` comment (or a
+//!    `# Safety` doc section) immediately above it — above at most a
+//!    short run of doc comments, attributes and signature lines.
+//! 2. **`Ordering::Relaxed` only where audited**: `Relaxed` may appear
+//!    only in files on [`RELAXED_ALLOWLIST`] (each entry is an audited
+//!    module — see DESIGN.md §6 for how to add one).
+//! 3. **No bare sync primitives outside the facade**: `std::sync::atomic`
+//!    and `std::thread::spawn` may appear only in files on
+//!    [`SYNC_ALLOWLIST`]; everything else goes through
+//!    `rcuarray_analysis::{atomic, thread}` so the checker can see it.
+//!
+//! Detection runs on *code only*: comments, strings (incl. raw strings)
+//! and char literals are stripped by a small state machine first, so
+//! prose mentioning `unsafe` or `Relaxed` never trips the lint.
+
+use std::path::{Path, PathBuf};
+
+/// Files (path suffixes, `/`-separated) where `Ordering::Relaxed` is
+/// allowed. Keep each entry tied to an audit note in the file itself.
+pub const RELAXED_ALLOWLIST: &[&str] = &[
+    // The facade + checker map and reason about all orderings.
+    "crates/analysis/",
+    // The OrderingMode ablation knob: deliberately maps to Relaxed for
+    // the measurement-only unsound mode (is_sound() == false).
+    "crates/ebr/src/ordering.rs",
+    // Monotonic statistics counters only; never used for synchronization.
+    "crates/ebr/src/epoch.rs",
+    "crates/ebr/src/sharded.rs",
+    "crates/qsbr/src/domain.rs",
+    "crates/qsbr/src/defer_list.rs",
+    "crates/rcuarray/src/array.rs",
+    "crates/rcuarray/src/stats.rs",
+    // Per-element cells: Relaxed load/store is the paper's data-plane
+    // contract (element visibility is ordered by snapshot publication).
+    "crates/rcuarray/src/element.rs",
+    // Pre-facade crates, audited wholesale: the abstract model checker,
+    // the educational single-pointer RCU, and the baseline arrays.
+    "crates/model/",
+    "crates/rcu/",
+    "crates/baselines/",
+    "crates/collections/",
+    "crates/bench/",
+    // Comm/fault counters in the simulated runtime (not migrated; the
+    // migrated sync_var.rs / global_lock.rs get narrow entries below).
+    "crates/runtime/src/comm.rs",
+    "crates/runtime/src/fault.rs",
+    "crates/runtime/src/config.rs",
+    "crates/runtime/src/telemetry.rs",
+    // Round-robin placement hint: the counter only steers which locale
+    // homes the next block; any interleaving yields a valid placement.
+    "crates/runtime/src/dist.rs",
+    // Allocation statistics counters (record_allocation & getters).
+    "crates/runtime/src/locale.rs",
+    // Acquisition statistics counters; the lock itself is a parking_lot
+    // mutex behind the facade. Test-module counters are lock-protected.
+    "crates/runtime/src/global_lock.rs",
+    // Test-module counters: coforall/forall visit counts (joined before
+    // asserting) and a lock-protected read-modify-write in sync_var.
+    "crates/runtime/src/lib.rs",
+    "crates/runtime/src/sync_var.rs",
+    // debug_assert sanity load directly before the Release store that
+    // actually publishes the checkpoint.
+    "crates/qsbr/src/record.rs",
+    // Test modules: stop flags joined by scope exit, plus the
+    // should_panic test naming the OrderingMode::Relaxed variant.
+    "crates/ebr/src/rcu_cell.rs",
+    "crates/ebr/tests/cell_model.rs",
+    // should_panic test naming the OrderingMode::Relaxed variant.
+    "crates/rcuarray/src/config.rs",
+];
+
+/// Files allowed to name `std::sync::atomic` / `std::thread::spawn`.
+pub const SYNC_ALLOWLIST: &[&str] = &[
+    // The facade itself wraps the std types.
+    "crates/analysis/",
+    // Not-yet-migrated crates (tracked in ROADMAP): the model checker,
+    // single-pointer RCU, baselines, collections, bench harness, and the
+    // unmigrated parts of the simulated runtime.
+    "crates/model/",
+    "crates/rcu/",
+    "crates/baselines/",
+    "crates/collections/",
+    "crates/bench/",
+    "crates/runtime/",
+];
+
+/// A single lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: Rule,
+    pub msg: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    MissingSafety,
+    RelaxedOutsideAllowlist,
+    BareSyncPrimitive,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rule = match self.rule {
+            Rule::MissingSafety => "missing-safety",
+            Rule::RelaxedOutsideAllowlist => "relaxed-ordering",
+            Rule::BareSyncPrimitive => "bare-sync",
+        };
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            rule,
+            self.msg
+        )
+    }
+}
+
+/// Strip comments, string/char literals from `src`, preserving line
+/// structure (stripped characters become spaces), and return the
+/// code-only lines. Handles nested block comments, raw strings with
+/// hashes, escapes, and lifetimes-vs-char-literals.
+pub fn strip_noncode(src: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut st = St::Code;
+    let mut out = String::with_capacity(src.len());
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push(' ');
+                }
+                'r' if matches!(next, Some('"') | Some('#')) => {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Lifetime ('a) vs char literal ('x').
+                    let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                        && b.get(i + 2) != Some(&'\'');
+                    if is_lifetime {
+                        out.push(c);
+                    } else {
+                        st = St::Char;
+                        out.push(' ');
+                    }
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    st = if depth > 1 {
+                        St::BlockComment(depth - 1)
+                    } else {
+                        St::Code
+                    };
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+            }
+            St::Str => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '\\' {
+                    if next == Some('\n') {
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    st = St::Code;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && b.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        for _ in (i + 1)..j {
+                            out.push(' ');
+                        }
+                        st = St::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+            }
+            St::Char => {
+                out.push(' ');
+                if c == '\\' {
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' || c == '\n' {
+                    st = St::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    out.lines().map(|l| l.to_string()).collect()
+}
+
+fn has_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = after >= line.len()
+            || !line[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+fn is_safety_marker(line: &str) -> bool {
+    line.contains("SAFETY:") || line.contains("# Safety")
+}
+
+/// True when the `unsafe` site at `idx` (0-based) is covered by a safety
+/// comment: on the same line, or above it across doc comments,
+/// attributes, blank lines, and at most two plain code lines (multi-line
+/// signatures / `let` bindings).
+fn site_has_safety(raw_lines: &[&str], idx: usize) -> bool {
+    if is_safety_marker(raw_lines[idx]) {
+        return true;
+    }
+    let mut skipped_code = 0;
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = raw_lines[j].trim_start();
+        if is_safety_marker(t) {
+            return true;
+        }
+        let is_annotation = t.is_empty()
+            || t.starts_with("///")
+            || t.starts_with("//!")
+            || t.starts_with("//")
+            || t.starts_with("#[")
+            || t.starts_with("#!")
+            || t.starts_with('*'); // inner lines of block doc comments
+        if !is_annotation {
+            skipped_code += 1;
+            if skipped_code > 2 {
+                return false;
+            }
+        }
+    }
+    false
+}
+
+fn allowlisted(path: &Path, allow: &[&str]) -> bool {
+    let norm: String = path
+        .to_string_lossy()
+        .chars()
+        .map(|c| if c == '\\' { '/' } else { c })
+        .collect();
+    allow.iter().any(|a| norm.contains(a))
+}
+
+/// Lint a single file's source text.
+pub fn lint_source(path: &Path, src: &str) -> Vec<Violation> {
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let code_lines = strip_noncode(src);
+    let mut out = Vec::new();
+    for (i, code) in code_lines.iter().enumerate() {
+        let line_no = i + 1;
+        if has_word(code, "unsafe") && !site_has_safety(&raw_lines, i) {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: line_no,
+                rule: Rule::MissingSafety,
+                msg: "`unsafe` site without a `// SAFETY:` (or `# Safety`) justification".into(),
+            });
+        }
+        if has_word(code, "Relaxed") && !allowlisted(path, RELAXED_ALLOWLIST) {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: line_no,
+                rule: Rule::RelaxedOutsideAllowlist,
+                msg: "`Ordering::Relaxed` outside the audited allowlist (see DESIGN.md §6)".into(),
+            });
+        }
+        if (code.contains("std::sync::atomic") || code.contains("std::thread::spawn"))
+            && !allowlisted(path, SYNC_ALLOWLIST)
+        {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: line_no,
+                rule: Rule::BareSyncPrimitive,
+                msg: "bare std sync primitive; use the rcuarray_analysis facade".into(),
+            });
+        }
+    }
+    out
+}
+
+/// Recursively lint every `.rs` file under `roots`, skipping `target`
+/// and `fixtures` directories. Returns violations plus the file count.
+pub fn lint_paths(roots: &[PathBuf]) -> std::io::Result<(Vec<Violation>, usize)> {
+    let mut violations = Vec::new();
+    let mut files = 0usize;
+    let mut stack: Vec<PathBuf> = roots.to_vec();
+    let mut all: Vec<PathBuf> = Vec::new();
+    while let Some(p) = stack.pop() {
+        let meta = std::fs::metadata(&p)?;
+        if meta.is_dir() {
+            let skip = p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n == "target" || n == "fixtures" || n.starts_with('.'));
+            if skip {
+                continue;
+            }
+            for entry in std::fs::read_dir(&p)? {
+                stack.push(entry?.path());
+            }
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            all.push(p);
+        }
+    }
+    all.sort();
+    for p in all {
+        let src = std::fs::read_to_string(&p)?;
+        violations.extend(lint_source(&p, &src));
+        files += 1;
+    }
+    Ok((violations, files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(s: &str) -> Vec<Violation> {
+        lint_source(Path::new("somewhere/else.rs"), s)
+    }
+
+    #[test]
+    fn strip_removes_comments_and_strings() {
+        let src = "let x = \"unsafe Relaxed\"; // unsafe Relaxed\n/* unsafe */ let y = 1;";
+        let lines = strip_noncode(src);
+        assert!(!lines[0].contains("unsafe"));
+        assert!(!lines[0].contains("Relaxed"));
+        assert!(lines[1].contains("let y = 1;"));
+        assert!(!lines[1].contains("unsafe"));
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_lifetimes() {
+        let src = "let s = r#\"unsafe \"# ; fn f<'a>(x: &'a u8) -> &'a u8 { x }";
+        let joined = strip_noncode(src).join("\n");
+        assert!(!joined.contains("unsafe"));
+        assert!(joined.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn unsafe_without_safety_flagged() {
+        let v = lint_str("fn f() {\n    unsafe { danger() };\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::MissingSafety);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_with_safety_ok() {
+        let v = lint_str("fn f() {\n    // SAFETY: fine because reasons.\n    unsafe { ok() };\n}");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_with_doc_safety_ok() {
+        let v = lint_str(
+            "/// Does a thing.\n///\n/// # Safety\n/// Caller must uphold X.\npub unsafe fn g() {}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn safety_does_not_reach_across_statements() {
+        let v = lint_str(
+            "// SAFETY: covers only the next site.\nlet a = 1;\nlet b = 2;\nlet c = 3;\nunsafe { far() };\n",
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn relaxed_flagged_outside_allowlist() {
+        let v = lint_str("use std::x;\na.load(Ordering::Relaxed);\n");
+        assert!(v.iter().any(|v| v.rule == Rule::RelaxedOutsideAllowlist));
+    }
+
+    #[test]
+    fn relaxed_ok_in_allowlisted_file() {
+        let v = lint_source(
+            Path::new("crates/rcuarray/src/element.rs"),
+            "a.load(Ordering::Relaxed);\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn bare_atomic_import_flagged() {
+        let v = lint_str("use std::sync::atomic::AtomicUsize;\n");
+        assert!(v.iter().any(|v| v.rule == Rule::BareSyncPrimitive));
+    }
+
+    #[test]
+    fn facade_import_ok() {
+        let v = lint_str("use rcuarray_analysis::atomic::AtomicUsize;\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        // `RelaxedFoo` is not `Relaxed`.
+        let v = lint_str("call(RelaxedFoo);\nlet not_unsafe_name = 1;\n");
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! The lock facade: `Mutex` / `Condvar` / `RwLock`.
+//!
+//! Without `check`, these are re-exports of the (vendored) `parking_lot`
+//! types. With `check`, they wrap the same types but never truly block
+//! inside a checker session: acquisition is a try-lock retried across
+//! scheduling points (the blocked thread is descheduled until the holder
+//! releases), and condvar waits are modeled as block-until-notify under
+//! PCT / spurious wakeups under the random policy. Outside a session the
+//! wrappers fall through to plain blocking operations.
+
+#[cfg(not(feature = "check"))]
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(feature = "check")]
+pub use checked::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(feature = "check")]
+mod checked {
+    use crate::checker::{self, LocSlot};
+    use std::time::{Duration, Instant};
+
+    /// Bounded number of scheduled acquisition attempts for the timed
+    /// lock methods: modeled time, deterministic, unrelated to the real
+    /// clock (a session never sleeps).
+    const TIMED_ATTEMPTS: usize = 64;
+
+    /// Instrumented drop-in for `parking_lot::Mutex`.
+    pub struct Mutex<T: ?Sized> {
+        meta: LocSlot,
+        inner: parking_lot::Mutex<T>,
+    }
+
+    /// Guard for the instrumented [`Mutex`]. The inner guard lives in an
+    /// `Option` so condvar waits can release and reacquire in place.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        mutex: &'a Mutex<T>,
+        inner: Option<parking_lot::MutexGuard<'a, T>>,
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Self::new(T::default())
+        }
+    }
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                meta: LocSlot::new(),
+                inner: parking_lot::Mutex::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        fn wrap<'a>(&'a self, g: parking_lot::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            MutexGuard {
+                mutex: self,
+                inner: Some(g),
+            }
+        }
+
+        #[track_caller]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            if !checker::in_session() {
+                return self.wrap(self.inner.lock());
+            }
+            loop {
+                if let Some(g) = checker::lock_acquire_attempt(&self.meta, || self.inner.try_lock())
+                {
+                    return self.wrap(g);
+                }
+            }
+        }
+
+        #[track_caller]
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            checker::lock_try_once(&self.meta, || self.inner.try_lock()).map(|g| self.wrap(g))
+        }
+
+        #[track_caller]
+        pub fn try_lock_for(&self, timeout: Duration) -> Option<MutexGuard<'_, T>> {
+            if !checker::in_session() {
+                return self.inner.try_lock_for(timeout).map(|g| self.wrap(g));
+            }
+            for _ in 0..TIMED_ATTEMPTS {
+                if let Some(g) = checker::lock_try_once(&self.meta, || self.inner.try_lock()) {
+                    return Some(self.wrap(g));
+                }
+            }
+            None
+        }
+
+        #[track_caller]
+        pub fn try_lock_until(&self, deadline: Instant) -> Option<MutexGuard<'_, T>> {
+            if !checker::in_session() {
+                return self.inner.try_lock_until(deadline).map(|g| self.wrap(g));
+            }
+            self.try_lock_for(Duration::ZERO)
+        }
+
+        pub fn is_locked(&self) -> bool {
+            self.inner.is_locked()
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard released")
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard released")
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(g) = self.inner.take() {
+                checker::lock_release(&self.mutex.meta, move || drop(g));
+            }
+        }
+    }
+
+    /// Result of a timed condvar wait.
+    #[derive(Clone, Copy, Debug)]
+    pub struct WaitTimeoutResult {
+        timed_out: bool,
+    }
+
+    impl WaitTimeoutResult {
+        pub fn timed_out(&self) -> bool {
+            self.timed_out
+        }
+    }
+
+    /// Instrumented drop-in for `parking_lot::Condvar`.
+    pub struct Condvar {
+        meta: LocSlot,
+        inner: parking_lot::Condvar,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar {
+                meta: LocSlot::new(),
+                inner: parking_lot::Condvar::new(),
+            }
+        }
+
+        #[track_caller]
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            if !checker::in_session() {
+                self.inner
+                    .wait(guard.inner.as_mut().expect("guard released"));
+                return;
+            }
+            let mutex = guard.mutex;
+            // Block on the condvar and release the mutex in one step, so
+            // a notify between "check predicate" and "park" is impossible
+            // (the notifier cannot run while we hold the grant).
+            let g = guard.inner.take().expect("guard released");
+            checker::cv_block_and_release(&self.meta, &mutex.meta, move || drop(g));
+            // Park. Being granted again means: notified (PCT) or a
+            // spurious wakeup (random policy).
+            checker::yield_step();
+            // Reacquire before returning, as a real condvar does.
+            loop {
+                if let Some(g) =
+                    checker::lock_acquire_attempt(&mutex.meta, || mutex.inner.try_lock())
+                {
+                    guard.inner = Some(g);
+                    break;
+                }
+            }
+            checker::cv_wake(&self.meta);
+        }
+
+        #[track_caller]
+        pub fn wait_until<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            deadline: Instant,
+        ) -> WaitTimeoutResult {
+            if !checker::in_session() {
+                let r = self
+                    .inner
+                    .wait_until(guard.inner.as_mut().expect("guard released"), deadline);
+                return WaitTimeoutResult {
+                    timed_out: r.timed_out(),
+                };
+            }
+            self.wait(guard);
+            // Modeled time: the wait "timed out" only if real time is
+            // already past the deadline (sessions never sleep, so this
+            // fires for deadlines in the past or after long runs).
+            WaitTimeoutResult {
+                timed_out: Instant::now() >= deadline,
+            }
+        }
+
+        #[track_caller]
+        pub fn wait_for<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            timeout: Duration,
+        ) -> WaitTimeoutResult {
+            let deadline = Instant::now() + timeout;
+            self.wait_until(guard, deadline)
+        }
+
+        #[track_caller]
+        pub fn notify_one(&self) {
+            checker::cv_notify(&self.meta, || {
+                self.inner.notify_one();
+            });
+        }
+
+        #[track_caller]
+        pub fn notify_all(&self) {
+            checker::cv_notify(&self.meta, || {
+                self.inner.notify_all();
+            });
+        }
+    }
+
+    /// Instrumented drop-in for `parking_lot::RwLock`.
+    pub struct RwLock<T: ?Sized> {
+        meta: LocSlot,
+        inner: parking_lot::RwLock<T>,
+    }
+
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        inner: Option<parking_lot::RwLockReadGuard<'a, T>>,
+    }
+
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        inner: Option<parking_lot::RwLockWriteGuard<'a, T>>,
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            Self::new(T::default())
+        }
+    }
+
+    impl<T> RwLock<T> {
+        pub const fn new(value: T) -> Self {
+            RwLock {
+                meta: LocSlot::new(),
+                inner: parking_lot::RwLock::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        #[track_caller]
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            if !checker::in_session() {
+                return RwLockReadGuard {
+                    lock: self,
+                    inner: Some(self.inner.read()),
+                };
+            }
+            loop {
+                if let Some(g) = checker::lock_acquire_attempt(&self.meta, || self.inner.try_read())
+                {
+                    return RwLockReadGuard {
+                        lock: self,
+                        inner: Some(g),
+                    };
+                }
+            }
+        }
+
+        #[track_caller]
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            if !checker::in_session() {
+                return RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(self.inner.write()),
+                };
+            }
+            loop {
+                if let Some(g) =
+                    checker::lock_acquire_attempt(&self.meta, || self.inner.try_write())
+                {
+                    return RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(g),
+                    };
+                }
+            }
+        }
+
+        #[track_caller]
+        pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+            checker::lock_try_once(&self.meta, || self.inner.try_read()).map(|g| RwLockReadGuard {
+                lock: self,
+                inner: Some(g),
+            })
+        }
+
+        #[track_caller]
+        pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+            checker::lock_try_once(&self.meta, || self.inner.try_write()).map(|g| {
+                RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(g),
+                }
+            })
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard released")
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(g) = self.inner.take() {
+                checker::lock_release(&self.lock.meta, move || drop(g));
+            }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard released")
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard released")
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(g) = self.inner.take() {
+                checker::lock_release(&self.lock.meta, move || drop(g));
+            }
+        }
+    }
+}

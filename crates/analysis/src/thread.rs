@@ -1,0 +1,136 @@
+//! The thread facade.
+//!
+//! Without `check`, plain re-exports of `std::thread`. With `check`,
+//! [`spawn`] registers the child with the calling thread's checker
+//! session (when there is one), so the child's instrumented operations
+//! join the deterministic schedule; `yield_now` and `sleep` become
+//! scheduling points inside sessions. `scope` stays the std scope in
+//! both modes — scoped threads run uninstrumented (they fall through),
+//! which keeps existing scoped tests working unmodified.
+
+#[cfg(not(feature = "check"))]
+pub use std::thread::{scope, sleep, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle};
+
+#[cfg(feature = "check")]
+pub use checked::{sleep, spawn, yield_now, JoinHandle};
+
+#[cfg(feature = "check")]
+pub use std::thread::{scope, Scope, ScopedJoinHandle};
+
+#[cfg(feature = "check")]
+mod checked {
+    use crate::checker;
+    use std::time::Duration;
+
+    /// Yield: a scheduling point inside a session, a real yield outside.
+    pub fn yield_now() {
+        if checker::in_session() {
+            checker::yield_step();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Sleep: inside a session this is a handful of scheduling points
+    /// (sessions model time logically and never stall the schedule);
+    /// outside, a real sleep.
+    pub fn sleep(dur: Duration) {
+        if checker::in_session() {
+            for _ in 0..4 {
+                checker::yield_step();
+            }
+        } else {
+            std::thread::sleep(dur);
+        }
+    }
+
+    /// Drop-in for `std::thread::JoinHandle`. For checked threads,
+    /// joining is itself scheduled (the joiner blocks in the schedule
+    /// until the child finishes) and the value travels through a shared
+    /// slot: the child's OS thread stays alive until the iteration ends
+    /// (so its TLS destructors cannot interleave with checked code), so
+    /// joining the OS thread itself would deadlock the schedule.
+    pub struct JoinHandle<T> {
+        inner: Inner<T>,
+    }
+
+    enum Inner<T> {
+        Plain(std::thread::JoinHandle<T>),
+        Checked {
+            result: std::sync::Arc<std::sync::Mutex<Option<T>>>,
+            session: std::sync::Arc<crate::checker::Session>,
+            child: usize,
+        },
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner {
+                Inner::Plain(h) => h.join(),
+                Inner::Checked {
+                    result,
+                    session,
+                    child,
+                } => {
+                    while !checker::join_poll(&session, child) {}
+                    let v = result.lock().unwrap_or_else(|e| e.into_inner()).take();
+                    match v {
+                        Some(v) => Ok(v),
+                        // The closure was unwound: by the session abort
+                        // (step budget / stop-on-first-race) or by its own
+                        // panic. The original payload, if any, is re-raised
+                        // by the checker at the end of the run.
+                        None => Err(Box::new(
+                            "checked thread did not complete (panicked or session aborted)",
+                        )),
+                    }
+                }
+            }
+        }
+
+        pub fn is_finished(&self) -> bool {
+            match &self.inner {
+                Inner::Plain(h) => h.is_finished(),
+                Inner::Checked { session, child, .. } => checker::peek_finished(session, *child),
+            }
+        }
+    }
+
+    /// Drop-in for `std::thread::spawn`. When the caller belongs to a
+    /// checker session, the child is registered before this returns, so
+    /// scheduling decisions remain deterministic.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match checker::prepare_spawn() {
+            None => JoinHandle {
+                inner: Inner::Plain(std::thread::spawn(f)),
+            },
+            Some(prep) => {
+                let sess = prep.session.clone();
+                let child = prep.child;
+                let result = std::sync::Arc::new(std::sync::Mutex::new(None));
+                let slot = result.clone();
+                // The OS handle is intentionally dropped (detached): the
+                // thread parks until the iteration completes and exits on
+                // its own; the session tracks its lifecycle.
+                std::thread::spawn(move || {
+                    checker::run_child(prep, move || {
+                        let v = f();
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                    });
+                });
+                checker::await_parked(&sess, child);
+                JoinHandle {
+                    inner: Inner::Checked {
+                        result,
+                        session: sess,
+                        child,
+                    },
+                }
+            }
+        }
+    }
+}

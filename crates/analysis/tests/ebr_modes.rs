@@ -1,0 +1,148 @@
+//! Ordering-mode mutation tests against the *real* EBR zone
+//! (`rcuarray_ebr::EpochZone`), exercised through the instrumented facade.
+//!
+//! The scenario is the paper's read-side protocol verbatim: a reader pins,
+//! loads the published slot index, reads the slot, and unpins; the writer
+//! publishes a new slot, runs advance + wait-for-readers (Algorithm 1's
+//! writer barrier), then reuses the retired slot. Soundness claim under
+//! test: the barrier must order every pinned reader's slot access before
+//! the writer's reuse write.
+//!
+//! - `OrderingMode::Relaxed` (the measurement-only unsound mode) must
+//!   produce a detected race with a reproducing seed;
+//! - `SeqCst` (the paper's configuration) and `AcqRelFence` must come out
+//!   clean across a bounded-exploration sweep.
+
+#![cfg(feature = "check")]
+
+use rcuarray_analysis::atomic::{AtomicUsize, Ordering};
+use rcuarray_analysis::{thread, CheckedCell, Checker, Config};
+use rcuarray_ebr::{EpochZone, OrderingMode};
+use std::sync::Arc;
+
+struct Shared {
+    zone: EpochZone,
+    /// Two payload slots; the active one is published via `cur`.
+    slots: [CheckedCell<u64>; 2],
+    cur: AtomicUsize,
+}
+
+/// The read-vs-reclaim scenario for one ordering mode.
+fn scenario(mode: OrderingMode) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let sh = Arc::new(Shared {
+            zone: EpochZone::with_mode(mode),
+            slots: [CheckedCell::new(1), CheckedCell::new(2)],
+            cur: AtomicUsize::new(0),
+        });
+
+        let r = sh.clone();
+        let reader = thread::spawn(move || {
+            let ticket = r.zone.pin();
+            let idx = r.cur.load(Ordering::Acquire);
+            let v = r.slots[idx].read();
+            assert!(v == 1 || v == 2, "torn or reused value: {v}");
+            r.zone.unpin(ticket);
+        });
+
+        // Writer (the root thread): publish slot 1, then retire slot 0.
+        sh.slots[1].write(2);
+        sh.cur.store(1, Ordering::Release);
+        let old = sh.zone.advance();
+        sh.zone.wait_for_readers(old);
+        // Reuse of the retired slot. Safe iff the barrier ordered every
+        // reader of slot 0 before this write.
+        sh.slots[0].write(0xDEAD);
+
+        let _ = reader.join();
+    }
+}
+
+fn sweep(mode: OrderingMode) -> rcuarray_analysis::Report {
+    Checker::new(Config {
+        base_seed: 0x5eed_eb20,
+        iterations: 48,
+        ..Config::default()
+    })
+    .run(scenario(mode))
+}
+
+#[test]
+fn relaxed_mode_races_with_reproducing_seed() {
+    let report = sweep(OrderingMode::Relaxed);
+    assert!(
+        !report.is_clean(),
+        "the unsound Relaxed mode must be caught within the sweep"
+    );
+    let race = report.first_race().unwrap().clone();
+    // The race is on the retired slot: reader's plain read vs the
+    // writer's reuse write, both in this file.
+    assert!(race.first.site.contains("ebr_modes.rs"), "{race}");
+    assert!(race.second.site.contains("ebr_modes.rs"), "{race}");
+
+    // The recorded seed replays the exact interleaving.
+    let replay = Checker::replay(
+        race.seed,
+        &Config::default(),
+        scenario(OrderingMode::Relaxed),
+    );
+    assert!(
+        !replay.is_clean(),
+        "seed {:#x} did not reproduce",
+        race.seed
+    );
+}
+
+#[test]
+fn seqcst_mode_is_clean() {
+    let report = sweep(OrderingMode::SeqCst);
+    assert!(report.is_clean(), "{report}");
+    assert!(report.deadlocks.is_empty());
+}
+
+#[test]
+fn acqrel_fence_mode_is_clean() {
+    let report = sweep(OrderingMode::AcqRelFence);
+    assert!(report.is_clean(), "{report}");
+    assert!(report.deadlocks.is_empty());
+}
+
+/// Two concurrent readers against one writer, sound modes only: the
+/// barrier must serialize reclamation against both.
+#[test]
+fn two_readers_sound_modes_clean() {
+    for mode in [OrderingMode::SeqCst, OrderingMode::AcqRelFence] {
+        let report = Checker::new(Config {
+            base_seed: 0x5eed_eb21,
+            iterations: 24,
+            ..Config::default()
+        })
+        .run(move || {
+            let sh = Arc::new(Shared {
+                zone: EpochZone::with_mode(mode),
+                slots: [CheckedCell::new(1), CheckedCell::new(2)],
+                cur: AtomicUsize::new(0),
+            });
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let r = sh.clone();
+                    thread::spawn(move || {
+                        let ticket = r.zone.pin();
+                        let idx = r.cur.load(Ordering::Acquire);
+                        let _ = r.slots[idx].read();
+                        r.zone.unpin(ticket);
+                    })
+                })
+                .collect();
+            sh.slots[1].write(2);
+            sh.cur.store(1, Ordering::Release);
+            let old = sh.zone.advance();
+            sh.zone.wait_for_readers(old);
+            sh.slots[0].write(0xDEAD);
+            for h in handles {
+                let _ = h.join();
+            }
+        });
+        assert!(report.is_clean(), "mode {mode:?}: {report}");
+    }
+}

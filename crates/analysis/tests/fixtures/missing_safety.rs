@@ -1,0 +1,8 @@
+//! Lint fixture: an unannotated `unsafe` block. Excluded from the
+//! normal walk (directories named `fixtures` are skipped); the
+//! exit-code test points the lint binary at this file directly and
+//! expects a non-zero exit.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -54,7 +54,12 @@ pub struct HazardArray<T: Element> {
     capacity: AtomicUsize,
 }
 
+// SAFETY: the only non-auto-Send/Sync field is the raw snapshot pointer,
+// which is owned by the array, published atomically, and only freed after
+// the hazard scan proves no reader holds it; `Element` bounds everything
+// stored at `Send + Sync + 'static`.
 unsafe impl<T: Element> Send for HazardArray<T> {}
+// SAFETY: see the `Send` impl above.
 unsafe impl<T: Element> Sync for HazardArray<T> {}
 
 impl<T: Element> HazardArray<T> {

@@ -236,12 +236,15 @@ impl<T: Element> LockFreeVector<T> {
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
+                    // SAFETY: `cur_ptr` is unlinked by the CAS; the
+                    // graveyard keeps it alive for readers until drop.
                     self.graveyard
                         .lock()
                         .push(unsafe { Box::from_raw(cur_ptr) });
                     return Some(value);
                 }
                 Err(_) => {
+                    // SAFETY: `next` never escaped this thread.
                     drop(unsafe { Box::from_raw(next) });
                 }
             }
@@ -279,11 +282,14 @@ impl<T: Element> LockFreeVector<T> {
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
+                    // SAFETY: `cur_ptr` is unlinked by the CAS; the
+                    // graveyard keeps it alive for readers until drop.
                     self.graveyard
                         .lock()
                         .push(unsafe { Box::from_raw(cur_ptr) });
                     return;
                 }
+                // SAFETY: `next` never escaped this thread.
                 Err(_) => drop(unsafe { Box::from_raw(next) }),
             }
         }

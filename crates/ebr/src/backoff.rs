@@ -50,7 +50,7 @@ impl Backoff {
                 std::hint::spin_loop();
             }
         } else {
-            std::thread::yield_now();
+            rcuarray_analysis::thread::yield_now();
         }
         self.step = self.step.saturating_add(1);
     }

@@ -3,7 +3,7 @@
 
 use crate::backoff::Backoff;
 use crate::ordering::OrderingMode;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use rcuarray_analysis::atomic::{fence, AtomicU64, Ordering};
 
 /// Pad to a cache line so the two reader counters and the epoch never
 /// false-share — they are the hottest words in the whole system.
@@ -207,7 +207,7 @@ impl EpochZone {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use rcuarray_analysis::atomic::AtomicBool;
     use std::sync::Arc;
 
     #[test]
@@ -247,7 +247,7 @@ mod tests {
 
         let z2 = Arc::clone(&z);
         let done2 = Arc::clone(&done);
-        let writer = std::thread::spawn(move || {
+        let writer = rcuarray_analysis::thread::spawn(move || {
             let old = z2.advance();
             z2.wait_for_readers(old);
             done2.store(true, Ordering::SeqCst);
@@ -283,7 +283,7 @@ mod tests {
         let stop = Arc::new(AtomicBool::new(false));
         let z2 = Arc::clone(&z);
         let stop2 = Arc::clone(&stop);
-        let writer = std::thread::spawn(move || {
+        let writer = rcuarray_analysis::thread::spawn(move || {
             while !stop2.load(Ordering::Relaxed) {
                 let old = z2.advance();
                 z2.wait_for_readers(old);

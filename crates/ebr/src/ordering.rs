@@ -7,7 +7,7 @@
 //! *ordering* versus the *contention*, the zone's protocol ordering is a
 //! runtime knob.
 
-use std::sync::atomic::Ordering;
+use rcuarray_analysis::atomic::Ordering;
 
 /// Which memory orderings the read–increment–verify protocol uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -11,8 +11,8 @@
 
 use crate::epoch::{EpochZone, ZoneStats};
 use crate::ordering::OrderingMode;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use rcuarray_analysis::atomic::{AtomicPtr, Ordering};
+use rcuarray_analysis::sync::Mutex;
 
 /// An RCU-protected value with TLS-free EBR reclamation.
 pub struct RcuCell<T> {
@@ -21,9 +21,12 @@ pub struct RcuCell<T> {
     write_lock: Mutex<()>,
 }
 
-// Readers on any thread dereference the snapshot (`&T`), and writers move
-// `T`s in and drop them on whatever thread runs the write.
+// SAFETY: readers on any thread dereference the snapshot (`&T`, needs
+// `T: Sync`), and writers move `T`s in and drop them on whatever thread
+// runs the write (needs `T: Send`); the raw pointer itself is only freed
+// after the epoch grace period proves no reader can still hold it.
 unsafe impl<T: Send + Sync> Send for RcuCell<T> {}
+// SAFETY: see the `Send` impl above.
 unsafe impl<T: Send + Sync> Sync for RcuCell<T> {}
 
 impl<T> RcuCell<T> {
@@ -153,7 +156,7 @@ impl<T: Default> Default for RcuCell<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use rcuarray_analysis::atomic::{AtomicBool, AtomicUsize};
     use std::sync::Arc;
 
     #[test]
@@ -250,7 +253,7 @@ mod tests {
                         (a2, 100 - a2)
                     });
                     if i % 256 == 0 {
-                        std::thread::yield_now();
+                        rcuarray_analysis::thread::yield_now();
                     }
                 }
                 stop2.store(true, Ordering::Relaxed);

@@ -20,7 +20,7 @@
 
 use crate::backoff::Backoff;
 use crate::ordering::OrderingMode;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use rcuarray_analysis::atomic::{fence, AtomicU64, Ordering};
 
 #[repr(align(64))]
 #[derive(Debug, Default)]
@@ -179,7 +179,7 @@ impl ShardedEpochZone {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use rcuarray_analysis::atomic::AtomicBool;
     use std::sync::Arc;
 
     #[test]
@@ -209,7 +209,7 @@ mod tests {
         let done = Arc::new(AtomicBool::new(false));
         let z2 = Arc::clone(&z);
         let done2 = Arc::clone(&done);
-        let writer = std::thread::spawn(move || {
+        let writer = rcuarray_analysis::thread::spawn(move || {
             z2.synchronize();
             done2.store(true, Ordering::SeqCst);
         });

@@ -2,8 +2,8 @@
 //! plus protocol accounting under adversarial schedules.
 
 use proptest::prelude::*;
+use rcuarray_analysis::atomic::{AtomicBool, Ordering};
 use rcuarray_ebr::{EpochZone, OrderingMode, RcuCell, ShardedEpochZone};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 #[derive(Debug, Clone)]
@@ -100,7 +100,7 @@ fn writers_starve_neither_readers_nor_each_other() {
                     stop.store(true, Ordering::Relaxed);
                     break;
                 }
-                std::thread::yield_now();
+                rcuarray_analysis::thread::yield_now();
             }
         });
     });
@@ -140,7 +140,7 @@ fn sharded_zone_as_cell_substrate_smoke() {
     let zone2 = Arc::clone(&zone);
     let done = Arc::new(AtomicBool::new(false));
     let done2 = Arc::clone(&done);
-    let writer = std::thread::spawn(move || {
+    let writer = rcuarray_analysis::thread::spawn(move || {
         zone2.synchronize();
         done2.store(true, Ordering::SeqCst);
     });

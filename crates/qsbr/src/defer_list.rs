@@ -223,7 +223,7 @@ impl std::fmt::Debug for DeferChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use rcuarray_analysis::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     fn counting(counter: &Arc<AtomicUsize>) -> impl FnOnce() + Send + 'static {

@@ -12,8 +12,8 @@ use crate::defer_list::DeferChain;
 use crate::record::ThreadRecord;
 use crate::registry::Registry;
 use crate::state::StateEpoch;
+use rcuarray_analysis::atomic::{AtomicU64, Ordering};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 /// Monotonic domain-id source, used as the TLS lookup key.
@@ -301,7 +301,7 @@ impl std::fmt::Debug for QsbrDomain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use rcuarray_analysis::atomic::AtomicUsize;
     use std::sync::Barrier;
 
     fn counter_defer(d: &QsbrDomain, c: &Arc<AtomicUsize>) {
@@ -340,7 +340,7 @@ mod tests {
         let d2 = d.clone();
         let ready2 = Arc::clone(&ready);
         let release2 = Arc::clone(&release);
-        let lagger = std::thread::spawn(move || {
+        let lagger = rcuarray_analysis::thread::spawn(move || {
             d2.register_current_thread(); // observes epoch 0, never checkpoints
             ready2.wait();
             release2.wait();
@@ -369,7 +369,7 @@ mod tests {
         let d2 = d.clone();
         let parked2 = Arc::clone(&parked);
         let done2 = Arc::clone(&done);
-        let t = std::thread::spawn(move || {
+        let t = rcuarray_analysis::thread::spawn(move || {
             d2.register_current_thread();
             d2.park();
             parked2.wait();
@@ -399,7 +399,7 @@ mod tests {
         let c2 = Arc::clone(&c);
         let deferred2 = Arc::clone(&deferred);
         let parked2 = Arc::clone(&parked);
-        let t = std::thread::spawn(move || {
+        let t = rcuarray_analysis::thread::spawn(move || {
             counter_defer(&d2, &c2);
             deferred2.wait();
             d2.park(); // cannot free (main lags): entry goes to orphans
@@ -424,7 +424,7 @@ mod tests {
 
         let d2 = d.clone();
         let c2 = Arc::clone(&c);
-        std::thread::spawn(move || {
+        rcuarray_analysis::thread::spawn(move || {
             counter_defer(&d2, &c2);
             // exits without checkpointing
         })

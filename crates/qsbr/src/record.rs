@@ -3,8 +3,8 @@
 //! paper's `TLSList`) for the minimum-epoch scan.
 
 use crate::defer_list::DeferList;
+use rcuarray_analysis::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// One thread's QSBR participation state.
 ///

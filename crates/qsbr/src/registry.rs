@@ -8,7 +8,7 @@
 
 use crate::defer_list::DeferChain;
 use crate::record::ThreadRecord;
-use parking_lot::{Mutex, RwLock};
+use rcuarray_analysis::sync::{Mutex, RwLock};
 use std::sync::Arc;
 
 /// An orphaned defer chain left behind by an exited thread, tagged with
@@ -26,7 +26,7 @@ pub struct Registry {
     orphans: Mutex<Vec<Orphan>>,
     /// Lock-free mirror of `orphans.len()`, so the checkpoint hot path
     /// can skip orphan processing without touching the mutex.
-    orphan_count: std::sync::atomic::AtomicUsize,
+    orphan_count: rcuarray_analysis::atomic::AtomicUsize,
 }
 
 impl Registry {
@@ -74,13 +74,15 @@ impl Registry {
         let mut orphans = self.orphans.lock();
         orphans.push(Orphan { max_epoch, chain });
         self.orphan_count
-            .store(orphans.len(), std::sync::atomic::Ordering::Release);
+            .store(orphans.len(), rcuarray_analysis::atomic::Ordering::Release);
     }
 
     /// Whether any orphaned chains are pending (lock-free check).
     #[inline]
     pub fn has_orphans(&self) -> bool {
-        self.orphan_count.load(std::sync::atomic::Ordering::Acquire) != 0
+        self.orphan_count
+            .load(rcuarray_analysis::atomic::Ordering::Acquire)
+            != 0
     }
 
     /// The minimum observed epoch over all *participating* threads
@@ -114,7 +116,7 @@ impl Registry {
             }
         });
         self.orphan_count
-            .store(orphans.len(), std::sync::atomic::Ordering::Release);
+            .store(orphans.len(), rcuarray_analysis::atomic::Ordering::Release);
         freed
     }
 
@@ -159,7 +161,7 @@ impl std::fmt::Debug for Registry {
 mod tests {
     use super::*;
     use crate::defer_list::DeferList;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use rcuarray_analysis::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn register_and_min() {

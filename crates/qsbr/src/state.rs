@@ -1,7 +1,7 @@
 //! The global `StateEpoch`: "an atomic monotonically increasing counter …
 //! that denotes the epoch as a state of the entire system" (paper §III-B).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rcuarray_analysis::atomic::{AtomicU64, Ordering};
 
 /// The system-state epoch counter.
 ///

@@ -2,8 +2,8 @@
 //! exit in adversarial patterns, checking the exactly-once reclamation
 //! accounting end to end.
 
+use rcuarray_analysis::atomic::{AtomicUsize, Ordering};
 use rcuarray_qsbr::QsbrDomain;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -62,7 +62,7 @@ fn parked_majority_never_blocks_a_lone_worker() {
         let domain = domain.clone();
         let parked = Arc::clone(&parked);
         let release = Arc::clone(&release);
-        handles.push(std::thread::spawn(move || {
+        handles.push(rcuarray_analysis::thread::spawn(move || {
             domain.register_current_thread();
             domain.park();
             parked.wait();

@@ -29,6 +29,8 @@ struct Node<K> {
 /// Moves a raw node pointer into a retire closure (see `RcuPtr` for why
 /// the by-value method matters under edition-2021 capture rules).
 struct SendNode<K>(*mut Node<K>);
+// SAFETY: the wrapped node is uniquely owned once unlinked from the list,
+// and `K: Send` lets that ownership move to the reclaiming thread.
 unsafe impl<K: Send> Send for SendNode<K> {}
 impl<K> SendNode<K> {
     fn into_raw(self) -> *mut Node<K> {
@@ -44,7 +46,12 @@ pub struct RcuList<K, R: Reclaim> {
     write_lock: Mutex<()>,
 }
 
+// SAFETY: readers dereference nodes concurrently (`K: Sync`) and unlinked
+// nodes are dropped on whichever thread drains the reclaimer (`K: Send`);
+// node pointers are only freed after the grace period proves them
+// unreachable.
 unsafe impl<K: Send + Sync, R: Reclaim> Send for RcuList<K, R> {}
+// SAFETY: see the `Send` impl above.
 unsafe impl<K: Send + Sync, R: Reclaim> Sync for RcuList<K, R> {}
 
 impl<K, R> RcuList<K, R>

@@ -9,6 +9,8 @@ use std::sync::Arc;
 /// Moves a raw pointer across the retire boundary. The value behind it is
 /// `Send`, and ownership is unique once unlinked.
 struct SendPtr<T>(*mut T);
+// SAFETY: the value behind the pointer is `Send`, and ownership is unique
+// once the pointer is unlinked from the cell.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -32,7 +34,12 @@ pub struct RcuPtr<T, R: Reclaim> {
     write_lock: Mutex<()>,
 }
 
+// SAFETY: readers dereference the published snapshot concurrently
+// (`T: Sync`) and retired snapshots are dropped on whichever thread
+// drains the reclaimer (`T: Send`); the raw pointer is only freed after
+// the grace period proves no reader still holds it.
 unsafe impl<T: Send + Sync, R: Reclaim> Send for RcuPtr<T, R> {}
+// SAFETY: see the `Send` impl above.
 unsafe impl<T: Send + Sync, R: Reclaim> Sync for RcuPtr<T, R> {}
 
 impl<T: Send + Sync + 'static, R: Reclaim> RcuPtr<T, R> {

@@ -26,6 +26,7 @@ use crate::iter::Iter;
 use crate::scheme::{EbrScheme, QsbrScheme, Scheme};
 use crate::snapshot::{reclaim_box, Snapshot};
 use crate::stats::ArrayStats;
+use rcuarray_analysis::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use rcuarray_ebr::ZoneStats;
 use rcuarray_qsbr::QsbrDomain;
 use rcuarray_runtime::{
@@ -33,7 +34,6 @@ use rcuarray_runtime::{
 };
 use std::marker::PhantomData;
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// An RCUArray using the TLS-free EBR scheme (the paper's `EBRArray`).
@@ -44,6 +44,9 @@ pub type QsbrArray<T> = RcuArray<T, QsbrScheme>;
 
 /// Moves a snapshot pointer into a QSBR defer closure.
 struct SendSnap<T: Element>(NonNull<Snapshot<T>>);
+// SAFETY: the snapshot is uniquely owned once unpublished (the defer
+// closure is its sole holder), and `Element` bounds the contents at
+// `Send + Sync + 'static`.
 unsafe impl<T: Element> Send for SendSnap<T> {}
 impl<T: Element> SendSnap<T> {
     /// By-value method so closures capture the wrapper, not the raw field
@@ -799,8 +802,8 @@ impl<T: Element, S: Scheme> std::fmt::Debug for RcuArray<T, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rcuarray_analysis::atomic::AtomicBool;
     use rcuarray_runtime::Topology;
-    use std::sync::atomic::AtomicBool;
 
     fn cluster(n: usize) -> Arc<Cluster> {
         Cluster::new(Topology::new(n, 2))
@@ -1127,6 +1130,7 @@ mod tests {
                 let local = a.local_blocks();
                 assert_eq!(local.len(), 2, "locale {l}");
                 for (idx, b) in local {
+                    // SAFETY: the registry outlives this test scope.
                     assert_eq!(unsafe { b.get() }.home(), LocaleId::new(l));
                     assert!(seen.insert(idx), "block {idx} owned twice");
                 }
@@ -1341,7 +1345,7 @@ mod tests {
         assert!(r.is_err());
         let (done_tx, done_rx) = std::sync::mpsc::channel();
         let a2 = a.clone();
-        std::thread::spawn(move || {
+        rcuarray_analysis::thread::spawn(move || {
             a2.resize(8);
             done_tx.send(()).unwrap();
         });

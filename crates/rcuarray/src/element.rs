@@ -13,7 +13,7 @@
 //! Implemented for all integer primitives, `usize`/`isize`, `bool`, `f32`
 //! and `f64` (floats round-trip through their bit patterns).
 
-use std::sync::atomic::{
+use rcuarray_analysis::atomic::{
     AtomicBool, AtomicI16, AtomicI32, AtomicI64, AtomicI8, AtomicIsize, AtomicU16, AtomicU32,
     AtomicU64, AtomicU8, AtomicUsize, Ordering,
 };

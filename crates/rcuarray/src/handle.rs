@@ -8,10 +8,10 @@
 
 use crate::element::Element;
 use crate::snapshot::{publish_box, Snapshot};
+use rcuarray_analysis::atomic::{AtomicPtr, Ordering};
 use rcuarray_ebr::{EpochZone, OrderingMode};
 use rcuarray_runtime::LocaleId;
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicPtr, Ordering};
 
 /// One locale's privatized copy of the array metadata.
 pub struct LocaleState<T: Element> {
@@ -138,6 +138,7 @@ mod tests {
         for v in 1..=3u64 {
             let b = reg.adopt(Block::new(LocaleId::ZERO, 2));
             let old = st.publish(Snapshot::from_blocks(vec![b], v));
+            // SAFETY: `old` was just unpublished; no reader exists here.
             unsafe { reclaim_box(old) };
         }
         drop(st);

@@ -169,8 +169,10 @@ mod tests {
         let old = Snapshot::from_blocks(refs, 0);
         let new = old.clone_recycled(&[]);
         // Update "through the old snapshot" after the clone…
+        // SAFETY: `_reg` (the registry) outlives both snapshots.
         unsafe { old.block(1).get().store(2, 77) };
         // …and it is immediately visible through the new one.
+        // SAFETY: as above.
         assert_eq!(unsafe { new.block(1).get().load(2) }, 77);
     }
 

@@ -13,8 +13,8 @@
 use crate::comm::CommLayer;
 use crate::locale::LocaleId;
 use crate::task;
-use parking_lot::{Mutex, MutexGuard};
-use std::sync::atomic::{AtomicU64, Ordering};
+use rcuarray_analysis::atomic::{AtomicU64, Ordering};
+use rcuarray_analysis::sync::{Mutex, MutexGuard};
 use std::sync::Arc;
 
 /// A lock allocated on a single locale and contended cluster-wide.
@@ -179,7 +179,7 @@ impl Drop for GlobalLockGuard<'_> {
 mod tests {
     use super::*;
     use crate::{Cluster, Topology};
-    use std::sync::atomic::AtomicUsize;
+    use rcuarray_analysis::atomic::AtomicUsize;
 
     #[test]
     fn provides_mutual_exclusion() {
@@ -189,7 +189,7 @@ mod tests {
         for _ in 0..8 {
             let lock = Arc::clone(&lock);
             let counter = Arc::clone(&counter);
-            handles.push(std::thread::spawn(move || {
+            handles.push(rcuarray_analysis::thread::spawn(move || {
                 for _ in 0..1000 {
                     let _g = lock.acquire();
                     // Non-atomic read-modify-write protected by the lock.
@@ -277,7 +277,7 @@ mod tests {
         // not poison, so a panicking resize cannot wedge the cluster lock.
         let lock = Arc::new(GlobalLock::detached());
         let lock2 = Arc::clone(&lock);
-        let t = std::thread::spawn(move || {
+        let t = rcuarray_analysis::thread::spawn(move || {
             let _g = lock2.acquire();
             panic!("holder dies while holding the cluster lock");
         });

@@ -11,7 +11,7 @@
 //! [`SyncVar`] implements the full Chapel method set that matters here:
 //! `write_ef`, `read_fe`, `read_ff`, `write_ff`, `reset`, `is_full`.
 
-use parking_lot::{Condvar, Mutex};
+use rcuarray_analysis::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 struct State<T> {
@@ -218,7 +218,7 @@ impl Drop for SyncVarLockGuard<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use rcuarray_analysis::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]
@@ -278,7 +278,7 @@ mod tests {
     fn blocked_reader_wakes_on_write() {
         let v = Arc::new(SyncVar::new_empty());
         let v2 = Arc::clone(&v);
-        let reader = std::thread::spawn(move || v2.read_fe());
+        let reader = rcuarray_analysis::thread::spawn(move || v2.read_fe());
         std::thread::sleep(Duration::from_millis(10));
         v.write_ef(123);
         assert_eq!(reader.join().unwrap(), 123);
@@ -288,7 +288,7 @@ mod tests {
     fn ping_pong_through_sync_var() {
         let v = Arc::new(SyncVar::new_empty());
         let v2 = Arc::clone(&v);
-        let t = std::thread::spawn(move || {
+        let t = rcuarray_analysis::thread::spawn(move || {
             for i in 0..100 {
                 assert_eq!(v2.read_fe(), i);
             }
@@ -307,7 +307,7 @@ mod tests {
         for _ in 0..4 {
             let lock = Arc::clone(&lock);
             let counter = Arc::clone(&counter);
-            handles.push(std::thread::spawn(move || {
+            handles.push(rcuarray_analysis::thread::spawn(move || {
                 for _ in 0..500 {
                     let _g = lock.acquire();
                     let v = counter.load(Ordering::Relaxed);

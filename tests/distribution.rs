@@ -44,9 +44,12 @@ fn allocation_accounting_attributes_to_home_locales() {
         },
     );
     a.resize(16 * 8); // 8 blocks over 4 locales: 2 each
+                      // Bytes per cell is the size of the element representation, which is
+                      // larger than the payload when instrumentation is compiled in.
+    let cell = std::mem::size_of::<<u64 as Element>::Repr>();
     for locale in cluster.locales() {
         assert_eq!(locale.allocations(), 2, "locale {}", locale.id());
-        assert_eq!(locale.allocated_bytes(), 2 * 16 * 8);
+        assert_eq!(locale.allocated_bytes(), (2 * 16 * cell) as u64);
     }
     a.checkpoint();
 }
