@@ -1,6 +1,6 @@
 //! Source-level concurrency lint.
 //!
-//! Walks Rust sources and enforces three repo rules:
+//! Walks Rust sources and enforces four repo rules:
 //!
 //! 1. **`unsafe` sites must be justified**: every `unsafe` block, `unsafe
 //!    fn`, or `unsafe impl` must have a `// SAFETY:` comment (or a
@@ -13,6 +13,13 @@
 //!    and `std::thread::spawn` may appear only in files on
 //!    [`SYNC_ALLOWLIST`]; everything else goes through
 //!    `rcuarray_analysis::{atomic, thread}` so the checker can see it.
+//! 4. **No new bare statistics counters in instrumented crates**: a
+//!    relaxed `fetch_add` in an [`INSTRUMENTED_CRATES`] file is an ad-hoc
+//!    metric; new ones must go through the `rcuarray-obs` facade
+//!    (`LazyCounter`/`LazyGauge`/`LazyHistogram`) so they show up in the
+//!    registry, and only the audited pre-obs sites on
+//!    [`COUNTER_ALLOWLIST`] are exempt (each mirrors its events to obs or
+//!    carries per-object/per-locale meaning the global registry cannot).
 //!
 //! Detection runs on *code only*: comments, strings (incl. raw strings)
 //! and char literals are stripped by a small state machine first, so
@@ -72,6 +79,40 @@ pub const RELAXED_ALLOWLIST: &[&str] = &[
     "crates/ebr/tests/cell_model.rs",
     // should_panic test naming the OrderingMode::Relaxed variant.
     "crates/rcuarray/src/config.rs",
+    // The telemetry facade: sharded monotonic counters, gauges and
+    // histogram buckets are Relaxed by design — readers only ever sum or
+    // snapshot them, never synchronize through them (DESIGN.md §7).
+    "crates/obs/",
+];
+
+/// Crates whose hot layers are wired into the `rcuarray-obs` metrics
+/// registry; rule 4 applies to files under these prefixes.
+pub const INSTRUMENTED_CRATES: &[&str] = &[
+    "crates/ebr/",
+    "crates/qsbr/",
+    "crates/rcuarray/",
+    "crates/runtime/",
+];
+
+/// Audited pre-obs relaxed-`fetch_add` sites inside the instrumented
+/// crates. Everything else must use the obs facade for new counters.
+pub const COUNTER_ALLOWLIST: &[&str] = &[
+    // Per-zone protocol counters, mirrored to obs in the same functions.
+    "crates/ebr/src/epoch.rs",
+    // Per-domain counters backing DomainStats; obs handles ride along.
+    "crates/qsbr/src/domain.rs",
+    // Per-array counters backing ArrayStats; obs handles ride along.
+    "crates/rcuarray/src/array.rs",
+    // Per-locale comm/fault accounting (locality assertions need the
+    // per-locale split; cluster totals are mirrored to obs).
+    "crates/runtime/src/comm.rs",
+    "crates/runtime/src/fault.rs",
+    "crates/runtime/src/locale.rs",
+    "crates/runtime/src/global_lock.rs",
+    // Round-robin placement cursor: an index, not a metric.
+    "crates/runtime/src/dist.rs",
+    // Test-module visit counters (joined before asserting).
+    "crates/runtime/src/lib.rs",
 ];
 
 /// Files allowed to name `std::sync::atomic` / `std::thread::spawn`.
@@ -104,6 +145,7 @@ pub enum Rule {
     MissingSafety,
     RelaxedOutsideAllowlist,
     BareSyncPrimitive,
+    BareCounterOutsideObs,
 }
 
 impl std::fmt::Display for Violation {
@@ -112,6 +154,7 @@ impl std::fmt::Display for Violation {
             Rule::MissingSafety => "missing-safety",
             Rule::RelaxedOutsideAllowlist => "relaxed-ordering",
             Rule::BareSyncPrimitive => "bare-sync",
+            Rule::BareCounterOutsideObs => "bare-counter",
         };
         write!(
             f,
@@ -388,6 +431,20 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Violation> {
                 msg: "bare std sync primitive; use the rcuarray_analysis facade".into(),
             });
         }
+        if code.contains("fetch_add")
+            && has_word(code, "Relaxed")
+            && allowlisted(path, INSTRUMENTED_CRATES)
+            && !allowlisted(path, COUNTER_ALLOWLIST)
+        {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: line_no,
+                rule: Rule::BareCounterOutsideObs,
+                msg: "ad-hoc relaxed counter in an instrumented crate; use the \
+                      rcuarray-obs facade (LazyCounter/LazyGauge/LazyHistogram)"
+                    .into(),
+            });
+        }
     }
     out
 }
@@ -513,5 +570,43 @@ mod tests {
         // `RelaxedFoo` is not `Relaxed`.
         let v = lint_str("call(RelaxedFoo);\nlet not_unsafe_name = 1;\n");
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn bare_counter_flagged_in_instrumented_crate() {
+        let v = lint_source(
+            Path::new("crates/ebr/src/new_module.rs"),
+            "self.hits.fetch_add(1, Ordering::Relaxed);\n",
+        );
+        assert!(v.iter().any(|v| v.rule == Rule::BareCounterOutsideObs));
+    }
+
+    #[test]
+    fn bare_counter_ok_on_audited_site() {
+        let v = lint_source(
+            Path::new("crates/qsbr/src/domain.rs"),
+            "self.defers.fetch_add(1, Ordering::Relaxed);\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::BareCounterOutsideObs));
+    }
+
+    #[test]
+    fn bare_counter_ok_outside_instrumented_crates() {
+        let v = lint_source(
+            Path::new("crates/collections/src/dist_table.rs"),
+            "self.len.fetch_add(1, Ordering::Relaxed);\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::BareCounterOutsideObs));
+    }
+
+    #[test]
+    fn non_relaxed_fetch_add_not_a_counter() {
+        // AcqRel fetch_add is synchronization, not statistics; rule 4
+        // only targets relaxed tallies.
+        let v = lint_source(
+            Path::new("crates/ebr/src/new_module.rs"),
+            "self.seq.fetch_add(1, Ordering::AcqRel);\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::BareCounterOutsideObs));
     }
 }

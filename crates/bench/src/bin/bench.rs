@@ -1,0 +1,246 @@
+//! `bench` — telemetry-integrated workload runner.
+//!
+//! ```text
+//! bench [WORKLOAD...] [OPTIONS]
+//!
+//! WORKLOADS
+//!   indexing     Fig. 2-style random indexing with periodic checkpoints
+//!   resize       Fig. 3-style incremental resizes from zero capacity
+//!   checkpoint   Fig. 4-style checkpoint-frequency sweep
+//!   all          everything above (default)
+//!
+//! OPTIONS
+//!   --ops N          ops per task for indexing/checkpoint  (default 20000)
+//!   --increments N   resizes for the resize workload       (default 256)
+//!   --sample-ms N    gauge sampling interval               (default 1)
+//! ```
+//!
+//! Each workload runs the paper's two RCUArray variants (EBR and QSBR)
+//! and writes `BENCH_<workload>.json` to the current directory: per-variant
+//! throughput, a sampled time series of epoch lag and defer backlog
+//! (entries and bytes), and the full metrics-registry snapshot. EBR
+//! reclaims synchronously, so its lag/backlog series are structurally
+//! zero — its pin-retry pressure shows up in the embedded
+//! `rcuarray_ebr_pin_retries_total` counter instead (DESIGN.md §7).
+
+use rcuarray::{Config, EbrArray, QsbrArray};
+use rcuarray_bench::runner::{run_indexing, run_resize, IndexingParams, ResizeParams};
+use rcuarray_bench::telemetry::{write_bench_report, Sampler, VariantReport};
+use rcuarray_bench::workload::IndexPattern;
+use rcuarray_qsbr::QsbrDomain;
+use rcuarray_runtime::{Cluster, Topology};
+use std::time::Duration;
+
+struct Options {
+    workloads: Vec<String>,
+    ops: usize,
+    increments: usize,
+    sample_ms: u64,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        workloads: Vec::new(),
+        ops: 20_000,
+        increments: 256,
+        sample_ms: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ops" => opts.ops = args.next().expect("--ops needs a value").parse().unwrap(),
+            "--increments" => {
+                opts.increments = args
+                    .next()
+                    .expect("--increments needs a value")
+                    .parse()
+                    .unwrap()
+            }
+            "--sample-ms" => {
+                opts.sample_ms = args
+                    .next()
+                    .expect("--sample-ms needs a value")
+                    .parse()
+                    .unwrap()
+            }
+            "--help" | "-h" => {
+                eprintln!("workloads: indexing resize checkpoint all; options: --ops --increments --sample-ms");
+                std::process::exit(0);
+            }
+            other => opts.workloads.push(other.to_string()),
+        }
+    }
+    if opts.workloads.is_empty() || opts.workloads.iter().any(|w| w == "all") {
+        opts.workloads = vec!["indexing".into(), "resize".into(), "checkpoint".into()];
+    }
+    opts
+}
+
+/// Probe closure over an array's QSBR domain. For the EBR variant the
+/// domain exists but is never deferred to, so the series it yields are
+/// all-zero — which is the honest description of synchronous reclamation.
+fn domain_probe(domain: QsbrDomain) -> impl Fn() -> (u64, u64, u64) + Send + 'static {
+    move || {
+        let stats = domain.stats();
+        let lag = domain.state_epoch().saturating_sub(domain.min_observed());
+        (lag, stats.pending, stats.pending_bytes)
+    }
+}
+
+/// Run `work`, sampling `domain` in the background; returns the report.
+fn sampled_run(
+    name: impl Into<String>,
+    domain: QsbrDomain,
+    sample_ms: u64,
+    work: impl FnOnce() -> f64,
+) -> VariantReport {
+    let sampler = Sampler::spawn(
+        Duration::from_millis(sample_ms.max(1)),
+        domain_probe(domain),
+    );
+    let ops_per_sec = work();
+    VariantReport {
+        name: name.into(),
+        ops_per_sec,
+        samples: sampler.finish(),
+    }
+}
+
+fn bench_config() -> Config {
+    Config {
+        block_size: 1024,
+        account_comm: true,
+        ..Config::default()
+    }
+}
+
+fn indexing(opts: &Options) {
+    let params = IndexingParams {
+        tasks_per_locale: 2,
+        ops_per_task: opts.ops,
+        pattern: IndexPattern::Random,
+        capacity: 1 << 14,
+        // Periodic checkpoints: without them the QSBR backlog only grows
+        // and the lag gauge never resets — the series would show a ramp,
+        // not the paper's sawtooth.
+        checkpoint_every: Some(256),
+        read_percent: 0,
+        seed: 0xC0FFEE,
+    };
+    let cluster = Cluster::new(Topology::new(2, 2));
+    let mut variants = Vec::new();
+
+    let ebr = EbrArray::<u64>::with_config(&cluster, bench_config());
+    variants.push(sampled_run(
+        "EBRArray",
+        ebr.qsbr_domain().clone(),
+        opts.sample_ms,
+        || run_indexing(&ebr, &cluster, &params),
+    ));
+
+    let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config());
+    variants.push(sampled_run(
+        "QSBRArray",
+        qsbr.qsbr_domain().clone(),
+        opts.sample_ms,
+        || run_indexing(&qsbr, &cluster, &params),
+    ));
+
+    finish("indexing", variants);
+}
+
+fn resize(opts: &Options) {
+    let params = ResizeParams {
+        increments: opts.increments,
+        increment: 256,
+    };
+    let cluster = Cluster::new(Topology::new(2, 2));
+    let mut variants = Vec::new();
+
+    let ebr = EbrArray::<u64>::with_config(&cluster, bench_config());
+    variants.push(sampled_run(
+        "EBRArray",
+        ebr.qsbr_domain().clone(),
+        opts.sample_ms,
+        || run_resize(&ebr, &params),
+    ));
+
+    let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config());
+    variants.push(sampled_run(
+        "QSBRArray",
+        qsbr.qsbr_domain().clone(),
+        opts.sample_ms,
+        || run_resize(&qsbr, &params),
+    ));
+
+    finish("resize", variants);
+}
+
+fn checkpoint(opts: &Options) {
+    let base = IndexingParams {
+        tasks_per_locale: 2,
+        ops_per_task: opts.ops.min(10_000),
+        pattern: IndexPattern::Sequential,
+        capacity: 1 << 13,
+        checkpoint_every: None,
+        read_percent: 0,
+        seed: 0xC0FFEE,
+    };
+    let cluster = Cluster::new(Topology::new(1, 2));
+    let mut variants = Vec::new();
+
+    // EBR baseline: Fig. 4 reuses the EBR indexing number as a flat line.
+    let ebr = EbrArray::<u64>::with_config(&cluster, bench_config());
+    variants.push(sampled_run(
+        "EBRArray",
+        ebr.qsbr_domain().clone(),
+        opts.sample_ms,
+        || run_indexing(&ebr, &cluster, &base),
+    ));
+
+    for every in [1usize, 16, 256] {
+        let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config());
+        let params = IndexingParams {
+            checkpoint_every: Some(every),
+            ..base
+        };
+        variants.push(sampled_run(
+            format!("QSBRArray@ckpt={every}"),
+            qsbr.qsbr_domain().clone(),
+            opts.sample_ms,
+            || run_indexing(&qsbr, &cluster, &params),
+        ));
+    }
+
+    finish("checkpoint", variants);
+}
+
+fn finish(workload: &str, variants: Vec<VariantReport>) {
+    let metrics = rcuarray_obs::json_snapshot();
+    let path = write_bench_report(workload, &variants, &metrics)
+        .unwrap_or_else(|e| panic!("writing BENCH_{workload}.json: {e}"));
+    for v in &variants {
+        println!(
+            "{workload:>10} {:<22} {:>12.0} ops/s  peak lag {}  peak backlog {}",
+            v.name,
+            v.ops_per_sec,
+            v.peak_lag(),
+            v.peak_backlog()
+        );
+    }
+    println!("{workload:>10} wrote {}", path.display());
+}
+
+fn main() {
+    let opts = parse_args();
+    for w in opts.workloads.clone() {
+        match w.as_str() {
+            "indexing" => indexing(&opts),
+            "resize" => resize(&opts),
+            "checkpoint" => checkpoint(&opts),
+            other => {
+                eprintln!("unknown workload '{other}' (try indexing, resize, checkpoint, all)")
+            }
+        }
+    }
+}

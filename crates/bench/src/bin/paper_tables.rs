@@ -32,7 +32,39 @@ use rcuarray_bench::runner::{
 };
 use rcuarray_bench::workload::IndexPattern;
 use rcuarray_runtime::{Cluster, LatencyModel, Topology};
+use std::io::Write;
 use std::sync::Arc;
+
+/// Mirrors every output line into `target/paper_tables_output.txt`, so a
+/// run leaves a reviewable artifact without a shell redirect polluting
+/// the repo root (the root path is git-ignored; the archive lives under
+/// `target/` like every other build product).
+struct Tee {
+    file: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl Tee {
+    fn create() -> Tee {
+        let path = std::path::Path::new("target").join("paper_tables_output.txt");
+        let file = std::fs::create_dir_all("target")
+            .and_then(|()| std::fs::File::create(&path))
+            .map(std::io::BufWriter::new);
+        match file {
+            Ok(f) => Tee { file: Some(f) },
+            Err(e) => {
+                eprintln!("note: not archiving output ({}: {e})", path.display());
+                Tee { file: None }
+            }
+        }
+    }
+
+    fn line(&mut self, s: impl std::fmt::Display) {
+        println!("{s}");
+        if let Some(f) = &mut self.file {
+            let _ = writeln!(f, "{s}");
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -145,17 +177,18 @@ fn kinds_for(opts: &Options, include_sync: bool) -> Vec<ArrayKind> {
     kinds
 }
 
-fn emit(opts: &Options, table: &Table) {
+fn emit(opts: &Options, tee: &mut Tee, table: &Table) {
     if opts.json {
-        println!("{}", table.to_json());
+        tee.line(table.to_json());
     } else {
-        println!("{table}");
+        tee.line(table);
     }
 }
 
 /// Figures 2a–2d: indexing throughput vs locale count.
 fn fig2(
     opts: &Options,
+    tee: &mut Tee,
     name: &str,
     pattern: IndexPattern,
     ops_per_task: usize,
@@ -194,27 +227,27 @@ fn fig2(
         }
         table.push_series(series);
     }
-    emit(opts, &table);
+    emit(opts, tee, &table);
     if !opts.json {
         if let Some(x) = opts.locales.last().copied() {
             if let Some(r) = table.ratio_at("EBRArray", "ChapelArray", x) {
-                println!(
+                tee.line(format!(
                     "   EBRArray / ChapelArray @ {x} locales: {:.1}% (paper: 2-40%)",
                     r * 100.0
-                );
+                ));
             }
             if let Some(r) = table.ratio_at("QSBRArray", "ChapelArray", x) {
-                println!(
+                tee.line(format!(
                     "   QSBRArray / ChapelArray @ {x} locales: {r:.2}x (paper: ~1x, up to 1.5x seq)"
-                );
+                ));
             }
-            println!();
+            tee.line("");
         }
     }
 }
 
 /// Figure 3: incremental resize throughput vs locale count.
-fn fig3(opts: &Options) {
+fn fig3(opts: &Options, tee: &mut Tee) {
     let title = format!(
         "Fig. 3: {} resizes of +1024 elements (0 -> {} total)",
         opts.increments,
@@ -240,16 +273,20 @@ fn fig3(opts: &Options) {
         }
         table.push_series(series);
     }
-    emit(opts, &table);
+    emit(opts, tee, &table);
     if !opts.json {
         if let Some(x) = opts.locales.last().copied() {
             if let Some(r) = table.ratio_at("QSBRArray", "ChapelArray", x) {
-                println!("   QSBRArray / ChapelArray resize @ {x} locales: {r:.1}x (paper: >4x)");
+                tee.line(format!(
+                    "   QSBRArray / ChapelArray resize @ {x} locales: {r:.1}x (paper: >4x)"
+                ));
             }
             if let Some(r) = table.ratio_at("EBRArray", "ChapelArray", x) {
-                println!("   EBRArray  / ChapelArray resize @ {x} locales: {r:.1}x (paper: >4x)");
+                tee.line(format!(
+                    "   EBRArray  / ChapelArray resize @ {x} locales: {r:.1}x (paper: >4x)"
+                ));
             }
-            println!();
+            tee.line("");
         }
     }
 }
@@ -257,7 +294,7 @@ fn fig3(opts: &Options) {
 /// Extension figure: read/update mix sweep across the reclaimer zoo.
 /// The paper's workloads are pure updates; this sweep shows where each
 /// design's read-side cost dominates as the mix shifts read-heavy.
-fn readmix(opts: &Options) {
+fn readmix(opts: &Options, tee: &mut Tee) {
     let mixes = [0usize, 50, 90, 99];
     let title = format!(
         "Ext: read-mix sweep, 2 locales, {} tasks, {} ops/task",
@@ -288,11 +325,11 @@ fn readmix(opts: &Options) {
         }
         table.push_series(series);
     }
-    emit(opts, &table);
+    emit(opts, tee, &table);
 }
 
 /// Figure 4: checkpoint-frequency sweep at one locale, EBR as baseline.
-fn fig4(opts: &Options) {
+fn fig4(opts: &Options, tee: &mut Tee) {
     let ops = opts.big_ops;
     let frequencies: Vec<usize> = [1usize, 10, 100, 1_000, 10_000, 100_000, 1_000_000]
         .into_iter()
@@ -335,21 +372,22 @@ fn fig4(opts: &Options) {
     }
     table.push_series(ebr);
 
-    emit(opts, &table);
+    emit(opts, tee, &table);
     if !opts.json {
         if let Some(r) = table.ratio_at("QSBR", "EBR", frequencies[0]) {
-            println!(
+            tee.line(format!(
                 "   QSBR@1-op-checkpoints / EBR: {r:.2}x (paper: QSBR exceeds EBR \
                  even at one op per checkpoint)\n"
-            );
+            ));
         }
     }
 }
 
 fn main() {
     let opts = parse_args();
+    let mut tee = Tee::create();
     if !opts.json {
-        println!(
+        tee.line(format!(
             "host: {} hardware thread(s) | latency model: {:?} | locales {:?} x {} tasks",
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -357,21 +395,35 @@ fn main() {
             opts.latency,
             opts.locales,
             opts.tasks
-        );
-        println!(
+        ));
+        tee.line(
             "note: absolute numbers are host-dependent; compare *shapes* \
-             against the paper (see EXPERIMENTS.md)\n"
+             against the paper (see EXPERIMENTS.md)\n",
         );
     }
     for fig in opts.figures.clone() {
         match fig.as_str() {
-            "fig2a" => fig2(&opts, "2a", IndexPattern::Random, 1024, true),
-            "fig2b" => fig2(&opts, "2b", IndexPattern::Sequential, 1024, true),
-            "fig2c" => fig2(&opts, "2c", IndexPattern::Random, opts.big_ops, false),
-            "fig2d" => fig2(&opts, "2d", IndexPattern::Sequential, opts.big_ops, false),
-            "fig3" => fig3(&opts),
-            "fig4" => fig4(&opts),
-            "readmix" => readmix(&opts),
+            "fig2a" => fig2(&opts, &mut tee, "2a", IndexPattern::Random, 1024, true),
+            "fig2b" => fig2(&opts, &mut tee, "2b", IndexPattern::Sequential, 1024, true),
+            "fig2c" => fig2(
+                &opts,
+                &mut tee,
+                "2c",
+                IndexPattern::Random,
+                opts.big_ops,
+                false,
+            ),
+            "fig2d" => fig2(
+                &opts,
+                &mut tee,
+                "2d",
+                IndexPattern::Sequential,
+                opts.big_ops,
+                false,
+            ),
+            "fig3" => fig3(&opts, &mut tee),
+            "fig4" => fig4(&opts, &mut tee),
+            "readmix" => readmix(&opts, &mut tee),
             other => eprintln!("unknown figure '{other}' (try fig2a..fig4, readmix, or all)"),
         }
     }

@@ -14,7 +14,9 @@
 //! * [`runner`] — measured loops for the indexing, resize and checkpoint
 //!   workloads, spawning the paper's "N tasks per locale" shape through
 //!   the simulated cluster;
-//! * [`report`] — series/table formatting for `paper_tables` output.
+//! * [`report`] — series/table formatting for `paper_tables` output;
+//! * [`telemetry`] — background gauge sampling and the
+//!   `BENCH_<workload>.json` report the `bench` binary emits.
 //!
 //! Criterion benches under `benches/` regenerate each figure
 //! statistically; the `paper_tables` binary prints the same rows/series
@@ -23,9 +25,11 @@
 pub mod arrays;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 pub mod workload;
 
 pub use arrays::{make_array, ArrayKind, BenchArray};
 pub use report::{Series, Table};
 pub use runner::{run_checkpoint_sweep, run_indexing, run_resize, IndexingParams, ResizeParams};
+pub use telemetry::{bench_json, write_bench_report, Sample, Sampler, VariantReport};
 pub use workload::{sequential_indices, shuffled_indices, IndexPattern, IndexStream};

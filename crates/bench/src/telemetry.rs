@@ -1,0 +1,217 @@
+//! Bench-integrated telemetry: background sampling of reclamation gauges
+//! during a workload, and the `BENCH_<workload>.json` report format.
+//!
+//! The paper's Figure 2 discussion hinges on a trade-off the throughput
+//! numbers alone do not show: how far reclamation *lags* behind retirement
+//! (epoch lag) and how much garbage accumulates while it does (defer
+//! backlog). A [`Sampler`] polls those gauges on a side thread while the
+//! runner drives the workload, producing a time series per variant.
+//! EBR reclaims synchronously inside `resize`, so its series are
+//! structurally zero — the interesting EBR signal is the pin-retry
+//! counter, which rides along in the embedded metrics snapshot
+//! (see DESIGN.md §7).
+
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One observation of the reclamation gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Milliseconds since the sampler started.
+    pub t_ms: u64,
+    /// `state_epoch - min_observed`: how many epochs the slowest
+    /// participant trails the writer (0 for EBR: synchronous).
+    pub epoch_lag: u64,
+    /// Deferred reclamations not yet executed.
+    pub backlog_entries: u64,
+    /// Approximate bytes awaiting reclamation.
+    pub backlog_bytes: u64,
+}
+
+/// A background thread polling a probe at a fixed interval.
+pub struct Sampler {
+    stop: Sender<()>,
+    handle: JoinHandle<Vec<Sample>>,
+}
+
+impl Sampler {
+    /// Spawn a sampler polling `probe` every `interval`. The probe returns
+    /// `(epoch_lag, backlog_entries, backlog_bytes)`; it must not register
+    /// itself as a reclamation participant (it never checkpoints).
+    pub fn spawn(
+        interval: Duration,
+        probe: impl Fn() -> (u64, u64, u64) + Send + 'static,
+    ) -> Sampler {
+        let (stop, stopped) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            let start = Instant::now();
+            let mut samples = Vec::new();
+            loop {
+                let (epoch_lag, backlog_entries, backlog_bytes) = probe();
+                samples.push(Sample {
+                    t_ms: start.elapsed().as_millis() as u64,
+                    epoch_lag,
+                    backlog_entries,
+                    backlog_bytes,
+                });
+                // The stop message interrupts the wait mid-interval, so a
+                // long interval never delays `finish`.
+                match stopped.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    _ => return samples,
+                }
+            }
+        });
+        Sampler { stop, handle }
+    }
+
+    /// Stop polling and collect the series (non-empty: one sample is taken
+    /// before the first stop check).
+    pub fn finish(self) -> Vec<Sample> {
+        let _ = self.stop.send(());
+        self.handle.join().expect("sampler thread panicked")
+    }
+}
+
+/// One array variant's result within a workload.
+#[derive(Debug, Clone)]
+pub struct VariantReport {
+    /// Legend name (e.g. "QSBRArray", or "QSBRArray@ckpt=16").
+    pub name: String,
+    /// Workload throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Gauge series sampled while the variant ran.
+    pub samples: Vec<Sample>,
+}
+
+impl VariantReport {
+    /// Maximum observed backlog, in entries — the headline number the
+    /// age/memory trade-off discussion quotes.
+    pub fn peak_backlog(&self) -> u64 {
+        self.samples
+            .iter()
+            .map(|s| s.backlog_entries)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum observed epoch lag.
+    pub fn peak_lag(&self) -> u64 {
+        self.samples.iter().map(|s| s.epoch_lag).max().unwrap_or(0)
+    }
+}
+
+/// Render a `BENCH_<workload>.json` document (hand-rolled JSON, matching
+/// the repo's no-serde policy). `metrics_json` is the registry snapshot
+/// from [`rcuarray_obs::json_snapshot`] and is embedded verbatim.
+pub fn bench_json(workload: &str, variants: &[VariantReport], metrics_json: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"workload\":{workload:?},\"variants\":["));
+    for (i, v) in variants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{:?},\"ops_per_sec\":{},\"peak_epoch_lag\":{},\
+             \"peak_backlog_entries\":{},\"series\":[",
+            v.name,
+            v.ops_per_sec,
+            v.peak_lag(),
+            v.peak_backlog()
+        ));
+        for (j, s) in v.samples.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"t_ms\":{},\"epoch_lag\":{},\"backlog_entries\":{},\"backlog_bytes\":{}}}",
+                s.t_ms, s.epoch_lag, s.backlog_entries, s.backlog_bytes
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str(&format!("],\"metrics\":{metrics_json}}}"));
+    out
+}
+
+/// Write the report to `BENCH_<workload>.json` in the current directory
+/// and return the path.
+pub fn write_bench_report(
+    workload: &str,
+    variants: &[VariantReport],
+    metrics_json: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(format!("BENCH_{workload}.json"));
+    std::fs::write(&path, bench_json(workload, variants, metrics_json))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_collects_and_stops() {
+        let s = Sampler::spawn(Duration::from_millis(1), || (1, 2, 3));
+        std::thread::sleep(Duration::from_millis(5));
+        let samples = s.finish();
+        assert!(!samples.is_empty());
+        assert!(samples
+            .iter()
+            .all(|s| s.epoch_lag == 1 && s.backlog_entries == 2 && s.backlog_bytes == 3));
+    }
+
+    #[test]
+    fn sampler_takes_final_observation_after_stop() {
+        // Even with an interval far longer than the workload, the series
+        // is non-empty: one sample is taken before the stop check.
+        let s = Sampler::spawn(Duration::from_secs(60), || (0, 0, 0));
+        let samples = s.finish();
+        assert!(!samples.is_empty());
+    }
+
+    #[test]
+    fn peaks_are_maxima() {
+        let v = VariantReport {
+            name: "X".into(),
+            ops_per_sec: 1.0,
+            samples: vec![
+                Sample {
+                    t_ms: 0,
+                    epoch_lag: 1,
+                    backlog_entries: 10,
+                    backlog_bytes: 0,
+                },
+                Sample {
+                    t_ms: 1,
+                    epoch_lag: 5,
+                    backlog_entries: 3,
+                    backlog_bytes: 0,
+                },
+            ],
+        };
+        assert_eq!(v.peak_lag(), 5);
+        assert_eq!(v.peak_backlog(), 10);
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let v = VariantReport {
+            name: "QSBRArray".into(),
+            ops_per_sec: 1234.5,
+            samples: vec![Sample {
+                t_ms: 0,
+                epoch_lag: 2,
+                backlog_entries: 7,
+                backlog_bytes: 99,
+            }],
+        };
+        let json = bench_json("indexing", &[v], "{\"counters\":{}}");
+        assert!(json.starts_with("{\"workload\":\"indexing\""));
+        assert!(json.contains("\"peak_epoch_lag\":2"));
+        assert!(json.contains("\"backlog_bytes\":99"));
+        assert!(json.contains("\"metrics\":{\"counters\":{}}"));
+        assert!(json.ends_with("}}"));
+    }
+}

@@ -4,6 +4,19 @@
 use crate::backoff::Backoff;
 use crate::ordering::OrderingMode;
 use rcuarray_analysis::atomic::{fence, AtomicU64, Ordering};
+use rcuarray_obs::LazyCounter;
+
+// Registry-level telemetry (see DESIGN.md §7): process-wide totals
+// across every zone. Per-zone counts stay in [`ZoneStats`]. Successful
+// pins are deliberately *not* mirrored here — they are the per-read hot
+// path; retries and advances are the contended/cold events the paper's
+// Fig. 2 analysis needs.
+static OBS_RETRIES: LazyCounter = LazyCounter::new(
+    "rcuarray_ebr_pin_retries_total",
+    "read-increment-verify pin attempts that lost an epoch advance and retried",
+);
+static OBS_ADVANCES: LazyCounter =
+    LazyCounter::new("rcuarray_ebr_advances_total", "writer epoch advances");
 
 /// Pad to a cache line so the two reader counters and the epoch never
 /// false-share — they are the hottest words in the whole system.
@@ -144,6 +157,7 @@ impl EpochZone {
             // Lost the race with a writer; undo and retry.
             self.readers[idx].0.fetch_sub(1, self.mode.rmw());
             self.retries.0.fetch_add(1, Ordering::Relaxed);
+            OBS_RETRIES.inc();
             backoff.snooze();
         }
     }
@@ -168,6 +182,7 @@ impl EpochZone {
     #[inline]
     pub fn advance(&self) -> u64 {
         self.advances.0.fetch_add(1, Ordering::Relaxed);
+        OBS_ADVANCES.inc();
         // `fetch_add` wraps on overflow, which is exactly the behaviour
         // Lemma 2 proves safe: parity is preserved across the wrap.
         self.global_epoch.0.fetch_add(1, Ordering::SeqCst)

@@ -1,0 +1,195 @@
+//! Lightweight tracing: fixed-size per-thread event rings.
+//!
+//! [`span`] hands out a guard that records `(name, start, duration)`
+//! into the calling thread's ring when dropped. Rings are fixed-size —
+//! old events are overwritten, never allocated past capacity — so
+//! tracing cost is bounded regardless of run length. [`trace_events`]
+//! snapshots every live thread's ring for the sinks.
+
+use rcuarray_analysis::sync::Mutex;
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock, Weak};
+
+/// Events retained per thread; older spans are overwritten ring-wise.
+pub const RING_CAPACITY: usize = 256;
+
+/// One recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Static span label.
+    pub name: &'static str,
+    /// Start time, nanoseconds on the obs clock ([`crate::now_ns`]).
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-process thread ordinal (not the OS tid).
+    pub thread: u32,
+}
+
+struct RingBuf {
+    events: Vec<Event>,
+    /// Next write position once `events` reached capacity.
+    next: usize,
+}
+
+struct Ring {
+    thread: u32,
+    buf: Mutex<RingBuf>,
+}
+
+impl Ring {
+    fn push(&self, mut e: Event) {
+        e.thread = self.thread;
+        let mut buf = self.buf.lock();
+        if buf.events.len() < RING_CAPACITY {
+            buf.events.push(e);
+        } else {
+            let at = buf.next;
+            buf.events[at] = e;
+            buf.next = (at + 1) % RING_CAPACITY;
+        }
+    }
+}
+
+/// All live rings; snapshotting prunes rings whose thread exited.
+fn rings() -> &'static Mutex<Vec<Weak<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Weak<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL_RING: RefCell<Option<Arc<Ring>>> = const { RefCell::new(None) };
+}
+
+fn with_local_ring(f: impl FnOnce(&Ring)) {
+    LOCAL_RING.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let ring = slot.get_or_insert_with(|| {
+            static NEXT_THREAD: rcuarray_analysis::atomic::AtomicU32 =
+                rcuarray_analysis::atomic::AtomicU32::new(0);
+            let ring = Arc::new(Ring {
+                thread: NEXT_THREAD.fetch_add(1, rcuarray_analysis::atomic::Ordering::Relaxed),
+                buf: Mutex::new(RingBuf {
+                    events: Vec::new(),
+                    next: 0,
+                }),
+            });
+            rings().lock().push(Arc::downgrade(&ring));
+            ring
+        });
+        f(ring);
+    });
+}
+
+/// An in-flight tracing span; records itself into the thread's ring on
+/// drop.
+#[must_use = "a span measures the scope it lives in"]
+pub struct Span {
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur = crate::now_ns().saturating_sub(self.start_ns);
+        with_local_ring(|ring| {
+            ring.push(Event {
+                name: self.name,
+                start_ns: self.start_ns,
+                dur_ns: dur,
+                thread: 0, // overwritten by the ring
+            });
+        });
+    }
+}
+
+/// Open a tracing span named `name`. Returns `None` — after a single
+/// `Relaxed` load — when telemetry is disabled, so idle cost matches the
+/// metric handles.
+#[inline]
+pub fn span(name: &'static str) -> Option<Span> {
+    if !crate::enabled() {
+        return None;
+    }
+    Some(Span {
+        name,
+        start_ns: crate::now_ns(),
+    })
+}
+
+/// Snapshot the spans currently held in every live thread's ring,
+/// ordered by start time. Rings of exited threads are pruned.
+pub fn trace_events() -> Vec<Event> {
+    let mut out = Vec::new();
+    let mut rings = rings().lock();
+    rings.retain(|w| match w.upgrade() {
+        Some(ring) => {
+            out.extend(ring.buf.lock().events.iter().copied());
+            true
+        }
+        None => false,
+    });
+    drop(rings);
+    out.sort_by_key(|e| e.start_ns);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_ring() {
+        let _flag = crate::testutil::FLAG.read();
+        crate::enable();
+        {
+            let _s = span("test_span_records");
+        }
+        let events = trace_events();
+        assert!(events.iter().any(|e| e.name == "test_span_records"));
+    }
+
+    #[test]
+    fn disabled_span_is_none() {
+        let _flag = crate::testutil::FLAG.write();
+        crate::disable();
+        assert!(span("nope").is_none());
+        crate::enable();
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _flag = crate::testutil::FLAG.read();
+        crate::enable();
+        for _ in 0..RING_CAPACITY + 50 {
+            let _s = span("bounded");
+        }
+        let mine: Vec<_> = trace_events()
+            .into_iter()
+            .filter(|e| e.name == "bounded")
+            .collect();
+        assert!(!mine.is_empty());
+        assert!(mine.len() <= RING_CAPACITY);
+    }
+
+    #[test]
+    fn threads_get_distinct_ordinals() {
+        let _flag = crate::testutil::FLAG.read();
+        crate::enable();
+        let t = rcuarray_analysis::thread::spawn(|| {
+            let _s = span("other_thread_span");
+        });
+        t.join().unwrap();
+        {
+            let _s = span("this_thread_span");
+        }
+        // The other thread's ring may already be pruned (thread exited,
+        // TLS dropped the Arc); only assert when both survived.
+        let events = trace_events();
+        let a = events.iter().find(|e| e.name == "other_thread_span");
+        let b = events.iter().find(|e| e.name == "this_thread_span");
+        if let (Some(a), Some(b)) = (a, b) {
+            assert_ne!(a.thread, b.thread);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for the log-bucketed histogram (ISSUE 3 satellite):
+//! every value maps inside its bucket's bounds, bucketing is monotone,
+//! and snapshot merge is associative (and commutative).
+
+use proptest::prelude::*;
+use rcuarray_obs::{bucket_index, bucket_lo, Histogram, NUM_BUCKETS};
+
+/// Any `u64`, with the small values (where buckets are exact) and the
+/// extremes (where the math can overflow) well represented.
+fn values() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(u64::MAX),
+        0u64..64,
+        (0u32..64).prop_map(|shift| 1u64 << shift),
+        (0u64..u64::MAX).prop_map(|v| v),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// No value maps outside its bucket: `bucket_lo(i) <= v` and `v`
+    /// is below the next bucket's lower bound (top bucket unbounded).
+    #[test]
+    fn value_maps_inside_its_bucket(v in values()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lo(i) <= v, "lower bound: bucket {i} lo {} > value {v}", bucket_lo(i));
+        if i + 1 < NUM_BUCKETS {
+            prop_assert!(v < bucket_lo(i + 1), "upper bound: value {v} >= next lo {}", bucket_lo(i + 1));
+        }
+    }
+
+    /// Bucketing preserves order: a larger value never lands in a
+    /// smaller bucket.
+    #[test]
+    fn bucketing_is_monotone(a in values(), b in values()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Merge is associative: (A ∪ B) ∪ C == A ∪ (B ∪ C), and
+    /// commutative on the way.
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(values(), 0..24),
+        ys in proptest::collection::vec(values(), 0..24),
+        zs in proptest::collection::vec(values(), 0..24),
+    ) {
+        let (ha, hb, hc) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &xs { ha.record(v); }
+        for &v in &ys { hb.record(v); }
+        for &v in &zs { hc.record(v); }
+        let (a, b, c) = (ha.snapshot(), hb.snapshot(), hc.snapshot());
+
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&a.merge(&b), &b.merge(&a));
+        prop_assert_eq!(left.count, (xs.len() + ys.len() + zs.len()) as u64);
+    }
+}

@@ -13,6 +13,9 @@ type Reclaimer = Box<dyn FnOnce() + Send>;
 
 struct Node {
     epoch: u64,
+    /// Approximate payload size awaiting reclamation (telemetry only:
+    /// backlog-bytes gauges; 0 when the caller gave no size hint).
+    bytes: usize,
     reclaim: Option<Reclaimer>,
     next: Option<Box<Node>>,
 }
@@ -26,6 +29,7 @@ struct Node {
 pub struct DeferList {
     head: Option<Box<Node>>,
     len: usize,
+    bytes: usize,
 }
 
 impl DeferList {
@@ -46,6 +50,13 @@ impl DeferList {
         self.len == 0
     }
 
+    /// Approximate bytes pending across all entries (sum of the size
+    /// hints passed to [`push_with_bytes`](Self::push_with_bytes)).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
     /// Push an entry at the head (LIFO, Algorithm 2 line 3).
     ///
     /// # Panics
@@ -54,17 +65,31 @@ impl DeferList {
     /// pushes must be non-decreasing — that is what keeps the list sorted
     /// descending (Lemma 4; property-tested in this crate's proptests).
     pub fn push(&mut self, epoch: u64, reclaim: impl FnOnce() + Send + 'static) {
+        self.push_with_bytes(epoch, 0, reclaim);
+    }
+
+    /// [`push`](Self::push) with an approximate payload size, so backlog
+    /// gauges can report unreclaimed *memory*, not just entry counts
+    /// (the age/memory trade-off axis of the paper's Fig. 2 discussion).
+    pub fn push_with_bytes(
+        &mut self,
+        epoch: u64,
+        bytes: usize,
+        reclaim: impl FnOnce() + Send + 'static,
+    ) {
         debug_assert!(
             self.head.as_ref().is_none_or(|h| epoch >= h.epoch),
             "defer epochs must be non-decreasing (Lemma 4)"
         );
         let node = Box::new(Node {
             epoch,
+            bytes,
             reclaim: Some(Box::new(reclaim)),
             next: self.head.take(),
         });
         self.head = Some(node);
         self.len += 1;
+        self.bytes += bytes;
     }
 
     /// Split off every entry with `safe epoch <= min_epoch`
@@ -77,24 +102,21 @@ impl DeferList {
     pub fn pop_less_equal(&mut self, min_epoch: u64) -> DeferChain {
         // Fast path: entire list reclaimable (head has the max epoch).
         match &self.head {
-            None => return DeferChain { head: None, len: 0 },
+            None => return DeferChain::empty(),
             Some(h) if h.epoch <= min_epoch => {
-                let chain = DeferChain {
-                    head: self.head.take(),
-                    len: self.len,
-                };
-                self.len = 0;
-                return chain;
+                return self.take_all();
             }
             _ => {}
         }
         // Walk the kept prefix counting it, then cut.
         let mut kept = 1usize;
         let mut cursor: &mut Box<Node> = self.head.as_mut().expect("non-empty checked above");
+        let mut kept_bytes = cursor.bytes;
         loop {
             match cursor.next {
                 Some(ref n) if n.epoch > min_epoch => {
                     kept += 1;
+                    kept_bytes += n.bytes;
                     cursor = cursor.next.as_mut().expect("matched Some");
                 }
                 _ => break,
@@ -102,10 +124,13 @@ impl DeferList {
         }
         let suffix = cursor.next.take();
         let cut = self.len - kept;
+        let cut_bytes = self.bytes - kept_bytes;
         self.len = kept;
+        self.bytes = kept_bytes;
         DeferChain {
             head: suffix,
             len: cut,
+            bytes: cut_bytes,
         }
     }
 
@@ -114,8 +139,10 @@ impl DeferList {
         let chain = DeferChain {
             head: self.head.take(),
             len: self.len,
+            bytes: self.bytes,
         };
         self.len = 0;
+        self.bytes = 0;
         chain
     }
 
@@ -158,12 +185,23 @@ impl std::fmt::Debug for DeferList {
 pub struct DeferChain {
     head: Option<Box<Node>>,
     len: usize,
+    bytes: usize,
 }
 
 impl DeferChain {
     /// An empty chain.
     pub fn empty() -> Self {
-        DeferChain { head: None, len: 0 }
+        DeferChain {
+            head: None,
+            len: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Approximate payload bytes carried by this chain's entries.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bytes
     }
 
     /// The safe epoch of the head entry — the chain's maximum, since
@@ -202,6 +240,7 @@ impl DeferChain {
             cur = node.next.take();
         }
         self.len = 0;
+        self.bytes = 0;
         count
     }
 }
@@ -345,6 +384,32 @@ mod tests {
         assert_eq!(l.epochs(), vec![10, 9, 8]);
         l.push(11, || {});
         assert_eq!(l.epochs(), vec![11, 10, 9, 8]);
+    }
+
+    #[test]
+    fn byte_accounting_follows_splits() {
+        let mut l = DeferList::new();
+        l.push_with_bytes(1, 100, || {});
+        l.push_with_bytes(2, 30, || {});
+        l.push(3, || {}); // no size hint: counts as 0 bytes
+        assert_eq!(l.bytes(), 130);
+        let chain = l.pop_less_equal(1);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.bytes(), 100);
+        assert_eq!(l.bytes(), 30);
+        let rest = l.take_all();
+        assert_eq!(rest.bytes(), 30);
+        assert_eq!(l.bytes(), 0);
+    }
+
+    #[test]
+    fn full_split_moves_all_bytes() {
+        let mut l = DeferList::new();
+        l.push_with_bytes(1, 8, || {});
+        l.push_with_bytes(5, 16, || {});
+        let chain = l.pop_less_equal(100);
+        assert_eq!(chain.bytes(), 24);
+        assert_eq!(l.bytes(), 0);
     }
 
     #[test]

@@ -13,19 +13,53 @@ use crate::record::ThreadRecord;
 use crate::registry::Registry;
 use crate::state::StateEpoch;
 use rcuarray_analysis::atomic::{AtomicU64, Ordering};
+use rcuarray_obs::{LazyCounter, LazyGauge, LazyHistogram};
 use std::cell::RefCell;
 use std::sync::{Arc, Weak};
 
 /// Monotonic domain-id source, used as the TLS lookup key.
 static NEXT_DOMAIN_ID: AtomicU64 = AtomicU64::new(1);
 
+// Registry-level telemetry (see DESIGN.md §7). Backlog and lag gauges
+// are set by the most recently *reclaiming* checkpoint: the fast path
+// (nothing pending) must stay at one load + one store + two checks.
+static OBS_DEFERS: LazyCounter = LazyCounter::new("rcuarray_qsbr_defers_total", "QSBR_Defer calls");
+static OBS_CHECKPOINTS: LazyCounter =
+    LazyCounter::new("rcuarray_qsbr_checkpoints_total", "QSBR_Checkpoint calls");
+static OBS_RECLAIMED: LazyCounter = LazyCounter::new(
+    "rcuarray_qsbr_reclaimed_total",
+    "deferred reclamations executed",
+);
+static OBS_RECLAIMED_BYTES: LazyCounter = LazyCounter::new(
+    "rcuarray_qsbr_reclaimed_bytes_total",
+    "approximate bytes reclaimed at checkpoints",
+);
+static OBS_CHECKPOINT_NS: LazyHistogram = LazyHistogram::new(
+    "rcuarray_qsbr_checkpoint_ns",
+    "latency of reclaiming (slow-path) checkpoints, ns",
+);
+static OBS_EPOCH_LAG: LazyGauge = LazyGauge::new(
+    "rcuarray_qsbr_epoch_lag",
+    "state epoch minus min observed epoch at the last reclaiming checkpoint",
+);
+static OBS_BACKLOG_ENTRIES: LazyGauge = LazyGauge::new(
+    "rcuarray_qsbr_defer_backlog_entries",
+    "deferred reclamations still pending after the last reclaiming checkpoint",
+);
+static OBS_BACKLOG_BYTES: LazyGauge = LazyGauge::new(
+    "rcuarray_qsbr_defer_backlog_bytes",
+    "approximate bytes still pending after the last reclaiming checkpoint",
+);
+
 struct DomainInner {
     id: u64,
     state: StateEpoch,
     registry: Registry,
     defers: AtomicU64,
+    defer_bytes: AtomicU64,
     checkpoints: AtomicU64,
     reclaimed: AtomicU64,
+    reclaimed_bytes: AtomicU64,
 }
 
 /// Counters describing a domain's activity.
@@ -40,6 +74,10 @@ pub struct DomainStats {
     /// Deferred reclamations not yet executed (approximate: orphan chains
     /// are counted whole).
     pub pending: u64,
+    /// Approximate bytes awaiting reclamation (sum of the size hints
+    /// passed to [`QsbrDomain::defer_with_bytes`], minus what has been
+    /// reclaimed).
+    pub pending_bytes: u64,
 }
 
 /// A QSBR reclamation domain.
@@ -101,8 +139,10 @@ impl QsbrDomain {
                 state: StateEpoch::new(),
                 registry: Registry::new(),
                 defers: AtomicU64::new(0),
+                defer_bytes: AtomicU64::new(0),
                 checkpoints: AtomicU64::new(0),
                 reclaimed: AtomicU64::new(0),
+                reclaimed_bytes: AtomicU64::new(0),
             }),
         }
     }
@@ -166,18 +206,31 @@ impl QsbrDomain {
     /// thread's record, and pushes `(reclaim, new_epoch)` onto its LIFO
     /// defer list. Nothing is freed here; freeing happens at checkpoints.
     pub fn defer(&self, reclaim: impl FnOnce() + Send + 'static) {
+        self.defer_with_bytes(0, reclaim);
+    }
+
+    /// [`defer`](Self::defer) with an approximate payload size. The size
+    /// feeds the backlog-bytes telemetry (`DomainStats::pending_bytes`
+    /// and the `rcuarray_qsbr_defer_backlog_bytes` gauge), making the
+    /// age/memory trade-off of deferred reclamation observable.
+    pub fn defer_with_bytes(&self, bytes: usize, reclaim: impl FnOnce() + Send + 'static) {
         let record = self.record();
         let epoch = self.inner.state.bump();
         record.observe(epoch);
         // SAFETY: `record` belongs to the calling thread (looked up/created
         // through its TLS just above).
-        unsafe { record.defer_mut().push(epoch, reclaim) };
+        unsafe { record.defer_mut().push_with_bytes(epoch, bytes, reclaim) };
         self.inner.defers.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .defer_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        OBS_DEFERS.inc();
     }
 
-    /// Convenience: retire a value, deferring its `Drop`.
+    /// Convenience: retire a value, deferring its `Drop`. The value's
+    /// shallow size feeds the backlog-bytes telemetry.
     pub fn defer_drop<T: Send + 'static>(&self, value: T) {
-        self.defer(move || drop(value));
+        self.defer_with_bytes(std::mem::size_of::<T>(), move || drop(value));
     }
 
     /// `QSBR_Checkpoint` (Algorithm 2 lines 4–13): announce quiescence and
@@ -196,6 +249,7 @@ impl QsbrDomain {
         let observed = self.inner.state.read();
         record.observe(observed);
         self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+        OBS_CHECKPOINTS.inc();
         // Fast path: nothing to reclaim here. The announcement above is
         // the checkpoint's semantic payload; the scan and split only
         // matter when this thread has pending defers or orphans exist.
@@ -205,6 +259,9 @@ impl QsbrDomain {
         if unsafe { record.pending() } == 0 && !self.inner.registry.has_orphans() {
             return 0;
         }
+        // Slow (reclaiming) path: measured — fast-path checkpoints never
+        // touch the clock, so Fig. 4's every-op case stays cheap.
+        let t0 = rcuarray_obs::enabled().then(std::time::Instant::now);
         // Find the smallest (safest) epoch over all participants
         // (lines 6–8).
         let min = self.inner.registry.min_observed(observed);
@@ -212,13 +269,31 @@ impl QsbrDomain {
         // (lines 9–13).
         // SAFETY: owner-only access from the owning thread.
         let chain: DeferChain = unsafe { record.defer_mut().pop_less_equal(min) };
+        let mut freed_bytes = chain.bytes() as u64;
         let mut freed = chain.reclaim_all();
         if self.inner.registry.has_orphans() {
-            freed += self.inner.registry.reclaim_orphans(min);
+            let (n, b) = self.inner.registry.reclaim_orphans(min);
+            freed += n;
+            freed_bytes += b as u64;
         }
         self.inner
             .reclaimed
             .fetch_add(freed as u64, Ordering::Relaxed);
+        self.inner
+            .reclaimed_bytes
+            .fetch_add(freed_bytes, Ordering::Relaxed);
+        OBS_RECLAIMED.add(freed as u64);
+        OBS_RECLAIMED_BYTES.add(freed_bytes);
+        if let Some(t0) = t0 {
+            OBS_CHECKPOINT_NS.record(t0.elapsed().as_nanos() as u64);
+            // Lag and backlog after this reclaim: how far the slowest
+            // participant trails the state epoch, and what that delay
+            // keeps alive (the Fig. 2 read-cost/backlog trade-off).
+            OBS_EPOCH_LAG.set(self.inner.state.read().saturating_sub(min) as i64);
+            let s = self.stats();
+            OBS_BACKLOG_ENTRIES.set(s.pending as i64);
+            OBS_BACKLOG_BYTES.set(s.pending_bytes as i64);
+        }
         freed
     }
 
@@ -278,11 +353,14 @@ impl QsbrDomain {
     pub fn stats(&self) -> DomainStats {
         let defers = self.inner.defers.load(Ordering::Relaxed);
         let reclaimed = self.inner.reclaimed.load(Ordering::Relaxed);
+        let defer_bytes = self.inner.defer_bytes.load(Ordering::Relaxed);
+        let reclaimed_bytes = self.inner.reclaimed_bytes.load(Ordering::Relaxed);
         DomainStats {
             defers,
             checkpoints: self.inner.checkpoints.load(Ordering::Relaxed),
             reclaimed,
             pending: defers.saturating_sub(reclaimed),
+            pending_bytes: defer_bytes.saturating_sub(reclaimed_bytes),
         }
     }
 }
@@ -447,6 +525,25 @@ mod tests {
         assert_eq!(s.checkpoints, 1);
         assert_eq!(s.reclaimed, 2);
         assert_eq!(s.pending, 0);
+    }
+
+    #[test]
+    fn byte_hints_flow_into_pending_bytes() {
+        let d = QsbrDomain::new();
+        d.defer_with_bytes(4096, || {});
+        d.defer_with_bytes(1024, || {});
+        assert_eq!(d.stats().pending_bytes, 5120);
+        d.checkpoint();
+        assert_eq!(d.stats().pending_bytes, 0);
+    }
+
+    #[test]
+    fn defer_drop_accounts_shallow_size() {
+        let d = QsbrDomain::new();
+        d.defer_drop([0u8; 64]);
+        assert_eq!(d.stats().pending_bytes, 64);
+        d.checkpoint();
+        assert_eq!(d.stats().pending_bytes, 0);
     }
 
     #[test]

@@ -117,6 +117,14 @@ impl ThreadRecord {
     pub unsafe fn pending(&self) -> usize {
         unsafe { (*self.defer.get()).len() }
     }
+
+    /// Approximate bytes pending on the defer list (owner thread only).
+    ///
+    /// # Safety
+    /// Same contract as [`defer_mut`](Self::defer_mut).
+    pub unsafe fn pending_bytes(&self) -> usize {
+        unsafe { (*self.defer.get()).bytes() }
+    }
 }
 
 impl std::fmt::Debug for ThreadRecord {

@@ -99,17 +99,20 @@ impl Registry {
     }
 
     /// Reclaim every orphaned chain whose epochs are all `<= min_epoch`.
-    /// Returns the number of entries freed.
-    pub fn reclaim_orphans(&self, min_epoch: u64) -> usize {
+    /// Returns `(entries freed, approximate bytes freed)`.
+    pub fn reclaim_orphans(&self, min_epoch: u64) -> (usize, usize) {
         // try_lock: orphan reclamation is best-effort housekeeping; a
         // contended checkpoint should not serialize on it.
         let Some(mut orphans) = self.orphans.try_lock() else {
-            return 0;
+            return (0, 0);
         };
         let mut freed = 0;
+        let mut freed_bytes = 0;
         orphans.retain_mut(|o| {
             if o.max_epoch <= min_epoch {
-                freed += std::mem::replace(&mut o.chain, DeferChain::empty()).reclaim_all();
+                let chain = std::mem::replace(&mut o.chain, DeferChain::empty());
+                freed_bytes += chain.bytes();
+                freed += chain.reclaim_all();
                 false
             } else {
                 true
@@ -117,7 +120,7 @@ impl Registry {
         });
         self.orphan_count
             .store(orphans.len(), rcuarray_analysis::atomic::Ordering::Release);
-        freed
+        (freed, freed_bytes)
     }
 
     /// Number of live (non-retired) participants.
@@ -208,7 +211,7 @@ mod tests {
         assert_eq!(reg.num_orphans(), 1);
         assert_eq!(freed.load(Ordering::SeqCst), 0, "not freed early");
         // No participants: fallback min allows reclamation.
-        assert_eq!(reg.reclaim_orphans(3), 1);
+        assert_eq!(reg.reclaim_orphans(3), (1, 0));
         assert_eq!(freed.load(Ordering::SeqCst), 1);
         assert_eq!(reg.num_orphans(), 0);
     }
@@ -219,9 +222,9 @@ mod tests {
         let mut list = DeferList::new();
         list.push(7, || {});
         reg.adopt(list.take_all());
-        assert_eq!(reg.reclaim_orphans(6), 0, "min below chain epoch");
+        assert_eq!(reg.reclaim_orphans(6), (0, 0), "min below chain epoch");
         assert_eq!(reg.num_orphans(), 1);
-        assert_eq!(reg.reclaim_orphans(7), 1);
+        assert_eq!(reg.reclaim_orphans(7), (1, 0));
     }
 
     #[test]

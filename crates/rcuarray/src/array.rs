@@ -28,6 +28,7 @@ use crate::snapshot::{reclaim_box, Snapshot};
 use crate::stats::ArrayStats;
 use rcuarray_analysis::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use rcuarray_ebr::ZoneStats;
+use rcuarray_obs::{LazyCounter, LazyGauge, LazyHistogram};
 use rcuarray_qsbr::QsbrDomain;
 use rcuarray_runtime::{
     Cluster, CommError, GlobalLock, LocaleId, OpKind, PrivHandle, RoundRobinCounter,
@@ -35,6 +36,34 @@ use rcuarray_runtime::{
 use std::marker::PhantomData;
 use std::ptr::NonNull;
 use std::sync::{Arc, Mutex};
+
+// Telemetry (DESIGN.md §7): process-wide totals across every array.
+// Per-array counts remain on `Shared` and surface through `stats()`.
+static OBS_RESIZES: LazyCounter =
+    LazyCounter::new("rcuarray_resizes_total", "completed resize operations");
+static OBS_RESIZE_ABORTS: LazyCounter = LazyCounter::new(
+    "rcuarray_resize_aborts_total",
+    "resize attempts rolled back after a fault, timeout or panic",
+);
+static OBS_BLOCKS_RECYCLED: LazyCounter = LazyCounter::new(
+    "rcuarray_blocks_recycled_total",
+    "block references recycled (pointer-copied, not moved) into successor snapshots",
+);
+static OBS_RESIZE_NS: LazyHistogram = LazyHistogram::new(
+    "rcuarray_resize_ns",
+    "wall-clock duration of successful resize operations in nanoseconds",
+);
+static OBS_CAPACITY: LazyGauge = LazyGauge::new(
+    "rcuarray_capacity",
+    "current element capacity (last array to finish a resize wins)",
+);
+
+/// Approximate heap footprint of a snapshot: the struct plus its block
+/// vector. Used as the byte hint for QSBR defer-backlog accounting; the
+/// blocks themselves are registry-owned and never reclaimed here.
+fn snapshot_bytes<T: Element>(snap: &Snapshot<T>) -> usize {
+    std::mem::size_of::<Snapshot<T>>() + snap.num_blocks() * std::mem::size_of::<BlockRef<T>>()
+}
 
 /// An RCUArray using the TLS-free EBR scheme (the paper's `EBRArray`).
 pub type EbrArray<T> = RcuArray<T, EbrScheme>;
@@ -248,8 +277,11 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
     /// the locale's epoch and drains its readers before freeing.
     fn retire_snapshot(&self, st: &LocaleState<T>, old_ptr: NonNull<Snapshot<T>>) {
         if S::IS_QSBR {
+            // SAFETY: unlinked by the caller, so the pointer stays valid
+            // until the defer closure (its sole holder) frees it.
+            let bytes = snapshot_bytes(unsafe { old_ptr.as_ref() });
             let old = SendSnap(old_ptr);
-            self.shared.qsbr.defer(move || {
+            self.shared.qsbr.defer_with_bytes(bytes, move || {
                 // SAFETY: unlinked by the caller; QSBR frees it only after
                 // every participant passes a quiescent state.
                 unsafe { reclaim_box(old.into_inner()) };
@@ -431,6 +463,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         let nblocks = add / bs;
         let num_locales = self.shared.cluster.num_locales();
         let fault = self.shared.cluster.fault();
+        let t0 = rcuarray_obs::enabled().then(std::time::Instant::now);
 
         // Line 10: mutual exclusion with respect to all locales. Under a
         // fault plan the acquisition is bounded so a wedged writer (e.g.
@@ -520,6 +553,13 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         let new_cap = self.shared.capacity.fetch_add(add, Ordering::AcqRel) + add;
         self.shared.resizes.fetch_add(1, Ordering::Relaxed);
         drop(guard); // line 29
+        OBS_RESIZES.inc();
+        // Every locale's clone recycled the old snapshot's block prefix.
+        OBS_BLOCKS_RECYCLED.add((rollback.old_nblocks * num_locales) as u64);
+        OBS_CAPACITY.set(new_cap as i64);
+        if let Some(t0) = t0 {
+            OBS_RESIZE_NS.record(t0.elapsed().as_nanos() as u64);
+        }
         Ok(new_cap)
     }
 
@@ -527,6 +567,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
     #[cold]
     fn abort_resize(&self, e: CommError) -> CommError {
         self.shared.aborted_resizes.fetch_add(1, Ordering::Relaxed);
+        OBS_RESIZE_ABORTS.inc();
         e
     }
 
@@ -567,6 +608,8 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         self.shared.capacity.store(target, Ordering::Release);
         self.shared.resizes.fetch_add(1, Ordering::Relaxed);
         drop(guard);
+        OBS_RESIZES.inc();
+        OBS_CAPACITY.set(target as i64);
         target
     }
 
@@ -737,6 +780,7 @@ impl<T: Element, S: Scheme> Drop for ResizeRollback<'_, T, S> {
         }
         let shared = &self.array.shared;
         shared.aborted_resizes.fetch_add(1, Ordering::Relaxed);
+        OBS_RESIZE_ABORTS.inc();
         for (l, flag) in self.published.iter().enumerate() {
             if !flag.load(Ordering::Acquire) {
                 continue;

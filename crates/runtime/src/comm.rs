@@ -18,8 +18,38 @@
 
 use crate::fault::{CommError, FaultPlan, OpKind};
 use crate::locale::LocaleId;
+use rcuarray_obs::LazyCounter;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+// Telemetry (DESIGN.md §7): cluster-wide totals across every locale and
+// every `CommLayer` in the process. The per-locale padded counters below
+// remain the source of truth for `stats_for`/locality assertions; these
+// registry handles unify the same events onto the shared metrics facade.
+static OBS_GETS: LazyCounter =
+    LazyCounter::new("rcuarray_comm_gets_total", "remote GET operations");
+static OBS_PUTS: LazyCounter =
+    LazyCounter::new("rcuarray_comm_puts_total", "remote PUT operations");
+static OBS_ONS: LazyCounter = LazyCounter::new(
+    "rcuarray_comm_remote_execs_total",
+    "remote on-block executions",
+);
+static OBS_LOCAL: LazyCounter = LazyCounter::new(
+    "rcuarray_comm_local_ops_total",
+    "accesses that stayed on their home locale",
+);
+static OBS_BYTES: LazyCounter = LazyCounter::new(
+    "rcuarray_comm_bytes_total",
+    "bytes moved by remote GET/PUT operations",
+);
+static OBS_RETRIES: LazyCounter = LazyCounter::new(
+    "rcuarray_comm_retries_total",
+    "retry attempts charged by the retry policy",
+);
+static OBS_FAULTS: LazyCounter = LazyCounter::new(
+    "rcuarray_comm_faults_injected_total",
+    "operations failed by the installed fault plan",
+);
 
 /// How much a remote operation should cost in wall-clock time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -261,6 +291,7 @@ impl CommLayer {
             let fc = &self.fault_counters[from.index()];
             fc.gets_attempted.fetch_add(1, Ordering::Relaxed);
             fc.gets_failed.fetch_add(1, Ordering::Relaxed);
+            OBS_FAULTS.inc();
             return Err(e);
         }
         let c = &self.per_locale[from.index()];
@@ -271,6 +302,8 @@ impl CommLayer {
         }
         c.gets.fetch_add(1, Ordering::Relaxed);
         c.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+        OBS_GETS.inc();
+        OBS_BYTES.add(bytes as u64);
         self.latency.apply(bytes);
         Ok(())
     }
@@ -285,6 +318,7 @@ impl CommLayer {
             let fc = &self.fault_counters[from.index()];
             fc.puts_attempted.fetch_add(1, Ordering::Relaxed);
             fc.puts_failed.fetch_add(1, Ordering::Relaxed);
+            OBS_FAULTS.inc();
             return Err(e);
         }
         let c = &self.per_locale[from.index()];
@@ -295,6 +329,8 @@ impl CommLayer {
         }
         c.puts.fetch_add(1, Ordering::Relaxed);
         c.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+        OBS_PUTS.inc();
+        OBS_BYTES.add(bytes as u64);
         self.latency.apply(bytes);
         Ok(())
     }
@@ -308,6 +344,7 @@ impl CommLayer {
             let fc = &self.fault_counters[from.index()];
             fc.ons_attempted.fetch_add(1, Ordering::Relaxed);
             fc.ons_failed.fetch_add(1, Ordering::Relaxed);
+            OBS_FAULTS.inc();
             return Err(e);
         }
         if self.fault.is_enabled() {
@@ -318,6 +355,7 @@ impl CommLayer {
         self.per_locale[from.index()]
             .remote_executes
             .fetch_add(1, Ordering::Relaxed);
+        OBS_ONS.inc();
         // An active message costs roughly one small transfer each way.
         self.latency.apply(0);
         Ok(())
@@ -330,6 +368,7 @@ impl CommLayer {
         self.fault_counters[locale.index()]
             .retries
             .fetch_add(1, Ordering::Relaxed);
+        OBS_RETRIES.inc();
     }
 
     /// Record an access that stayed on `locale`.
@@ -338,6 +377,7 @@ impl CommLayer {
         self.per_locale[locale.index()]
             .local_accesses
             .fetch_add(1, Ordering::Relaxed);
+        OBS_LOCAL.inc();
     }
 
     /// Snapshot of one locale's counters.
