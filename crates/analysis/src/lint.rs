@@ -1,6 +1,6 @@
 //! Source-level concurrency lint.
 //!
-//! Walks Rust sources and enforces four repo rules:
+//! Walks Rust sources and enforces five repo rules:
 //!
 //! 1. **`unsafe` sites must be justified**: every `unsafe` block, `unsafe
 //!    fn`, or `unsafe impl` must have a `// SAFETY:` comment (or a
@@ -20,6 +20,12 @@
 //!    registry, and only the audited pre-obs sites on
 //!    [`COUNTER_ALLOWLIST`] are exempt (each mirrors its events to obs or
 //!    carries per-object/per-locale meaning the global registry cannot).
+//! 5. **No const-bool scheme branching outside the reclaim core**: the
+//!    `IS_QSBR` flag pattern (a marker const that call sites branch on,
+//!    the literal reading of the paper's `isQSBR` parameter) may appear
+//!    only under [`SCHEME_FLAG_ALLOWLIST`]. Everywhere else, scheme
+//!    differences must be *behavior* on the `rcuarray-reclaim::Reclaim`
+//!    trait — a new scheme plugs in without touching consumers.
 //!
 //! Detection runs on *code only*: comments, strings (incl. raw strings)
 //! and char literals are stripped by a small state machine first, so
@@ -115,6 +121,11 @@ pub const COUNTER_ALLOWLIST: &[&str] = &[
     "crates/runtime/src/lib.rs",
 ];
 
+/// Files allowed to name an `IS_QSBR`-style scheme flag. Only the
+/// reclamation core may ever need one (e.g. internally to a future
+/// scheme); every consumer layer dispatches through the `Reclaim` trait.
+pub const SCHEME_FLAG_ALLOWLIST: &[&str] = &["crates/reclaim/"];
+
 /// Files allowed to name `std::sync::atomic` / `std::thread::spawn`.
 pub const SYNC_ALLOWLIST: &[&str] = &[
     // The facade itself wraps the std types.
@@ -146,6 +157,7 @@ pub enum Rule {
     RelaxedOutsideAllowlist,
     BareSyncPrimitive,
     BareCounterOutsideObs,
+    SchemeFlagBranching,
 }
 
 impl std::fmt::Display for Violation {
@@ -155,6 +167,7 @@ impl std::fmt::Display for Violation {
             Rule::RelaxedOutsideAllowlist => "relaxed-ordering",
             Rule::BareSyncPrimitive => "bare-sync",
             Rule::BareCounterOutsideObs => "bare-counter",
+            Rule::SchemeFlagBranching => "scheme-flag",
         };
         write!(
             f,
@@ -431,6 +444,16 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Violation> {
                 msg: "bare std sync primitive; use the rcuarray_analysis facade".into(),
             });
         }
+        if has_word(code, "IS_QSBR") && !allowlisted(path, SCHEME_FLAG_ALLOWLIST) {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: line_no,
+                rule: Rule::SchemeFlagBranching,
+                msg: "const-bool scheme flag outside the reclaim core; express \
+                      scheme differences as Reclaim-trait behavior (DESIGN.md §8)"
+                    .into(),
+            });
+        }
         if code.contains("fetch_add")
             && has_word(code, "Relaxed")
             && allowlisted(path, INSTRUMENTED_CRATES)
@@ -597,6 +620,32 @@ mod tests {
             "self.len.fetch_add(1, Ordering::Relaxed);\n",
         );
         assert!(!v.iter().any(|v| v.rule == Rule::BareCounterOutsideObs));
+    }
+
+    #[test]
+    fn scheme_flag_flagged_outside_reclaim_core() {
+        let v = lint_source(
+            Path::new("crates/rcuarray/src/array.rs"),
+            "if S::IS_QSBR {\n    domain.defer(f);\n}\n",
+        );
+        assert!(v.iter().any(|v| v.rule == Rule::SchemeFlagBranching));
+    }
+
+    #[test]
+    fn scheme_flag_ok_inside_reclaim_core() {
+        let v = lint_source(
+            Path::new("crates/reclaim/src/lib.rs"),
+            "const IS_QSBR: bool = false;\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::SchemeFlagBranching));
+    }
+
+    #[test]
+    fn scheme_flag_word_boundary_respected() {
+        // Prose-like identifiers containing the token as a substring are
+        // not the flag pattern.
+        let v = lint_str("let this_is_qsbr_adjacent = 1;\ncall(MY_IS_QSBR_X);\n");
+        assert!(!v.iter().any(|v| v.rule == Rule::SchemeFlagBranching));
     }
 
     #[test]

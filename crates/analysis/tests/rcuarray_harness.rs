@@ -15,7 +15,10 @@
 
 #![cfg(feature = "check")]
 
-use rcuarray::{Config as ArrayConfig, EbrArray, QsbrArray};
+use rcuarray::{
+    AmortizedScheme, Config as ArrayConfig, EbrArray, EbrScheme, LeakScheme, QsbrScheme, RcuArray,
+    Scheme,
+};
 use rcuarray_analysis::{thread, Checker, Config};
 use rcuarray_runtime::{Cluster, Topology};
 use std::sync::Arc;
@@ -24,21 +27,27 @@ fn small_config() -> ArrayConfig {
     ArrayConfig {
         block_size: 2,
         account_comm: false,
+        // Exercise the amortized scheme's partial drains: one snapshot
+        // per checkpoint. Ignored by the other schemes.
+        drain_budget: 1,
         ..ArrayConfig::default()
     }
 }
 
-#[test]
-fn ebr_read_concurrent_with_resize_is_clean() {
+/// The paper's core scenario — a reader fully concurrent with a resize —
+/// written once against the [`Scheme`] seam and instantiated per scheme.
+/// `checkpoint` is the scheme-neutral quiescence announcement: a drain
+/// under the QSBR family, a no-op under EBR and Leak.
+fn read_concurrent_with_resize<S: Scheme>(seed: u64) {
     let report = Checker::new(Config {
-        base_seed: 0x5eed_0a01,
+        base_seed: seed,
         iterations: 10,
         max_steps: 200_000,
         ..Config::default()
     })
     .run(|| {
         let cluster = Cluster::new(Topology::new(1, 1));
-        let a: Arc<EbrArray<u64>> = Arc::new(EbrArray::with_config(&cluster, small_config()));
+        let a: Arc<RcuArray<u64, S>> = Arc::new(RcuArray::with_config(&cluster, small_config()));
         a.resize(2);
         a.write(0, 5);
         a.write(1, 6);
@@ -51,55 +60,72 @@ fn ebr_read_concurrent_with_resize_is_clean() {
                 let w = r.read(1);
                 assert_eq!(w, 6);
             }
+            r.checkpoint();
         });
 
         // Concurrent grow: installs a larger block table and retires the
-        // old one through the EBR grace period.
+        // old one through the scheme's reclamation protocol.
         a.resize(2);
         assert_eq!(a.capacity(), 4);
         assert_eq!(a.read(0), 5);
+        a.checkpoint();
 
         reader.join().unwrap();
     });
-    assert!(report.is_clean(), "{report}");
-    assert!(report.deadlocks.is_empty(), "{report}");
-    assert!(report.budget_exhausted.is_empty(), "{report}");
+    assert!(report.is_clean(), "[{}] {report}", S::NAME);
+    assert!(report.deadlocks.is_empty(), "[{}] {report}", S::NAME);
+    assert!(report.budget_exhausted.is_empty(), "[{}] {report}", S::NAME);
+}
+
+#[test]
+fn ebr_read_concurrent_with_resize_is_clean() {
+    read_concurrent_with_resize::<EbrScheme>(0x5eed_0a01);
 }
 
 #[test]
 fn qsbr_read_concurrent_with_resize_is_clean() {
+    read_concurrent_with_resize::<QsbrScheme>(0x5eed_0a02);
+}
+
+#[test]
+fn amortized_read_concurrent_with_resize_is_clean() {
+    read_concurrent_with_resize::<AmortizedScheme>(0x5eed_0a04);
+}
+
+#[test]
+fn leak_read_concurrent_with_resize_is_clean() {
+    read_concurrent_with_resize::<LeakScheme>(0x5eed_0a05);
+}
+
+#[test]
+fn leak_scheme_never_frees_under_the_checker() {
+    // The leak scheme's contract, verified on every explored schedule: a
+    // retired snapshot is counted but its destructor never runs (so a
+    // double-drop is impossible by construction) and the defer count only
+    // grows — one retired snapshot per locale per resize, none reclaimed.
     let report = Checker::new(Config {
-        base_seed: 0x5eed_0a02,
-        iterations: 10,
+        base_seed: 0x5eed_0a06,
+        iterations: 8,
         max_steps: 200_000,
         ..Config::default()
     })
     .run(|| {
         let cluster = Cluster::new(Topology::new(1, 1));
-        let a: Arc<QsbrArray<u64>> = Arc::new(QsbrArray::with_config(&cluster, small_config()));
-        a.resize(2);
-        a.write(0, 5);
-
-        let r = a.clone();
-        let reader = thread::spawn(move || {
-            let v = r.read(0);
-            assert_eq!(v, 5, "reader saw torn element");
-            // QSBR contract: announce quiescence when done reading, so
-            // the resizer's deferred free can drain.
-            r.checkpoint();
-        });
-
-        a.resize(2);
-        assert_eq!(a.capacity(), 4);
-        assert_eq!(a.read(0), 5);
-        // Drain this thread's deferred frees from the resize.
-        a.checkpoint();
-
-        reader.join().unwrap();
+        let a: Arc<RcuArray<u64, LeakScheme>> =
+            Arc::new(RcuArray::with_config(&cluster, small_config()));
+        let mut last_retired = 0;
+        for i in 1..=3u64 {
+            a.resize(2);
+            assert_eq!(a.checkpoint(), 0, "leak checkpoint must free nothing");
+            let s = a.stats().reclaim;
+            assert_eq!(s.retired, i, "one retired snapshot per resize");
+            assert_eq!(s.reclaimed, 0, "leak scheme must never reclaim");
+            assert_eq!(s.pending, i, "everything retired stays pending");
+            assert!(s.retired > last_retired, "defer count must be monotone");
+            last_retired = s.retired;
+        }
     });
     assert!(report.is_clean(), "{report}");
-    assert!(report.deadlocks.is_empty(), "{report}");
-    assert!(report.budget_exhausted.is_empty(), "{report}");
 }
 
 #[test]

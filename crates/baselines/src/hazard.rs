@@ -11,44 +11,43 @@
 //! afterwards — two extra stores and one extra load per read, plus the
 //! store→load fence the validation needs.
 //!
+//! The hazard machinery itself lives in [`HazardDomain`], a standalone
+//! engine implementing the workspace-wide [`Reclaim`] trait: this array
+//! retires old snapshots through [`Reclaim::retire`] with an address hint
+//! exactly like `RcuArray` retires through EBR/QSBR, so the comparison
+//! isolates the protocol, not the plumbing.
+//!
 //! Unlike RCUArray this variant keeps a single (non-privatized) snapshot:
 //! hazard slots are per-thread, so per-locale replication would buy
 //! nothing for the comparison while complicating the scan.
 
+use crate::hazard_domain::HazardDomain;
 use parking_lot::Mutex;
 use rcuarray::{Block, BlockRegistry, Element, Snapshot};
+use rcuarray_reclaim::{Reclaim, Retired};
 use rcuarray_runtime::{Cluster, RoundRobinCounter};
-use std::cell::Cell;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Maximum threads that may ever touch one `HazardArray`.
-const MAX_THREADS: usize = 256;
-
-/// Unique array ids for the TLS slot cache.
-static NEXT_ARRAY_ID: AtomicU64 = AtomicU64::new(1);
-
-thread_local! {
-    /// One-slot cache: (array id, hazard slot index) most recently used by
-    /// this thread.
-    static SLOT_CACHE: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
-}
-
-#[repr(align(64))]
-struct HazardSlot<T: Element> {
-    ptr: AtomicPtr<Snapshot<T>>,
+/// Moves the unlinked snapshot pointer into the retire closure.
+struct SendSnap<T: Element>(*mut Snapshot<T>);
+// SAFETY: the snapshot is uniquely owned once unlinked, and its contents
+// (block refs) are `Send`.
+unsafe impl<T: Element> Send for SendSnap<T> {}
+impl<T: Element> SendSnap<T> {
+    fn into_raw(self) -> *mut Snapshot<T> {
+        self.0
+    }
 }
 
 /// A resizable block-cyclic array reclaimed with hazard pointers.
 pub struct HazardArray<T: Element> {
-    id: u64,
     cluster: Arc<Cluster>,
     block_size: usize,
     account_comm: bool,
     blocks: BlockRegistry<T>,
     snapshot: AtomicPtr<Snapshot<T>>,
-    hazards: Box<[HazardSlot<T>]>,
-    next_slot: AtomicUsize,
+    domain: HazardDomain,
     next_locale: RoundRobinCounter,
     resize_lock: Mutex<()>,
     capacity: AtomicUsize,
@@ -67,78 +66,29 @@ impl<T: Element> HazardArray<T> {
     pub fn new(cluster: &Arc<Cluster>, block_size: usize, account_comm: bool) -> Self {
         assert!(block_size > 0);
         HazardArray {
-            id: NEXT_ARRAY_ID.fetch_add(1, Ordering::Relaxed),
             cluster: Arc::clone(cluster),
             block_size,
             account_comm,
             blocks: BlockRegistry::new(),
             snapshot: AtomicPtr::new(Box::into_raw(Box::new(Snapshot::empty()))),
-            hazards: (0..MAX_THREADS)
-                .map(|_| HazardSlot {
-                    ptr: AtomicPtr::new(std::ptr::null_mut()),
-                })
-                .collect(),
-            next_slot: AtomicUsize::new(0),
+            domain: HazardDomain::new(),
             next_locale: RoundRobinCounter::new(cluster.num_locales()),
             resize_lock: Mutex::new(()),
             capacity: AtomicUsize::new(0),
         }
     }
 
-    /// The calling thread's hazard slot for this array (assigned once).
-    fn slot(&self) -> usize {
-        let (cached_id, cached_slot) = SLOT_CACHE.with(|c| c.get());
-        if cached_id == self.id {
-            return cached_slot;
-        }
-        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
-        assert!(
-            slot < MAX_THREADS,
-            "more than {MAX_THREADS} threads touched one HazardArray"
-        );
-        SLOT_CACHE.with(|c| c.set((self.id, slot)));
-        slot
-    }
-
-    /// Michael's protect-validate loop: pin the current snapshot into this
-    /// thread's hazard slot and return it. Caller must clear the slot.
-    fn protect(&self, slot: usize) -> *mut Snapshot<T> {
-        loop {
-            let p = self.snapshot.load(Ordering::Acquire);
-            self.hazards[slot].ptr.store(p, Ordering::SeqCst);
-            // The hazard store must be visible before the re-validation,
-            // or a concurrent resize could both miss the hazard and have
-            // us miss the swap — the same store→load requirement as the
-            // EBR increment-verify (the "balanced overhead" the paper
-            // mentions, paid by *readers*).
-            if self.snapshot.load(Ordering::SeqCst) == p {
-                return p;
-            }
-        }
-    }
-
-    #[inline]
-    fn clear(&self, slot: usize) {
-        self.hazards[slot]
-            .ptr
-            .store(std::ptr::null_mut(), Ordering::Release);
+    /// The hazard-pointer engine protecting this array's snapshots.
+    pub fn domain(&self) -> &HazardDomain {
+        &self.domain
     }
 
     fn with_snapshot<R>(&self, f: impl FnOnce(&Snapshot<T>) -> R) -> R {
-        struct ClearOnDrop<'a, T: Element> {
-            array: &'a HazardArray<T>,
-            slot: usize,
-        }
-        impl<T: Element> Drop for ClearOnDrop<'_, T> {
-            fn drop(&mut self) {
-                self.array.clear(self.slot);
-            }
-        }
-        let slot = self.slot();
-        let p = self.protect(slot);
-        // Clear the hazard even if `f` panics (e.g. out-of-bounds index);
-        // a leaked hazard would spin every future resize forever.
-        let _clear = ClearOnDrop { array: self, slot };
+        // The guard clears the hazard slot even if `f` panics (e.g.
+        // out-of-bounds index); a leaked hazard would spin every future
+        // resize forever.
+        let guard = self.domain.read_lock();
+        let p = guard.protect(&self.snapshot);
         // SAFETY: `p` is hazard-protected: the resizer scans slots and
         // waits before freeing.
         f(unsafe { &*p })
@@ -212,16 +162,18 @@ impl<T: Element> HazardArray<T> {
         let new_snap = unsafe { &*old_ptr }.clone_recycled(&new_blocks);
         let new_ptr = Box::into_raw(Box::new(new_snap));
         self.snapshot.store(new_ptr, Ordering::Release);
-        // Hazard scan: wait until no reader still holds the old snapshot.
-        let claimed = self.next_slot.load(Ordering::Acquire).min(MAX_THREADS);
-        for slot in 0..claimed {
-            while self.hazards[slot].ptr.load(Ordering::SeqCst) == old_ptr {
-                std::hint::spin_loop();
-            }
-        }
-        // SAFETY: unlinked and no hazard references it; late readers
-        // re-validate against the new pointer and retry.
-        drop(unsafe { Box::from_raw(old_ptr) });
+        // Retire through the domain: the scan waits until no hazard slot
+        // still holds `old_ptr`, then the free runs synchronously. Late
+        // readers re-validate against the new pointer and retry.
+        let old = SendSnap(old_ptr);
+        self.domain.retire(Retired::with_hint(
+            std::mem::size_of::<Snapshot<T>>(),
+            old_ptr as usize,
+            move || {
+                // SAFETY: unlinked above and no hazard references it.
+                drop(unsafe { Box::from_raw(old.into_raw()) });
+            },
+        ));
         self.capacity.fetch_add(add, Ordering::AcqRel) + add
     }
 
@@ -314,20 +266,22 @@ mod tests {
     }
 
     #[test]
-    fn slots_are_stable_per_thread() {
+    fn retires_flow_through_the_domain_stats() {
         let c = cluster(1);
         let a: HazardArray<u64> = HazardArray::new(&c, 8, false);
         a.resize(8);
-        let s1 = a.slot();
-        let _ = a.read(0);
-        assert_eq!(a.slot(), s1, "same thread keeps its slot");
+        a.resize(8);
+        let s = a.domain().reclaim_stats();
+        assert_eq!(s.retired, 2, "one retired snapshot per resize");
+        assert_eq!(s.reclaimed, 2, "hazard retire frees synchronously");
+        assert_eq!(s.pending, 0);
     }
 
     #[test]
     fn oob_panic_does_not_wedge_resizes() {
         // Regression: the OOB panic fires while the hazard slot is
-        // published; without clear-on-drop the next resize would spin on
-        // the stale hazard forever.
+        // published; without the guard's clear-on-drop the next resize
+        // would spin on the stale hazard forever.
         let c = cluster(1);
         let a = Arc::new(HazardArray::<u64>::new(&c, 8, false));
         a.resize(8);

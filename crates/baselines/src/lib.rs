@@ -25,15 +25,19 @@
 //!   block/snapshot structure as RCUArray, but old snapshots protected and
 //!   reclaimed with Michael's hazard pointers instead of EBR/QSBR,
 //!   quantifying "a balanced but noticeable overhead to both read and
-//!   write operations".
+//!   write operations". The hazard machinery is a standalone
+//!   [`HazardDomain`] implementing the workspace-wide `Reclaim` trait, so
+//!   it can protect any structure, not just this array.
 
 pub mod hazard;
+pub mod hazard_domain;
 pub mod lockfree_vector;
 pub mod rwlock_array;
 pub mod sync_array;
 pub mod unsafe_array;
 
 pub use hazard::HazardArray;
+pub use hazard_domain::{HazardDomain, HazardGuard};
 pub use lockfree_vector::LockFreeVector;
 pub use rwlock_array::RwLockArray;
 pub use sync_array::SyncArray;

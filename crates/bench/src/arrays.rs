@@ -5,7 +5,7 @@
 //! `SyncArray`, plus the additional comparators this reproduction
 //! implements (`RwLockArray`, `HazardArray`, `LockFreeVector`).
 
-use rcuarray::{Config, EbrArray, QsbrArray};
+use rcuarray::{AmortizedArray, Config, EbrArray, LeakArray, QsbrArray};
 use rcuarray_baselines::{HazardArray, LockFreeVector, RwLockArray, SyncArray, UnsafeArray};
 use rcuarray_ebr::OrderingMode;
 use rcuarray_runtime::Cluster;
@@ -18,6 +18,11 @@ pub enum ArrayKind {
     Ebr,
     /// RCUArray under runtime QSBR.
     Qsbr,
+    /// RCUArray under QSBR with a bounded per-checkpoint drain.
+    Amortized,
+    /// RCUArray that never reclaims: the structural upper bound through
+    /// the identical code path.
+    Leak,
     /// The unsynchronized Chapel block-distributed baseline.
     Chapel,
     /// The sync-variable mutual exclusion baseline.
@@ -39,10 +44,21 @@ impl ArrayKind {
         ArrayKind::Sync,
     ];
 
-    /// Every variant the harness knows.
-    pub const ALL: [ArrayKind; 7] = [
+    /// The four RCUArray reclamation schemes (one `RcuArray` code path,
+    /// four `Scheme` instantiations).
+    pub const SCHEMES: [ArrayKind; 4] = [
         ArrayKind::Ebr,
         ArrayKind::Qsbr,
+        ArrayKind::Amortized,
+        ArrayKind::Leak,
+    ];
+
+    /// Every variant the harness knows.
+    pub const ALL: [ArrayKind; 9] = [
+        ArrayKind::Ebr,
+        ArrayKind::Qsbr,
+        ArrayKind::Amortized,
+        ArrayKind::Leak,
         ArrayKind::Chapel,
         ArrayKind::Sync,
         ArrayKind::RwLock,
@@ -55,6 +71,8 @@ impl ArrayKind {
         match self {
             ArrayKind::Ebr => "EBRArray",
             ArrayKind::Qsbr => "QSBRArray",
+            ArrayKind::Amortized => "AmortizedArray",
+            ArrayKind::Leak => "LeakArray",
             ArrayKind::Chapel => "ChapelArray",
             ArrayKind::Sync => "SyncArray",
             ArrayKind::RwLock => "RwLockArray",
@@ -68,6 +86,8 @@ impl ArrayKind {
         Some(match s.to_ascii_lowercase().as_str() {
             "ebr" | "ebrarray" => ArrayKind::Ebr,
             "qsbr" | "qsbrarray" => ArrayKind::Qsbr,
+            "amortized" | "amortizedarray" => ArrayKind::Amortized,
+            "leak" | "leakarray" => ArrayKind::Leak,
             "chapel" | "chapelarray" | "unsafe" => ArrayKind::Chapel,
             "sync" | "syncarray" => ArrayKind::Sync,
             "rwlock" | "rwlockarray" => ArrayKind::RwLock,
@@ -131,6 +151,10 @@ forward_bench_array!(EbrArray<u64>, "EBRArray", |_s| {});
 forward_bench_array!(QsbrArray<u64>, "QSBRArray", |s| {
     s.checkpoint();
 });
+forward_bench_array!(AmortizedArray<u64>, "AmortizedArray", |s| {
+    s.checkpoint();
+});
+forward_bench_array!(LeakArray<u64>, "LeakArray", |_s| {});
 forward_bench_array!(UnsafeArray<u64>, "ChapelArray", |_s| {});
 forward_bench_array!(SyncArray<u64>, "SyncArray", |_s| {});
 forward_bench_array!(RwLockArray<u64>, "RwLockArray", |_s| {});
@@ -202,6 +226,8 @@ pub fn make_array_config(
     match kind {
         ArrayKind::Ebr => Box::new(EbrArray::<u64>::with_config(cluster, config)),
         ArrayKind::Qsbr => Box::new(QsbrArray::<u64>::with_config(cluster, config)),
+        ArrayKind::Amortized => Box::new(AmortizedArray::<u64>::with_config(cluster, config)),
+        ArrayKind::Leak => Box::new(LeakArray::<u64>::with_config(cluster, config)),
         ArrayKind::Chapel => Box::new(UnsafeArray::<u64>::with_accounting(cluster, account_comm)),
         ArrayKind::Sync => Box::new(SyncArray::<u64>::with_accounting(cluster, account_comm)),
         ArrayKind::RwLock => Box::new(RwLockArray::<u64>::with_accounting(cluster, account_comm)),

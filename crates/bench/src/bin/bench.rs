@@ -15,19 +15,24 @@
 //!   --sample-ms N    gauge sampling interval               (default 1)
 //! ```
 //!
-//! Each workload runs the paper's two RCUArray variants (EBR and QSBR)
-//! and writes `BENCH_<workload>.json` to the current directory: per-variant
-//! throughput, a sampled time series of epoch lag and defer backlog
-//! (entries and bytes), and the full metrics-registry snapshot. EBR
-//! reclaims synchronously, so its lag/backlog series are structurally
-//! zero — its pin-retry pressure shows up in the embedded
-//! `rcuarray_ebr_pin_retries_total` counter instead (DESIGN.md §7).
+//! Each workload runs all four RCUArray reclamation schemes — EBR, QSBR,
+//! Amortized (budgeted QSBR drains), Leak (never frees: the structural
+//! upper bound) — through the identical `RcuArray` code path and writes
+//! `BENCH_<workload>.json` to the current directory: per-variant
+//! throughput, a sampled time series of epoch lag and retire backlog
+//! (entries and bytes), and the full metrics-registry snapshot. The probe
+//! is scheme-agnostic: it reads the array's merged
+//! [`ReclaimStats`](rcuarray::ReclaimStats), so EBR's series are
+//! structurally zero (synchronous reclamation), the QSBR family shows the
+//! checkpoint sawtooth, and Leak shows a monotone ramp — each the honest
+//! description of its protocol. EBR's pin-retry pressure shows up in the
+//! embedded `rcuarray_ebr_pin_retries_total` counter instead
+//! (DESIGN.md §7).
 
-use rcuarray::{Config, EbrArray, QsbrArray};
+use rcuarray::{AmortizedArray, Config, EbrArray, LeakArray, QsbrArray, RcuArray, Scheme};
 use rcuarray_bench::runner::{run_indexing, run_resize, IndexingParams, ResizeParams};
 use rcuarray_bench::telemetry::{write_bench_report, Sampler, VariantReport};
 use rcuarray_bench::workload::IndexPattern;
-use rcuarray_qsbr::QsbrDomain;
 use rcuarray_runtime::{Cluster, Topology};
 use std::time::Duration;
 
@@ -76,28 +81,21 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Probe closure over an array's QSBR domain. For the EBR variant the
-/// domain exists but is never deferred to, so the series it yields are
-/// all-zero — which is the honest description of synchronous reclamation.
-fn domain_probe(domain: QsbrDomain) -> impl Fn() -> (u64, u64, u64) + Send + 'static {
-    move || {
-        let stats = domain.stats();
-        let lag = domain.state_epoch().saturating_sub(domain.min_observed());
-        (lag, stats.pending, stats.pending_bytes)
-    }
-}
-
-/// Run `work`, sampling `domain` in the background; returns the report.
-fn sampled_run(
+/// Run `work`, sampling the array's merged reclamation stats in the
+/// background; returns the report. The probe holds an aliasing clone of
+/// the array and never enters a read-side critical section or registers
+/// with a QSBR domain — a sampler must observe reclamation, not gate it.
+fn sampled_run<S: Scheme>(
     name: impl Into<String>,
-    domain: QsbrDomain,
+    array: &RcuArray<u64, S>,
     sample_ms: u64,
     work: impl FnOnce() -> f64,
 ) -> VariantReport {
-    let sampler = Sampler::spawn(
-        Duration::from_millis(sample_ms.max(1)),
-        domain_probe(domain),
-    );
+    let probe = array.clone();
+    let sampler = Sampler::spawn(Duration::from_millis(sample_ms.max(1)), move || {
+        let s = probe.stats().reclaim;
+        (s.epoch_lag, s.pending, s.pending_bytes)
+    });
     let ops_per_sec = work();
     VariantReport {
         name: name.into(),
@@ -131,20 +129,27 @@ fn indexing(opts: &Options) {
     let mut variants = Vec::new();
 
     let ebr = EbrArray::<u64>::with_config(&cluster, bench_config());
-    variants.push(sampled_run(
-        "EBRArray",
-        ebr.qsbr_domain().clone(),
-        opts.sample_ms,
-        || run_indexing(&ebr, &cluster, &params),
-    ));
+    variants.push(sampled_run("EBRArray", &ebr, opts.sample_ms, || {
+        run_indexing(&ebr, &cluster, &params)
+    }));
 
     let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config());
+    variants.push(sampled_run("QSBRArray", &qsbr, opts.sample_ms, || {
+        run_indexing(&qsbr, &cluster, &params)
+    }));
+
+    let amortized = AmortizedArray::<u64>::with_config(&cluster, bench_config());
     variants.push(sampled_run(
-        "QSBRArray",
-        qsbr.qsbr_domain().clone(),
+        "AmortizedArray",
+        &amortized,
         opts.sample_ms,
-        || run_indexing(&qsbr, &cluster, &params),
+        || run_indexing(&amortized, &cluster, &params),
     ));
+
+    let leak = LeakArray::<u64>::with_config(&cluster, bench_config());
+    variants.push(sampled_run("LeakArray", &leak, opts.sample_ms, || {
+        run_indexing(&leak, &cluster, &params)
+    }));
 
     finish("indexing", variants);
 }
@@ -158,20 +163,27 @@ fn resize(opts: &Options) {
     let mut variants = Vec::new();
 
     let ebr = EbrArray::<u64>::with_config(&cluster, bench_config());
-    variants.push(sampled_run(
-        "EBRArray",
-        ebr.qsbr_domain().clone(),
-        opts.sample_ms,
-        || run_resize(&ebr, &params),
-    ));
+    variants.push(sampled_run("EBRArray", &ebr, opts.sample_ms, || {
+        run_resize(&ebr, &params)
+    }));
 
     let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config());
+    variants.push(sampled_run("QSBRArray", &qsbr, opts.sample_ms, || {
+        run_resize(&qsbr, &params)
+    }));
+
+    let amortized = AmortizedArray::<u64>::with_config(&cluster, bench_config());
     variants.push(sampled_run(
-        "QSBRArray",
-        qsbr.qsbr_domain().clone(),
+        "AmortizedArray",
+        &amortized,
         opts.sample_ms,
-        || run_resize(&qsbr, &params),
+        || run_resize(&amortized, &params),
     ));
+
+    let leak = LeakArray::<u64>::with_config(&cluster, bench_config());
+    variants.push(sampled_run("LeakArray", &leak, opts.sample_ms, || {
+        run_resize(&leak, &params)
+    }));
 
     finish("resize", variants);
 }
@@ -189,26 +201,38 @@ fn checkpoint(opts: &Options) {
     let cluster = Cluster::new(Topology::new(1, 2));
     let mut variants = Vec::new();
 
-    // EBR baseline: Fig. 4 reuses the EBR indexing number as a flat line.
+    // Checkpoint-free baselines: Fig. 4 reuses the EBR indexing number as
+    // a flat line; Leak adds the no-reclamation-at-all upper bound.
     let ebr = EbrArray::<u64>::with_config(&cluster, bench_config());
-    variants.push(sampled_run(
-        "EBRArray",
-        ebr.qsbr_domain().clone(),
-        opts.sample_ms,
-        || run_indexing(&ebr, &cluster, &base),
-    ));
+    variants.push(sampled_run("EBRArray", &ebr, opts.sample_ms, || {
+        run_indexing(&ebr, &cluster, &base)
+    }));
+
+    let leak = LeakArray::<u64>::with_config(&cluster, bench_config());
+    variants.push(sampled_run("LeakArray", &leak, opts.sample_ms, || {
+        run_indexing(&leak, &cluster, &base)
+    }));
 
     for every in [1usize, 16, 256] {
-        let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config());
         let params = IndexingParams {
             checkpoint_every: Some(every),
             ..base
         };
+
+        let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config());
         variants.push(sampled_run(
             format!("QSBRArray@ckpt={every}"),
-            qsbr.qsbr_domain().clone(),
+            &qsbr,
             opts.sample_ms,
             || run_indexing(&qsbr, &cluster, &params),
+        ));
+
+        let amortized = AmortizedArray::<u64>::with_config(&cluster, bench_config());
+        variants.push(sampled_run(
+            format!("AmortizedArray@ckpt={every}"),
+            &amortized,
+            opts.sample_ms,
+            || run_indexing(&amortized, &cluster, &params),
         ));
     }
 

@@ -171,6 +171,10 @@ fn kinds_for(opts: &Options, include_sync: bool) -> Vec<ArrayKind> {
         .into_iter()
         .filter(|k| include_sync || *k != ArrayKind::Sync)
         .collect();
+    // The post-paper schemes ride along in every figure: Amortized bounds
+    // checkpoint cost, Leak is the reclamation-free upper bound through
+    // the identical RcuArray code path.
+    kinds.extend([ArrayKind::Amortized, ArrayKind::Leak]);
     if opts.extras {
         kinds.extend([ArrayKind::RwLock, ArrayKind::Hazard, ArrayKind::LockFreeVec]);
     }
@@ -256,7 +260,13 @@ fn fig3(opts: &Options, tee: &mut Tee) {
     let mut table = Table::new(title, "locales", opts.locales.clone());
     // SyncArray is excluded in the paper's Fig. 3 as well ("due to
     // required runtime", §V footnote 15).
-    let mut kinds = vec![ArrayKind::Ebr, ArrayKind::Qsbr, ArrayKind::Chapel];
+    let mut kinds = vec![
+        ArrayKind::Ebr,
+        ArrayKind::Qsbr,
+        ArrayKind::Amortized,
+        ArrayKind::Leak,
+        ArrayKind::Chapel,
+    ];
     if opts.extras {
         kinds.extend([ArrayKind::RwLock, ArrayKind::Hazard, ArrayKind::LockFreeVec]);
     }

@@ -21,7 +21,7 @@
 //!   without a second synchronization round); they are compacted away by
 //!   [`DistTable::grow`].
 
-use rcuarray::{CommError, Config, QsbrArray};
+use rcuarray::{CommError, Config, QsbrScheme, RcuArray, Scheme};
 use rcuarray_runtime::Cluster;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -52,11 +52,14 @@ impl std::fmt::Display for TableFull {
 
 impl std::error::Error for TableFull {}
 
-/// The distributed hash table (see [module docs](self)).
-pub struct DistTable {
+/// The distributed hash table (see [module docs](self)), generic over the
+/// backing arrays' reclamation [`Scheme`] exactly like [`RcuArray`]
+/// itself; defaults to QSBR, matching the paper's preferred configuration
+/// for read-dominant workloads.
+pub struct DistTable<S: Scheme = QsbrScheme> {
     cluster: Arc<Cluster>,
-    keys: QsbrArray<u64>,
-    values: QsbrArray<u64>,
+    keys: RcuArray<u64, S>,
+    values: RcuArray<u64, S>,
     mask: usize,
     live: AtomicUsize,
     config: Config,
@@ -68,7 +71,7 @@ fn hash(key: u64) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize
 }
 
-impl DistTable {
+impl<S: Scheme> DistTable<S> {
     /// A table with at least `capacity` slots (rounded up to a power of
     /// two and to whole blocks).
     pub fn with_capacity(cluster: &Arc<Cluster>, capacity: usize) -> Self {
@@ -81,8 +84,8 @@ impl DistTable {
         let slots = capacity
             .next_power_of_two()
             .max(config.block_size.next_power_of_two());
-        let keys = QsbrArray::with_capacity(cluster, config, slots);
-        let values = QsbrArray::with_capacity(cluster, config, slots);
+        let keys = RcuArray::with_capacity(cluster, config, slots);
+        let values = RcuArray::with_capacity(cluster, config, slots);
         DistTable {
             cluster: Arc::clone(cluster),
             keys,
@@ -243,7 +246,8 @@ impl DistTable {
             .collect()
     }
 
-    /// Quiesce the calling thread (QSBR checkpoint over both arrays).
+    /// Quiesce the calling thread (a checkpoint over both backing arrays;
+    /// no-op under schemes without checkpoints, e.g. EBR).
     pub fn checkpoint(&self) {
         self.keys.checkpoint();
         self.values.checkpoint();
@@ -268,8 +272,8 @@ impl DistTable {
         let slots = (self.capacity() * 2)
             .next_power_of_two()
             .max(self.config.block_size.next_power_of_two());
-        let keys: QsbrArray<u64> = QsbrArray::with_config(&self.cluster, self.config);
-        let values: QsbrArray<u64> = QsbrArray::with_config(&self.cluster, self.config);
+        let keys: RcuArray<u64, S> = RcuArray::with_config(&self.cluster, self.config);
+        let values: RcuArray<u64, S> = RcuArray::with_config(&self.cluster, self.config);
         let policy = self.config.retry;
         if self.cluster.fault().is_enabled() {
             policy.run(self.cluster.comm(), || keys.try_resize(slots))?;
@@ -297,11 +301,12 @@ impl DistTable {
     }
 }
 
-impl std::fmt::Debug for DistTable {
+impl<S: Scheme> std::fmt::Debug for DistTable<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DistTable")
             .field("len", &self.len())
             .field("capacity", &self.capacity())
+            .field("scheme", &S::NAME)
             .finish()
     }
 }
@@ -539,6 +544,25 @@ mod tests {
         assert_eq!(t.get_checked(6), None);
         t.remove(5);
         assert_eq!(t.get_checked(5), None);
+    }
+
+    #[test]
+    fn works_under_any_scheme() {
+        use rcuarray::{EbrScheme, LeakScheme};
+        let e: DistTable<EbrScheme> = DistTable::with_config(&cluster(), 64, cfg());
+        e.insert(1, 10).unwrap();
+        assert_eq!(e.get(1), Some(10));
+        assert!(format!("{e:?}").contains("ebr"));
+        e.checkpoint(); // no-op under EBR
+
+        let mut l: DistTable<LeakScheme> = DistTable::with_config(&cluster(), 16, cfg());
+        for k in 1..=10u64 {
+            l.insert(k, k).unwrap();
+        }
+        l.grow();
+        for k in 1..=10u64 {
+            assert_eq!(l.get(k), Some(k), "key {k} lost in leak-scheme grow");
+        }
     }
 
     #[test]

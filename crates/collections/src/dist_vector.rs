@@ -14,6 +14,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// An append-only distributed vector (see [module docs](self)).
+///
+/// `DistVector` is deliberately **not** `Clone`: unlike the backing
+/// [`RcuArray`], whose clones alias one shared array, the length counter
+/// lives in this struct, so a structural clone would fork the length and
+/// lose pushes. Share a vector across threads through
+/// [`Arc`]`<DistVector<..>>` instead.
 pub struct DistVector<T: Element, S: Scheme = QsbrScheme> {
     array: RcuArray<T, S>,
     len: AtomicUsize,
@@ -151,15 +157,6 @@ impl<T: Element, S: Scheme> DistVector<T, S> {
     /// Snapshot the pushed elements.
     pub fn to_vec(&self) -> Vec<T> {
         (0..self.len()).map(|i| self.array.read(i)).collect()
-    }
-}
-
-impl<T: Element, S: Scheme> Clone for DistVector<T, S> {
-    /// Cloning is an aliasing handle, like the array's own clone — but
-    /// note the length counter lives behind the same handle, so this is
-    /// only possible through `Arc`. Provided via explicit `Arc` instead.
-    fn clone(&self) -> Self {
-        unimplemented!("share a DistVector through Arc, not Clone")
     }
 }
 

@@ -63,6 +63,7 @@ pub mod epoch;
 pub mod guard;
 pub mod ordering;
 pub mod rcu_cell;
+pub mod reclaim;
 pub mod sharded;
 
 pub use backoff::Backoff;
@@ -71,3 +72,7 @@ pub use guard::EpochGuard;
 pub use ordering::OrderingMode;
 pub use rcu_cell::RcuCell;
 pub use sharded::{ShardedEpochZone, ShardedTicket};
+
+// The unified reclamation vocabulary, re-exported so EBR consumers need
+// only this crate.
+pub use rcuarray_reclaim::{Reclaim, ReclaimStats, Retired};

@@ -134,6 +134,57 @@ impl DeferList {
         }
     }
 
+    /// [`pop_less_equal`](Self::pop_less_equal) with a drain budget: cut at
+    /// most `budget` entries, and specifically the **oldest** ones (the
+    /// tail), leaving any newer reclaimable entries in place.
+    ///
+    /// This is the DEBRA-style amortization primitive: a checkpoint that
+    /// must stay cheap frees a bounded amount of backlog per call instead
+    /// of the entire reclaimable suffix. Cutting from the tail keeps the
+    /// kept portion a *prefix* of the original list, so the
+    /// descending-epoch invariant (Lemma 4) is preserved untouched.
+    pub fn pop_less_equal_budget(&mut self, min_epoch: u64, budget: usize) -> DeferChain {
+        if budget == 0 || self.head.is_none() {
+            return DeferChain::empty();
+        }
+        // The reclaimable entries form a contiguous tail suffix (the list
+        // is sorted descending from the head); count it.
+        let mut suffix_len = 0usize;
+        let mut cur = self.head.as_deref();
+        while let Some(n) = cur {
+            if n.epoch <= min_epoch {
+                suffix_len += 1;
+            }
+            cur = n.next.as_deref();
+        }
+        if suffix_len == 0 {
+            return DeferChain::empty();
+        }
+        let take = suffix_len.min(budget);
+        let keep = self.len - take;
+        if keep == 0 {
+            return self.take_all();
+        }
+        // Walk to the last kept node and cut there: everything after it is
+        // the `take` oldest entries.
+        let mut cursor: &mut Box<Node> = self.head.as_mut().expect("non-empty checked above");
+        let mut kept_bytes = cursor.bytes;
+        for _ in 1..keep {
+            cursor = cursor.next.as_mut().expect("keep < len");
+            kept_bytes += cursor.bytes;
+        }
+        let suffix = cursor.next.take();
+        let cut = self.len - keep;
+        let cut_bytes = self.bytes - kept_bytes;
+        self.len = keep;
+        self.bytes = kept_bytes;
+        DeferChain {
+            head: suffix,
+            len: cut,
+            bytes: cut_bytes,
+        }
+    }
+
     /// Take the whole list (used when parking or orphaning at thread exit).
     pub fn take_all(&mut self) -> DeferChain {
         let chain = DeferChain {
@@ -410,6 +461,70 @@ mod tests {
         let chain = l.pop_less_equal(100);
         assert_eq!(chain.bytes(), 24);
         assert_eq!(l.bytes(), 0);
+    }
+
+    #[test]
+    fn budgeted_pop_takes_oldest_entries_first() {
+        let c = Arc::new(AtomicUsize::new(0));
+        let mut l = DeferList::new();
+        for e in [1u64, 2, 3, 4, 5] {
+            l.push(e, counting(&c));
+        }
+        // Everything is reclaimable, but budget 2 must free only the two
+        // oldest (epochs 1 and 2) and keep the rest in order.
+        let chain = l.pop_less_equal_budget(100, 2);
+        assert_eq!(chain.len(), 2);
+        drop(chain);
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+        assert_eq!(l.epochs(), vec![5, 4, 3]);
+        // Subsequent pushes still satisfy the descending invariant.
+        l.push(6, counting(&c));
+        assert_eq!(l.epochs(), vec![6, 5, 4, 3]);
+    }
+
+    #[test]
+    fn budgeted_pop_respects_min_epoch_boundary() {
+        let mut l = DeferList::new();
+        for e in [1u64, 2, 8, 9] {
+            l.push(e, || {});
+        }
+        // Only epochs <= 2 are reclaimable; a large budget must not cross
+        // the safety boundary.
+        let chain = l.pop_less_equal_budget(2, 10);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(l.epochs(), vec![9, 8]);
+    }
+
+    #[test]
+    fn budgeted_pop_with_zero_budget_is_noop() {
+        let mut l = DeferList::new();
+        l.push(1, || {});
+        assert!(l.pop_less_equal_budget(100, 0).is_empty());
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn budgeted_pop_drains_whole_list_when_budget_covers_it() {
+        let mut l = DeferList::new();
+        l.push_with_bytes(1, 8, || {});
+        l.push_with_bytes(2, 16, || {});
+        let chain = l.pop_less_equal_budget(100, 2);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.bytes(), 24);
+        assert!(l.is_empty());
+        assert_eq!(l.bytes(), 0);
+    }
+
+    #[test]
+    fn budgeted_pop_byte_accounting_follows_the_cut() {
+        let mut l = DeferList::new();
+        l.push_with_bytes(1, 100, || {});
+        l.push_with_bytes(2, 30, || {});
+        l.push_with_bytes(3, 7, || {});
+        let chain = l.pop_less_equal_budget(100, 1);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.bytes(), 100, "oldest entry carries 100 bytes");
+        assert_eq!(l.bytes(), 37);
     }
 
     #[test]

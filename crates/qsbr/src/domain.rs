@@ -276,6 +276,65 @@ impl QsbrDomain {
             freed += n;
             freed_bytes += b as u64;
         }
+        // Lag and backlog after this reclaim: how far the slowest
+        // participant trails the state epoch, and what that delay
+        // keeps alive (the Fig. 2 read-cost/backlog trade-off).
+        self.record_reclaim(freed, freed_bytes, min, t0);
+        freed
+    }
+
+    /// [`checkpoint`](Self::checkpoint) with a bounded drain: announce
+    /// quiescence exactly as a full checkpoint does, but execute at most
+    /// `budget` deferred reclamations from this thread's own list —
+    /// specifically the *oldest* ones — leaving the rest for later calls
+    /// (DEBRA-style amortization: no single checkpoint pays for an
+    /// unbounded backlog).
+    ///
+    /// Orphaned chains (from exited or parked threads) are adopted whole
+    /// and reclaimed whole, so they are only touched while budget remains
+    /// after the local drain; one orphan chain may therefore overshoot the
+    /// budget by its own length. `budget == 0` is a pure quiescence
+    /// announcement that frees nothing.
+    ///
+    /// The same contract as [`checkpoint`](Self::checkpoint) applies: the
+    /// calling thread must hold no references to protected data acquired
+    /// before this call.
+    pub fn checkpoint_budgeted(&self, budget: usize) -> usize {
+        let record = self.record();
+        let observed = self.inner.state.read();
+        record.observe(observed);
+        self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+        OBS_CHECKPOINTS.inc();
+        // Same fast path as `checkpoint`; additionally a zero budget never
+        // reclaims, so the announcement above is all there is to do.
+        // SAFETY: owner-only access from the owning thread.
+        if budget == 0 || (unsafe { record.pending() } == 0 && !self.inner.registry.has_orphans()) {
+            return 0;
+        }
+        let t0 = rcuarray_obs::enabled().then(std::time::Instant::now);
+        let min = self.inner.registry.min_observed(observed);
+        // SAFETY: owner-only access from the owning thread.
+        let chain: DeferChain = unsafe { record.defer_mut().pop_less_equal_budget(min, budget) };
+        let mut freed_bytes = chain.bytes() as u64;
+        let mut freed = chain.reclaim_all();
+        if freed < budget && self.inner.registry.has_orphans() {
+            let (n, b) = self.inner.registry.reclaim_orphans(min);
+            freed += n;
+            freed_bytes += b as u64;
+        }
+        self.record_reclaim(freed, freed_bytes, min, t0);
+        freed
+    }
+
+    /// Shared slow-path accounting for reclaiming checkpoints: counters,
+    /// then the backlog/lag gauges when telemetry is enabled.
+    fn record_reclaim(
+        &self,
+        freed: usize,
+        freed_bytes: u64,
+        min: u64,
+        t0: Option<std::time::Instant>,
+    ) {
         self.inner
             .reclaimed
             .fetch_add(freed as u64, Ordering::Relaxed);
@@ -286,15 +345,11 @@ impl QsbrDomain {
         OBS_RECLAIMED_BYTES.add(freed_bytes);
         if let Some(t0) = t0 {
             OBS_CHECKPOINT_NS.record(t0.elapsed().as_nanos() as u64);
-            // Lag and backlog after this reclaim: how far the slowest
-            // participant trails the state epoch, and what that delay
-            // keeps alive (the Fig. 2 read-cost/backlog trade-off).
             OBS_EPOCH_LAG.set(self.inner.state.read().saturating_sub(min) as i64);
             let s = self.stats();
             OBS_BACKLOG_ENTRIES.set(s.pending as i64);
             OBS_BACKLOG_BYTES.set(s.pending_bytes as i64);
         }
-        freed
     }
 
     /// Park the calling thread: flush what can be freed, hand the rest to
@@ -629,6 +684,79 @@ mod tests {
         assert!(d.is_parked());
         d.unpark();
         assert!(!d.is_parked());
+    }
+
+    #[test]
+    fn budgeted_checkpoint_drains_incrementally() {
+        let d = QsbrDomain::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            counter_defer(&d, &c);
+        }
+        assert_eq!(d.checkpoint_budgeted(2), 2);
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+        assert_eq!(d.stats().pending, 3);
+        assert_eq!(d.checkpoint_budgeted(2), 2);
+        assert_eq!(d.checkpoint_budgeted(2), 1, "final partial batch");
+        assert_eq!(c.load(Ordering::SeqCst), 5);
+        assert_eq!(d.stats().pending, 0);
+        assert_eq!(d.checkpoint_budgeted(2), 0, "drained");
+    }
+
+    #[test]
+    fn budgeted_checkpoint_zero_budget_announces_but_frees_nothing() {
+        let d = QsbrDomain::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        counter_defer(&d, &c);
+        assert_eq!(d.checkpoint_budgeted(0), 0);
+        assert_eq!(c.load(Ordering::SeqCst), 0);
+        assert_eq!(d.stats().checkpoints, 1, "still counts as a checkpoint");
+        // The zero-budget call still observed the state epoch, so a later
+        // budgeted call frees normally.
+        assert_eq!(d.checkpoint_budgeted(8), 1);
+    }
+
+    #[test]
+    fn budgeted_checkpoint_respects_lagging_threads() {
+        let d = QsbrDomain::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        let ready = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+
+        let d2 = d.clone();
+        let ready2 = Arc::clone(&ready);
+        let release2 = Arc::clone(&release);
+        let lagger = rcuarray_analysis::thread::spawn(move || {
+            d2.register_current_thread();
+            ready2.wait();
+            release2.wait();
+            d2.checkpoint();
+        });
+
+        ready.wait();
+        counter_defer(&d, &c);
+        assert_eq!(
+            d.checkpoint_budgeted(100),
+            0,
+            "budget cannot override safety"
+        );
+        release.wait();
+        lagger.join().unwrap();
+        assert_eq!(d.checkpoint_budgeted(100), 1);
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn budgeted_checkpoint_byte_accounting_matches_partial_drain() {
+        let d = QsbrDomain::new();
+        d.defer_with_bytes(100, || {});
+        d.defer_with_bytes(30, || {});
+        d.defer_with_bytes(7, || {});
+        assert_eq!(d.checkpoint_budgeted(1), 1);
+        // The oldest entry (100 bytes) went first.
+        assert_eq!(d.stats().pending_bytes, 37);
+        d.checkpoint();
+        assert_eq!(d.stats().pending_bytes, 0);
     }
 
     #[test]

@@ -64,12 +64,18 @@
 
 pub mod defer_list;
 pub mod domain;
+pub mod reclaim;
 pub mod record;
 pub mod registry;
 pub mod state;
 
 pub use defer_list::{DeferChain, DeferList};
 pub use domain::{DomainStats, QsbrDomain};
+pub use reclaim::AmortizedReclaim;
 pub use record::ThreadRecord;
 pub use registry::Registry;
 pub use state::StateEpoch;
+
+// The unified reclamation vocabulary, re-exported so QSBR consumers need
+// only this crate.
+pub use rcuarray_reclaim::{Reclaim, ReclaimStats, Retired};

@@ -7,16 +7,18 @@
 //! improvements to the decoupled EBR algorithm are planned and can even be
 //! used in other languages that lack official support for TLS".
 //!
-//! [`Reclaim`] abstracts over the two reclamation back-ends built in this
-//! workspace:
+//! [`Reclaim`] is the workspace-wide reclamation trait (crate
+//! `rcuarray-reclaim`), implemented natively by both back-ends built in
+//! this workspace and re-exported here:
 //!
-//! * [`EbrReclaim`] — the TLS-free epoch scheme (`rcuarray-ebr`). Readers
-//!   pay the two-counter announcement protocol; writers reclaim
-//!   *synchronously* by draining readers (the paper's `RCU_Write` shape).
-//! * [`QsbrReclaim`] — the runtime QSBR (`rcuarray-qsbr`). Readers pay
-//!   nothing; writers *defer* reclamation to the retiring thread's list,
-//!   and application threads must call [`Reclaim::quiesce`] (a checkpoint)
-//!   periodically.
+//! * [`EbrReclaim`] — the TLS-free epoch scheme (an alias for
+//!   `rcuarray_ebr::EpochZone`). Readers pay the two-counter announcement
+//!   protocol; writers reclaim *synchronously* by draining readers (the
+//!   paper's `RCU_Write` shape).
+//! * [`QsbrReclaim`] — the runtime QSBR (an alias for
+//!   `rcuarray_qsbr::QsbrDomain`). Readers pay nothing; writers *defer*
+//!   reclamation to the retiring thread's list, and application threads
+//!   must call [`Reclaim::quiesce`] (a checkpoint) periodically.
 //!
 //! [`RcuPtr`] is a protected pointer generic over the back-end: the same
 //! data-structure code runs under either scheme, which is how `rcuarray`
@@ -44,4 +46,4 @@ pub mod reclaimer;
 
 pub use list::RcuList;
 pub use rcu_ptr::RcuPtr;
-pub use reclaimer::{EbrReclaim, QsbrReclaim, Reclaim};
+pub use reclaimer::{EbrReclaim, QsbrReclaim, Reclaim, ReclaimStats, Retired};

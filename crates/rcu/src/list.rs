@@ -16,7 +16,7 @@
 //! Keys are ordered and unique, giving `insert`/`remove`/`contains`
 //! set semantics.
 
-use crate::reclaimer::Reclaim;
+use crate::reclaimer::{Reclaim, Retired};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
@@ -178,10 +178,13 @@ where
         // could still be on `cur` evacuates before the free.
         link.store(next, Ordering::Release);
         let retired = SendNode(cur);
-        self.reclaim.retire(Box::new(move || {
-            // SAFETY: unlinked above, back-end-gated.
-            drop(unsafe { Box::from_raw(retired.into_raw()) });
-        }));
+        self.reclaim.retire(Retired::with_bytes(
+            std::mem::size_of::<Node<K>>(),
+            move || {
+                // SAFETY: unlinked above, back-end-gated.
+                drop(unsafe { Box::from_raw(retired.into_raw()) });
+            },
+        ));
         true
     }
 }
@@ -309,7 +312,7 @@ mod tests {
             20,
             "all removed nodes freed at checkpoint"
         );
-        assert_eq!(reclaim.domain().stats().pending, 0);
+        assert_eq!(reclaim.reclaim_stats().pending, 0);
     }
 
     #[test]

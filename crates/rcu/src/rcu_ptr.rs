@@ -1,7 +1,7 @@
 //! [`RcuPtr`]: an RCU-protected pointer generic over the reclamation
 //! back-end.
 
-use crate::reclaimer::Reclaim;
+use crate::reclaimer::{Reclaim, Retired};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
@@ -80,11 +80,12 @@ impl<T: Send + Sync + 'static, R: Reclaim> RcuPtr<T, R> {
         let new = Box::into_raw(Box::new(f(unsafe { &*old })));
         self.ptr.store(new, Ordering::Release);
         let old = SendPtr(old);
-        self.reclaim.retire(Box::new(move || {
-            // SAFETY: unlinked above; the back-end guarantees no reader
-            // can still hold it when this closure runs.
-            drop(unsafe { Box::from_raw(old.into_raw()) });
-        }));
+        self.reclaim
+            .retire(Retired::with_bytes(std::mem::size_of::<T>(), move || {
+                // SAFETY: unlinked above; the back-end guarantees no reader
+                // can still hold it when this closure runs.
+                drop(unsafe { Box::from_raw(old.into_raw()) });
+            }));
     }
 
     /// Replace the value outright.
@@ -184,7 +185,7 @@ mod tests {
         }
         // All ten retired snapshots free at this single-thread checkpoint.
         assert_eq!(reclaim.quiesce(), 10);
-        assert_eq!(reclaim.domain().stats().pending, 0);
+        assert_eq!(reclaim.reclaim_stats().pending, 0);
     }
 
     #[test]

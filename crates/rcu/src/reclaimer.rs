@@ -1,157 +1,34 @@
-//! The [`Reclaim`] trait and its EBR / QSBR implementations.
+//! The unified [`Reclaim`] vocabulary, plus the back-end aliases this
+//! crate historically exported.
+//!
+//! Earlier revisions defined a *local* `Reclaim` trait here and wrapped
+//! the EBR zone / QSBR domain in adapter structs (`EbrReclaim`,
+//! `QsbrReclaim`). The workspace now has one behavior-carrying trait in
+//! `rcuarray-reclaim`, implemented natively by [`rcuarray_ebr::EpochZone`]
+//! and [`rcuarray_qsbr::QsbrDomain`] — so the adapters dissolved into
+//! type aliases and the trait is a re-export. The contract is unchanged:
+//!
+//! * Readers bracket every access to a protected pointer with
+//!   [`Reclaim::read_lock`] and hold the returned guard for the duration
+//!   (under QSBR the guard is free and empty; the *thread-level* contract
+//!   of not crossing a quiescent point applies instead).
+//! * Writers unlink a value, then pass ownership of its destruction to
+//!   [`Reclaim::retire`] as a [`Retired`]. The back-end decides whether
+//!   that runs synchronously after draining readers (EBR) or is deferred
+//!   to a later checkpoint (QSBR).
 
-use rcuarray_ebr::{EpochGuard, EpochZone, OrderingMode};
-use rcuarray_qsbr::QsbrDomain;
-
-/// A memory-reclamation back-end for RCU-protected structures.
-///
-/// The contract mirrors the two halves of the paper:
-///
-/// * Readers bracket every access to a protected pointer with
-///   [`read_lock`](Self::read_lock) and hold the returned guard for the
-///   duration (under QSBR the guard is free and empty; the *thread-level*
-///   contract of not crossing a quiescent point applies instead).
-/// * Writers unlink a value, then pass ownership of its destruction to
-///   [`retire`](Self::retire). The back-end decides whether that runs
-///   synchronously after draining readers (EBR) or is deferred to a later
-///   checkpoint (QSBR).
-pub trait Reclaim: Send + Sync + 'static {
-    /// Read-side critical-section guard. `()` for schemes with free reads.
-    type Guard<'a>
-    where
-        Self: 'a;
-
-    /// Enter a read-side critical section.
-    fn read_lock(&self) -> Self::Guard<'_>;
-
-    /// Hand over an unlinked value's destructor. After this returns (EBR)
-    /// or after every participant passes a quiescent state (QSBR), the
-    /// destructor has run / will run exactly once.
-    fn retire(&self, reclaim: Box<dyn FnOnce() + Send>);
-
-    /// Announce a quiescent state for the calling thread. Checkpoint under
-    /// QSBR; no-op under EBR. Returns how many deferred reclamations ran.
-    fn quiesce(&self) -> usize;
-
-    /// True when readers must hold [`read_lock`](Self::read_lock) guards
-    /// for correctness (EBR), false when reads are free (QSBR). The
-    /// paper's `isQSBR` parameter, inverted.
-    fn guards_reads(&self) -> bool;
-
-    /// Human-readable scheme name for harness output.
-    fn name(&self) -> &'static str;
-}
+pub use rcuarray_reclaim::{Reclaim, ReclaimStats, Retired};
 
 /// EBR back-end: the paper's TLS-free two-counter protocol with
-/// synchronous writer-side reclamation.
-#[derive(Debug, Default)]
-pub struct EbrReclaim {
-    zone: EpochZone,
-}
-
-impl EbrReclaim {
-    /// A zone with the paper's `SeqCst` protocol.
-    pub fn new() -> Self {
-        EbrReclaim {
-            zone: EpochZone::new(),
-        }
-    }
-
-    /// A zone with an explicit ordering mode (ablation).
-    pub fn with_mode(mode: OrderingMode) -> Self {
-        EbrReclaim {
-            zone: EpochZone::with_mode(mode),
-        }
-    }
-
-    /// The underlying epoch zone.
-    pub fn zone(&self) -> &EpochZone {
-        &self.zone
-    }
-}
-
-impl Reclaim for EbrReclaim {
-    type Guard<'a> = EpochGuard<'a>;
-
-    #[inline]
-    fn read_lock(&self) -> EpochGuard<'_> {
-        EpochGuard::pin(&self.zone)
-    }
-
-    fn retire(&self, reclaim: Box<dyn FnOnce() + Send>) {
-        // The paper's RCU_Write tail: advance the epoch, drain readers of
-        // the old parity, then delete — synchronously, on the writer.
-        self.zone.synchronize();
-        reclaim();
-    }
-
-    #[inline]
-    fn quiesce(&self) -> usize {
-        0 // EBR has no checkpoints; reclamation happened at retire().
-    }
-
-    #[inline]
-    fn guards_reads(&self) -> bool {
-        true
-    }
-
-    fn name(&self) -> &'static str {
-        "ebr"
-    }
-}
+/// synchronous writer-side reclamation. An alias for the zone itself —
+/// construct with [`EpochZone::new`](rcuarray_ebr::EpochZone::new) or
+/// [`EpochZone::with_mode`](rcuarray_ebr::EpochZone::with_mode).
+pub type EbrReclaim = rcuarray_ebr::EpochZone;
 
 /// QSBR back-end: free reads, deferred reclamation, explicit checkpoints.
-#[derive(Debug, Clone, Default)]
-pub struct QsbrReclaim {
-    domain: QsbrDomain,
-}
-
-impl QsbrReclaim {
-    /// A fresh, private QSBR domain.
-    pub fn new() -> Self {
-        QsbrReclaim {
-            domain: QsbrDomain::new(),
-        }
-    }
-
-    /// Wrap an existing domain (several structures sharing checkpoints).
-    pub fn with_domain(domain: QsbrDomain) -> Self {
-        QsbrReclaim { domain }
-    }
-
-    /// The underlying domain.
-    pub fn domain(&self) -> &QsbrDomain {
-        &self.domain
-    }
-}
-
-impl Reclaim for QsbrReclaim {
-    type Guard<'a> = ();
-
-    #[inline]
-    fn read_lock(&self) {
-        // Free: the thread-level quiescence contract replaces per-read
-        // guards. This is the whole point of QSBR.
-    }
-
-    fn retire(&self, reclaim: Box<dyn FnOnce() + Send>) {
-        self.domain.defer(reclaim);
-    }
-
-    #[inline]
-    fn quiesce(&self) -> usize {
-        self.domain.checkpoint()
-    }
-
-    #[inline]
-    fn guards_reads(&self) -> bool {
-        false
-    }
-
-    fn name(&self) -> &'static str {
-        "qsbr"
-    }
-}
+/// An alias for the domain itself — `clone()` it to share checkpoints
+/// across several structures.
+pub type QsbrReclaim = rcuarray_qsbr::QsbrDomain;
 
 #[cfg(test)]
 mod tests {
@@ -162,7 +39,7 @@ mod tests {
     fn retire_counter<R: Reclaim>(r: &R) -> Arc<AtomicUsize> {
         let c = Arc::new(AtomicUsize::new(0));
         let c2 = Arc::clone(&c);
-        r.retire(Box::new(move || {
+        r.retire(Retired::new(move || {
             c2.fetch_add(1, Ordering::SeqCst);
         }));
         c
@@ -192,7 +69,7 @@ mod tests {
         let r2 = Arc::clone(&r);
         let c2 = Arc::clone(&c);
         let writer = std::thread::spawn(move || {
-            r2.retire(Box::new(move || {
+            r2.retire(Retired::new(move || {
                 c2.fetch_add(1, Ordering::SeqCst);
             }));
         });
@@ -207,18 +84,27 @@ mod tests {
     fn scheme_flags() {
         assert!(EbrReclaim::new().guards_reads());
         assert!(!QsbrReclaim::new().guards_reads());
-        assert_eq!(EbrReclaim::new().name(), "ebr");
-        assert_eq!(QsbrReclaim::new().name(), "qsbr");
+        assert_eq!(Reclaim::name(&EbrReclaim::new()), "ebr");
+        assert_eq!(Reclaim::name(&QsbrReclaim::new()), "qsbr");
     }
 
     #[test]
-    fn shared_domain_reclaims_across_wrappers() {
-        let domain = QsbrDomain::new();
-        let a = QsbrReclaim::with_domain(domain.clone());
-        let b = QsbrReclaim::with_domain(domain);
+    fn shared_domain_reclaims_across_clones() {
+        let a = QsbrReclaim::new();
+        let b = a.clone();
         let c = retire_counter(&a);
-        // A checkpoint through the *other* wrapper frees it: same domain.
+        // A checkpoint through the *other* clone frees it: same domain.
         assert_eq!(b.quiesce(), 1);
         assert_eq!(c.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stats_flow_through_the_unified_trait() {
+        let r = QsbrReclaim::new();
+        let _ = retire_counter(&r);
+        let s = r.reclaim_stats();
+        assert_eq!(s.retired, 1);
+        assert_eq!(s.pending, 1);
+        assert!(s.domain_wide, "QSBR stats are domain-wide");
     }
 }

@@ -15,7 +15,9 @@
 //! `Index` (here [`read`](RcuArray::read) / [`write`](RcuArray::write) /
 //! [`get_ref`](RcuArray::get_ref)) and `Resize`
 //! ([`resize`](RcuArray::resize)) implement Algorithm 3, with the
-//! `isQSBR` conditional realized by the [`Scheme`] type parameter.
+//! `isQSBR` conditional realized by the [`Scheme`] type parameter: the
+//! array calls the scheme's [`Reclaim`] engine (`read_lock` / `retire` /
+//! `quiesce`) and never branches on which scheme it runs under.
 
 use crate::block::{Block, BlockRef, BlockRegistry};
 use crate::config::Config;
@@ -23,17 +25,16 @@ use crate::elem_ref::ElemRef;
 use crate::element::Element;
 use crate::handle::LocaleState;
 use crate::iter::Iter;
-use crate::scheme::{EbrScheme, QsbrScheme, Scheme};
+use crate::scheme::{AmortizedScheme, EbrScheme, LeakScheme, QsbrScheme, Scheme};
 use crate::snapshot::{reclaim_box, Snapshot};
 use crate::stats::ArrayStats;
 use rcuarray_analysis::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use rcuarray_ebr::ZoneStats;
 use rcuarray_obs::{LazyCounter, LazyGauge, LazyHistogram};
 use rcuarray_qsbr::QsbrDomain;
+use rcuarray_reclaim::{Reclaim, ReclaimStats, Retired};
 use rcuarray_runtime::{
     Cluster, CommError, GlobalLock, LocaleId, OpKind, PrivHandle, RoundRobinCounter,
 };
-use std::marker::PhantomData;
 use std::ptr::NonNull;
 use std::sync::{Arc, Mutex};
 
@@ -71,7 +72,15 @@ pub type EbrArray<T> = RcuArray<T, EbrScheme>;
 /// An RCUArray using runtime QSBR (the paper's `QSBRArray`).
 pub type QsbrArray<T> = RcuArray<T, QsbrScheme>;
 
-/// Moves a snapshot pointer into a QSBR defer closure.
+/// An RCUArray that never reclaims: the `UnsafeArray` upper bound through
+/// the identical `RcuArray` code path (measurement/harness only — leaks).
+pub type LeakArray<T> = RcuArray<T, LeakScheme>;
+
+/// An RCUArray using QSBR with a bounded per-checkpoint drain
+/// ([`Config::drain_budget`], DEBRA-style amortization).
+pub type AmortizedArray<T> = RcuArray<T, AmortizedScheme>;
+
+/// Moves a snapshot pointer into a deferred reclamation closure.
 struct SendSnap<T: Element>(NonNull<Snapshot<T>>);
 // SAFETY: the snapshot is uniquely owned once unpublished (the defer
 // closure is its sole holder), and `Element` bounds the contents at
@@ -86,13 +95,13 @@ impl<T: Element> SendSnap<T> {
 }
 
 /// Cluster-wide shared state (one per array, not per locale).
-struct Shared<T: Element> {
+struct Shared<T: Element, S: Scheme> {
     cluster: Arc<Cluster>,
     config: Config,
     write_lock: GlobalLock,
     next_locale: RoundRobinCounter,
     blocks: BlockRegistry<T>,
-    qsbr: QsbrDomain,
+    scheme: S,
     capacity: AtomicUsize,
     resizes: AtomicU64,
     /// Resize attempts rolled back after a fault, timeout or panic.
@@ -111,9 +120,8 @@ struct Shared<T: Element> {
 /// take `&self`; reads and updates may run concurrently with a resize
 /// from any task on any locale.
 pub struct RcuArray<T: Element, S: Scheme = QsbrScheme> {
-    shared: Arc<Shared<T>>,
-    state: PrivHandle<LocaleState<T>>,
-    _scheme: PhantomData<S>,
+    shared: Arc<Shared<T, S>>,
+    state: PrivHandle<LocaleState<T, S::Reclaim>>,
 }
 
 impl<T: Element, S: Scheme> Clone for RcuArray<T, S> {
@@ -121,7 +129,6 @@ impl<T: Element, S: Scheme> Clone for RcuArray<T, S> {
         RcuArray {
             shared: Arc::clone(&self.shared),
             state: self.state.clone(),
-            _scheme: PhantomData,
         }
     }
 }
@@ -136,10 +143,11 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
     /// An empty array with an explicit configuration.
     pub fn with_config(cluster: &Arc<Cluster>, config: Config) -> Self {
         config.validate();
+        let scheme = S::new_shared(&config);
         let (_pid, state) = cluster
             .privatization()
             .register(cluster.num_locales(), |loc| {
-                LocaleState::new(loc, config.ordering)
+                LocaleState::new(loc, scheme.reclaimer())
             });
         RcuArray {
             shared: Arc::new(Shared {
@@ -148,7 +156,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
                 write_lock: GlobalLock::new(cluster, LocaleId::ZERO),
                 next_locale: RoundRobinCounter::new(cluster.num_locales()),
                 blocks: BlockRegistry::new(),
-                qsbr: QsbrDomain::new(),
+                scheme,
                 capacity: AtomicUsize::new(0),
                 resizes: AtomicU64::new(0),
                 aborted_resizes: AtomicU64::new(0),
@@ -156,7 +164,6 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
                 degraded_writes: AtomicU64::new(0),
             }),
             state,
-            _scheme: PhantomData,
         }
     }
 
@@ -177,7 +184,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         &self.shared.config
     }
 
-    /// The reclamation scheme name ("ebr" / "qsbr").
+    /// The reclamation scheme name ("ebr", "qsbr", "leak", "amortized").
     pub fn scheme_name(&self) -> &'static str {
         S::NAME
     }
@@ -207,10 +214,11 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         self.shared.blocks.len()
     }
 
-    /// The QSBR domain backing this array (QSBR configurations). Exposed
-    /// so applications can park/unpark worker threads around idle periods.
-    pub fn qsbr_domain(&self) -> &QsbrDomain {
-        &self.shared.qsbr
+    /// The QSBR domain backing this array, for schemes built on one
+    /// (`QsbrScheme`, `AmortizedScheme`); `None` otherwise. Exposed so
+    /// applications can park/unpark worker threads around idle periods.
+    pub fn qsbr_domain(&self) -> Option<&QsbrDomain> {
+        self.shared.scheme.domain()
     }
 
     #[inline]
@@ -272,26 +280,26 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         }
     }
 
-    /// Retire a just-unlinked snapshot under the scheme's protocol
-    /// (Algorithm 3 lines 21–27): QSBR defers to the domain, EBR advances
-    /// the locale's epoch and drains its readers before freeing.
-    fn retire_snapshot(&self, st: &LocaleState<T>, old_ptr: NonNull<Snapshot<T>>) {
-        if S::IS_QSBR {
-            // SAFETY: unlinked by the caller, so the pointer stays valid
-            // until the defer closure (its sole holder) frees it.
-            let bytes = snapshot_bytes(unsafe { old_ptr.as_ref() });
-            let old = SendSnap(old_ptr);
-            self.shared.qsbr.defer_with_bytes(bytes, move || {
-                // SAFETY: unlinked by the caller; QSBR frees it only after
-                // every participant passes a quiescent state.
+    /// Retire a just-unlinked snapshot through the scheme's [`Reclaim`]
+    /// engine (Algorithm 3 lines 21–27): QSBR-family schemes defer to
+    /// their domain, EBR advances the locale's epoch and drains its
+    /// readers before freeing, the leak scheme drops the request on the
+    /// floor. The array does not know or care which.
+    fn retire_snapshot(&self, st: &LocaleState<T, S::Reclaim>, old_ptr: NonNull<Snapshot<T>>) {
+        // SAFETY: unlinked by the caller, so the pointer stays valid until
+        // the retirement closure (its sole holder) frees it — whenever the
+        // scheme decides that is safe.
+        let bytes = snapshot_bytes(unsafe { old_ptr.as_ref() });
+        let old = SendSnap(old_ptr);
+        st.reclaim().retire(Retired::with_hint(
+            bytes,
+            old_ptr.as_ptr() as usize,
+            move || {
+                // SAFETY: unlinked by the caller; the scheme runs this
+                // only once no reader can still hold the snapshot.
                 unsafe { reclaim_box(old.into_inner()) };
-            });
-        } else {
-            let old_epoch = st.zone().advance();
-            st.zone().wait_for_readers(old_epoch);
-            // SAFETY: unlinked and all old-parity readers evacuated.
-            unsafe { reclaim_box(old_ptr) };
-        }
+            },
+        ));
     }
 
     /// Algorithm 3 `Helper` (lines 1–3): locate `idx` within a snapshot.
@@ -327,26 +335,19 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
     #[inline]
     fn with_snapshot<R>(&self, f: impl FnOnce(&Snapshot<T>) -> R) -> R {
         let st = self.state.get();
-        if S::IS_QSBR {
-            // Line 6: operate directly on the node-local GlobalSnapshot —
-            // "it will not be reclaimed until [the task] later invokes a
-            // checkpoint". Participation is what makes that true.
-            self.shared.qsbr.ensure_registered();
-            // SAFETY: this thread is a registered QSBR participant and
-            // crosses no quiescent point inside `f`.
-            f(unsafe { st.snapshot_ref() })
-        } else {
-            // Line 8: RCU_Read with `f` as the λ. The RAII guard (rather
-            // than manual pin/unpin) matters: `f` can panic — e.g. an
-            // out-of-bounds index — and a leaked pin would deadlock every
-            // future writer on this locale's parity counter.
-            let guard = rcuarray_ebr::EpochGuard::pin(st.zone());
-            // SAFETY: the verified pin obliges any writer to drain our
-            // parity counter before reclaiming this snapshot.
-            let ret = f(unsafe { st.snapshot_ref() });
-            drop(guard);
-            ret
-        }
+        // Lines 6/8, unified: under EBR the guard is the verified pin
+        // (RCU_Read with `f` as the λ); under QSBR it is registration —
+        // "it will not be reclaimed until [the task] later invokes a
+        // checkpoint", and participation is what makes that true. RAII
+        // (rather than manual pin/unpin) matters: `f` can panic — e.g. an
+        // out-of-bounds index — and a leaked EBR pin would deadlock every
+        // future writer on this locale's parity counter.
+        let guard = st.reclaim().read_lock();
+        // SAFETY: the guard is live across the call, and this thread
+        // crosses no quiescent point inside `f`.
+        let ret = f(unsafe { st.snapshot_ref() });
+        drop(guard);
+        ret
     }
 
     /// Run `f` against a *single, consistent* snapshot of the array's
@@ -664,14 +665,11 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         });
     }
 
-    /// Announce a quiescent state for the calling thread (QSBR
-    /// checkpoint). No-op under EBR. Returns deferred reclamations run.
+    /// Announce a quiescent state for the calling thread (a QSBR
+    /// checkpoint; bounded drain under the amortized scheme; a no-op for
+    /// schemes that never defer). Returns deferred reclamations run.
     pub fn checkpoint(&self) -> usize {
-        if S::IS_QSBR {
-            self.shared.qsbr.checkpoint()
-        } else {
-            0
-        }
+        self.state.get().reclaim().quiesce()
     }
 
     /// Assign `value` to every element.
@@ -732,13 +730,15 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
     }
 
     /// Aggregate instrumentation across locales.
+    ///
+    /// Per-locale reclamation counters are folded through
+    /// [`ReclaimStats::merge`]: per-locale engines (EBR, leak) sum, while
+    /// clones of one shared domain (QSBR family) max — the domain's
+    /// numbers are reported once, not once per locale.
     pub fn stats(&self) -> ArrayStats {
-        let mut ebr = ZoneStats::default();
+        let mut reclaim = ReclaimStats::default();
         for (_, st) in self.state.iter() {
-            let z = st.zone().stats();
-            ebr.pins += z.pins;
-            ebr.retries += z.retries;
-            ebr.advances += z.advances;
+            reclaim = reclaim.merge(st.reclaim().reclaim_stats());
         }
         ArrayStats {
             capacity: self.capacity(),
@@ -751,8 +751,7 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
             aborted_resizes: self.shared.aborted_resizes.load(Ordering::Relaxed),
             fallback_reads: self.shared.fallback_reads.load(Ordering::Relaxed),
             degraded_writes: self.shared.degraded_writes.load(Ordering::Relaxed),
-            ebr,
-            qsbr: self.shared.qsbr.stats(),
+            reclaim,
             comm: self.shared.cluster.comm_stats(),
             fault: self.shared.cluster.comm().fault_totals(),
         }
@@ -861,12 +860,16 @@ mod tests {
         }
     }
 
-    fn both_schemes(test: impl Fn(&dyn Fn() -> Box<dyn ArrayOps>)) {
+    fn all_schemes(test: impl Fn(&dyn Fn() -> Box<dyn ArrayOps>)) {
         let c = cluster(3);
         let cq = Arc::clone(&c);
         test(&move || Box::new(QsbrArray::<u64>::with_config(&cq, small_config())));
         let ce = Arc::clone(&c);
         test(&move || Box::new(EbrArray::<u64>::with_config(&ce, small_config())));
+        let cl = Arc::clone(&c);
+        test(&move || Box::new(LeakArray::<u64>::with_config(&cl, small_config())));
+        let ca = Arc::clone(&c);
+        test(&move || Box::new(AmortizedArray::<u64>::with_config(&ca, small_config())));
     }
 
     /// Object-safe view for scheme-generic tests.
@@ -907,8 +910,8 @@ mod tests {
     }
 
     #[test]
-    fn resize_then_read_write_round_trip_both_schemes() {
-        both_schemes(|make| {
+    fn resize_then_read_write_round_trip_all_schemes() {
+        all_schemes(|make| {
             let a = make();
             assert_eq!(a.resize(16), 16);
             for i in 0..16 {
@@ -954,8 +957,8 @@ mod tests {
     }
 
     #[test]
-    fn values_survive_resizes_both_schemes() {
-        both_schemes(|make| {
+    fn values_survive_resizes_all_schemes() {
+        all_schemes(|make| {
             let a = make();
             a.resize(8);
             a.write(3, 99);
@@ -1004,8 +1007,8 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_reads_during_resize_both_schemes() {
-        both_schemes(|make| {
+    fn concurrent_reads_during_resize_all_schemes() {
+        all_schemes(|make| {
             let a = make();
             a.resize(64);
             for i in 0..64 {
@@ -1069,13 +1072,14 @@ mod tests {
         let mut freed = 0;
         for _ in 0..1000 {
             freed += a.checkpoint();
-            if a.qsbr_domain().stats().pending == 0 {
+            if a.stats().reclaim.pending == 0 {
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert!(freed > 0, "old snapshots must be reclaimed at a checkpoint");
-        assert_eq!(a.qsbr_domain().stats().pending, 0);
+        assert_eq!(a.stats().reclaim.pending, 0);
+        assert!(a.qsbr_domain().is_some(), "qsbr scheme exposes its domain");
     }
 
     #[test]
@@ -1084,6 +1088,57 @@ mod tests {
         let a: EbrArray<u64> = RcuArray::with_config(&c, small_config());
         a.resize(8);
         assert_eq!(a.checkpoint(), 0);
+        assert!(a.qsbr_domain().is_none(), "ebr has no shared domain");
+    }
+
+    #[test]
+    fn leak_array_retires_but_never_frees() {
+        let c = cluster(2);
+        let a: LeakArray<u64> = RcuArray::with_config(&c, small_config());
+        for _ in 0..4 {
+            a.resize(8);
+        }
+        a.write(3, 7);
+        assert_eq!(a.read(3), 7);
+        assert_eq!(a.checkpoint(), 0, "leak never frees");
+        let s = a.stats().reclaim;
+        // One snapshot retired per locale per capacity-changing publish.
+        assert_eq!(s.retired, 8, "4 resizes x 2 locales");
+        assert_eq!(s.reclaimed, 0);
+        assert_eq!(s.pending, 8, "retire count is monotone, nothing drains");
+        assert!(s.pending_bytes > 0);
+        assert!(a.qsbr_domain().is_none());
+        assert_eq!(a.scheme_name(), "leak");
+    }
+
+    #[test]
+    fn amortized_array_drains_across_checkpoints() {
+        let c = cluster(2);
+        let cfg = Config {
+            drain_budget: 1,
+            ..small_config()
+        };
+        let a: AmortizedArray<u64> = RcuArray::with_config(&c, cfg);
+        for _ in 0..4 {
+            a.resize(8);
+        }
+        assert_eq!(a.scheme_name(), "amortized");
+        assert!(a.qsbr_domain().is_some(), "amortized is QSBR underneath");
+        // Resize tasks exited, so their deferred snapshots arrive as
+        // orphan chains (freed whole); repeated budgeted checkpoints must
+        // eventually drain everything.
+        for _ in 0..1000 {
+            a.checkpoint();
+            if a.stats().reclaim.pending == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(a.stats().reclaim.pending, 0);
+        assert_eq!(a.stats().reclaim.reclaimed, 8);
+        // The array stays fully usable afterwards.
+        a.write(20, 11);
+        assert_eq!(a.read(20), 11);
     }
 
     #[test]
@@ -1142,12 +1197,12 @@ mod tests {
         for _ in 0..10 {
             let _ = a.read(0);
         }
-        assert_eq!(a.stats().ebr.pins, 10);
-        // QSBR variant would show zero pins.
+        assert_eq!(a.stats().reclaim.guards, 10);
+        // QSBR variant shows zero guards: reads are unsynchronized.
         let q: QsbrArray<u64> = RcuArray::with_config(&c, small_config());
         q.resize(8);
         let _ = q.read(0);
-        assert_eq!(q.stats().ebr.pins, 0);
+        assert_eq!(q.stats().reclaim.guards, 0);
     }
 
     #[test]
@@ -1157,7 +1212,7 @@ mod tests {
         a.resize(8);
         a.resize(8);
         assert_eq!(
-            a.stats().ebr.advances,
+            a.stats().reclaim.advances,
             6,
             "one advance per locale per resize"
         );
@@ -1260,8 +1315,8 @@ mod tests {
     }
 
     #[test]
-    fn truncate_shrinks_visible_capacity_both_schemes() {
-        both_schemes(|make| {
+    fn truncate_shrinks_visible_capacity_all_schemes() {
+        all_schemes(|make| {
             let a = make();
             a.resize(64);
             a.write(60, 5);
@@ -1322,11 +1377,13 @@ mod tests {
             for _ in 0..2 {
                 let a = a.clone();
                 s.spawn(move || {
-                    for _ in 0..2000 {
-                        let cap = a.capacity();
-                        if cap > 0 {
-                            assert_eq!(a.read(cap / 2), 9);
-                        }
+                    // The truncater never shrinks below 16 elements, so
+                    // indices 0..16 stay in bounds on every interleaving
+                    // (sampling `capacity()` and then reading the stale
+                    // midpoint would race the shrink and trip the
+                    // documented out-of-bounds panic).
+                    for step in 0..2000 {
+                        assert_eq!(a.read(step % 16), 9);
                     }
                 });
             }

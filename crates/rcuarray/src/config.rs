@@ -24,7 +24,17 @@ pub struct Config {
     /// `read`/`write`/`resize` only when the cluster's fault plan is
     /// enabled; a healthy cluster never enters the retry path).
     pub retry: RetryPolicy,
+    /// Maximum deferred reclamations executed per quiescence point under
+    /// the amortized scheme (`AmortizedScheme`); other schemes ignore it.
+    /// Bounds the latency spike a rarely-quiescing thread pays for its
+    /// backlog (DEBRA-style amortization).
+    pub drain_budget: usize,
 }
+
+/// Default per-quiesce drain budget for `AmortizedScheme`: large enough
+/// that steady-state workloads drain as fast as they defer, small enough
+/// to bound a cold checkpoint's latency.
+pub const DEFAULT_DRAIN_BUDGET: usize = 64;
 
 impl Default for Config {
     fn default() -> Self {
@@ -33,6 +43,7 @@ impl Default for Config {
             ordering: OrderingMode::SeqCst,
             account_comm: true,
             retry: RetryPolicy::default(),
+            drain_budget: DEFAULT_DRAIN_BUDGET,
         }
     }
 }
@@ -54,6 +65,11 @@ impl Config {
             "the relaxed ordering mode is measurement-only and cannot \
              protect reclamation"
         );
+        assert!(
+            self.drain_budget > 0,
+            "drain_budget must be positive: a quiesce that can never free \
+             anything would leak by construction"
+        );
     }
 
     /// Round an element count up to a whole number of blocks, in elements.
@@ -74,6 +90,17 @@ mod tests {
         assert_eq!(c.block_size, 1024);
         assert_eq!(c.ordering, OrderingMode::SeqCst);
         assert!(c.account_comm);
+        assert_eq!(c.drain_budget, DEFAULT_DRAIN_BUDGET);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "drain_budget")]
+    fn zero_drain_budget_rejected() {
+        let c = Config {
+            drain_budget: 0,
+            ..Config::default()
+        };
         c.validate();
     }
 

@@ -203,6 +203,46 @@ mod tests {
     }
 
     #[test]
+    fn float_cas_compares_nan_by_bit_pattern() {
+        // CAS on floats is bitwise (module docs): a cell holding NaN *can*
+        // be claimed by passing the same NaN as `current`, even though
+        // NaN != NaN under IEEE comparison.
+        let cell = f64::new_repr(f64::NAN);
+        let won = f64::compare_exchange(&cell, f64::NAN, 1.0);
+        assert!(won.is_ok(), "identical NaN bit patterns must match");
+        assert_eq!(f64::load(&cell), 1.0);
+
+        // A NaN with a *different* payload is a different bit pattern and
+        // must not match, and the reported actual must round-trip the
+        // stored payload exactly.
+        let payload = f32::from_bits(f32::NAN.to_bits() ^ 1);
+        let cell = f32::new_repr(payload);
+        let lost = f32::compare_exchange(&cell, f32::NAN, 2.0);
+        let actual = lost.expect_err("differing NaN payloads must not match");
+        assert_eq!(actual.to_bits(), payload.to_bits());
+        assert_eq!(f32::load(&cell).to_bits(), payload.to_bits());
+    }
+
+    #[test]
+    fn float_cas_distinguishes_negative_zero() {
+        // IEEE says 0.0 == -0.0, but their bit patterns differ; bitwise
+        // CAS must treat them as distinct values...
+        let cell = f64::new_repr(-0.0);
+        let lost = f64::compare_exchange(&cell, 0.0, 3.0);
+        let actual = lost.expect_err("+0.0 must not claim a -0.0 cell");
+        assert!(actual.is_sign_negative());
+        assert_eq!(f64::load(&cell).to_bits(), (-0.0f64).to_bits());
+
+        // ...and the exact-sign zero must succeed, for both widths.
+        assert!(f64::compare_exchange(&cell, -0.0, 4.0).is_ok());
+        assert_eq!(f64::load(&cell), 4.0);
+        let cell = f32::new_repr(0.0);
+        assert!(f32::compare_exchange(&cell, -0.0, 5.0).is_err());
+        assert!(f32::compare_exchange(&cell, 0.0, 5.0).is_ok());
+        assert_eq!(f32::load(&cell), 5.0);
+    }
+
+    #[test]
     fn byte_sizes() {
         assert_eq!(u8::byte_size(), 1);
         assert_eq!(u64::byte_size(), 8);

@@ -1,42 +1,46 @@
 //! The per-locale privatized metadata: paper Listing 1's
 //! `RCUArrayMetaData`, one instance per locale.
 //!
-//! Each locale holds its own `GlobalSnapshot` pointer and its own EBR
-//! epoch zone (`GlobalEpoch` + `EpochReaders`), so read-side traffic is
-//! node-local: "both read and update operations act mostly on node-local
-//! metadata, significantly improving their locality" (§III-D).
+//! Each locale holds its own `GlobalSnapshot` pointer and its own
+//! reclamation engine (under EBR, the `GlobalEpoch` + `EpochReaders`
+//! zone), so read-side traffic is node-local: "both read and update
+//! operations act mostly on node-local metadata, significantly improving
+//! their locality" (§III-D). Schemes whose reclamation is a shared
+//! service (QSBR) embed a cheap clone of the shared domain instead.
 
 use crate::element::Element;
 use crate::snapshot::{publish_box, Snapshot};
 use rcuarray_analysis::atomic::{AtomicPtr, Ordering};
-use rcuarray_ebr::{EpochZone, OrderingMode};
+use rcuarray_reclaim::Reclaim;
 use rcuarray_runtime::LocaleId;
 use std::ptr::NonNull;
 
 /// One locale's privatized copy of the array metadata.
-pub struct LocaleState<T: Element> {
+pub struct LocaleState<T: Element, R: Reclaim> {
     locale: LocaleId,
     /// The paper's `GlobalSnapshot`: the current immutable metadata
-    /// version, published as a raw pointer and reclaimed via EBR or QSBR.
+    /// version, published as a raw pointer and reclaimed via `reclaim`.
     snapshot: AtomicPtr<Snapshot<T>>,
-    /// The paper's `GlobalEpoch` + `EpochReaders` (EBR configurations
-    /// only; idle under QSBR).
-    zone: EpochZone,
+    /// This locale's reclamation engine (the paper's `GlobalEpoch` +
+    /// `EpochReaders` under EBR; a shared-domain handle under QSBR).
+    reclaim: R,
 }
 
 // SAFETY: `snapshot` is an atomic pointer to a heap snapshot whose
-// reclamation is governed by the zone / QSBR domain; `Snapshot` itself is
-// `Send + Sync` (block refs to atomic cells).
-unsafe impl<T: Element> Send for LocaleState<T> {}
-unsafe impl<T: Element> Sync for LocaleState<T> {}
+// reclamation is governed by `reclaim`; `Snapshot` itself is
+// `Send + Sync` (block refs to atomic cells), and `Reclaim` requires
+// `Send + Sync`.
+unsafe impl<T: Element, R: Reclaim> Send for LocaleState<T, R> {}
+unsafe impl<T: Element, R: Reclaim> Sync for LocaleState<T, R> {}
 
-impl<T: Element> LocaleState<T> {
-    /// A fresh state for `locale` holding an empty snapshot.
-    pub fn new(locale: LocaleId, ordering: OrderingMode) -> Self {
+impl<T: Element, R: Reclaim> LocaleState<T, R> {
+    /// A fresh state for `locale` holding an empty snapshot, reclaiming
+    /// through `reclaim`.
+    pub fn new(locale: LocaleId, reclaim: R) -> Self {
         LocaleState {
             locale,
             snapshot: AtomicPtr::new(publish_box(Snapshot::empty()).as_ptr()),
-            zone: EpochZone::with_mode(ordering),
+            reclaim,
         }
     }
 
@@ -46,19 +50,20 @@ impl<T: Element> LocaleState<T> {
         self.locale
     }
 
-    /// This locale's epoch zone.
+    /// This locale's reclamation engine.
     #[inline]
-    pub fn zone(&self) -> &EpochZone {
-        &self.zone
+    pub fn reclaim(&self) -> &R {
+        &self.reclaim
     }
 
     /// Borrow the current snapshot.
     ///
     /// # Safety
     /// The caller must guarantee the snapshot cannot be reclaimed for the
-    /// lifetime of the returned reference: hold an EBR pin on
-    /// [`zone`](Self::zone), or be a registered QSBR participant that does
-    /// not pass a quiescent point, or hold the array's write lock.
+    /// lifetime of the returned reference: hold a guard from
+    /// [`reclaim`](Self::reclaim)`().read_lock()` (and, for schemes whose
+    /// guards don't block retirement, avoid quiescent points), or hold
+    /// the array's write lock.
     #[inline]
     pub unsafe fn snapshot_ref(&self) -> &Snapshot<T> {
         // Acquire pairs with the Release publication in `publish`.
@@ -79,7 +84,7 @@ impl<T: Element> LocaleState<T> {
     }
 }
 
-impl<T: Element> Drop for LocaleState<T> {
+impl<T: Element, R: Reclaim> Drop for LocaleState<T, R> {
     fn drop(&mut self) {
         // Exclusive access: no readers can exist; free the final snapshot.
         let ptr = *self.snapshot.get_mut();
@@ -88,11 +93,11 @@ impl<T: Element> Drop for LocaleState<T> {
     }
 }
 
-impl<T: Element> std::fmt::Debug for LocaleState<T> {
+impl<T: Element, R: Reclaim> std::fmt::Debug for LocaleState<T, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LocaleState")
             .field("locale", &self.locale)
-            .field("zone_epoch", &self.zone.epoch())
+            .field("scheme", &self.reclaim.name())
             .finish()
     }
 }
@@ -102,10 +107,15 @@ mod tests {
     use super::*;
     use crate::block::{Block, BlockRegistry};
     use crate::snapshot::reclaim_box;
+    use rcuarray_ebr::{EpochZone, OrderingMode};
+
+    fn state(locale: LocaleId) -> LocaleState<u64, EpochZone> {
+        LocaleState::new(locale, EpochZone::with_mode(OrderingMode::SeqCst))
+    }
 
     #[test]
     fn starts_with_empty_snapshot() {
-        let st: LocaleState<u64> = LocaleState::new(LocaleId::new(2), OrderingMode::SeqCst);
+        let st = state(LocaleId::new(2));
         assert_eq!(st.locale(), LocaleId::new(2));
         // SAFETY: no concurrent writer in this test.
         unsafe {
@@ -115,7 +125,7 @@ mod tests {
 
     #[test]
     fn publish_swaps_and_returns_old() {
-        let st: LocaleState<u64> = LocaleState::new(LocaleId::ZERO, OrderingMode::SeqCst);
+        let st = state(LocaleId::ZERO);
         let reg = BlockRegistry::new();
         let b = reg.adopt(Block::new(LocaleId::ZERO, 4));
         let old = st.publish(Snapshot::from_blocks(vec![b], 1));
@@ -133,7 +143,8 @@ mod tests {
         // Run under the test harness; a leak would show in sanitizers and
         // the double-free would crash. The structural assertion is that
         // drop works after multiple publishes.
-        let st: LocaleState<u32> = LocaleState::new(LocaleId::ZERO, OrderingMode::SeqCst);
+        let st: LocaleState<u32, EpochZone> =
+            LocaleState::new(LocaleId::ZERO, EpochZone::with_mode(OrderingMode::SeqCst));
         let reg = BlockRegistry::new();
         for v in 1..=3u64 {
             let b = reg.adopt(Block::new(LocaleId::ZERO, 2));
@@ -142,5 +153,20 @@ mod tests {
             unsafe { reclaim_box(old) };
         }
         drop(st);
+    }
+
+    #[test]
+    fn works_with_any_reclaim_engine() {
+        // The generic parameter is the seam: a state over the leak engine
+        // compiles and runs through the same code path.
+        let st: LocaleState<u64, rcuarray_reclaim::LeakReclaim> =
+            LocaleState::new(LocaleId::ZERO, rcuarray_reclaim::LeakReclaim::new());
+        assert_eq!(st.reclaim().name(), "leak");
+        // Leak guards are free () tokens.
+        st.reclaim().read_lock();
+        // SAFETY: nothing retires snapshots in this test.
+        unsafe {
+            assert_eq!(st.snapshot_ref().num_blocks(), 0);
+        }
     }
 }

@@ -19,12 +19,16 @@
 //!   prefix of the new one, so references into the array survive resizes
 //!   and updates made through them are never lost (paper Lemma 6).
 //! * Reclamation of old snapshots is pluggable at the type level
-//!   ([`Scheme`], the paper's `isQSBR` parameter):
-//!   [`EbrArray`] uses the paper's novel TLS-free epoch-based scheme
-//!   (crate `rcuarray-ebr`); [`QsbrArray`] uses runtime-style
-//!   quiescent-state-based reclamation (crate `rcuarray-qsbr`) and gives
-//!   readers *zero* synchronization overhead at the price of explicit
-//!   [`RcuArray::checkpoint`] calls.
+//!   ([`Scheme`], generalizing the paper's `isQSBR` parameter into a
+//!   factory for [`Reclaim`] engines): [`EbrArray`] uses the paper's
+//!   novel TLS-free epoch-based scheme (crate `rcuarray-ebr`);
+//!   [`QsbrArray`] uses runtime-style quiescent-state-based reclamation
+//!   (crate `rcuarray-qsbr`) and gives readers *zero* synchronization
+//!   overhead at the price of explicit [`RcuArray::checkpoint`] calls;
+//!   [`AmortizedArray`] bounds each checkpoint's drain
+//!   ([`Config::drain_budget`]); [`LeakArray`] never reclaims — the
+//!   `UnsafeArray` upper bound through the identical code path, for
+//!   measurement only.
 //!
 //! ## Quickstart
 //!
@@ -62,15 +66,19 @@ pub mod scheme;
 pub mod snapshot;
 pub mod stats;
 
-pub use array::{EbrArray, QsbrArray, RcuArray, SnapshotView};
+pub use array::{AmortizedArray, EbrArray, LeakArray, QsbrArray, RcuArray, SnapshotView};
 pub use block::{Block, BlockRef, BlockRegistry};
-pub use config::{Config, DEFAULT_BLOCK_SIZE};
+pub use config::{Config, DEFAULT_BLOCK_SIZE, DEFAULT_DRAIN_BUDGET};
 pub use elem_ref::ElemRef;
 pub use element::Element;
 pub use iter::Iter;
-pub use scheme::{EbrScheme, QsbrScheme, Scheme};
+pub use scheme::{AmortizedScheme, EbrScheme, LeakScheme, QsbrScheme, Scheme};
 pub use snapshot::Snapshot;
 pub use stats::ArrayStats;
+
+// The unified reclamation vocabulary, re-exported so scheme-generic code
+// (and out-of-crate `Scheme` implementations) need only this crate.
+pub use rcuarray_reclaim::{Reclaim, ReclaimStats, Retired};
 
 // Fault-injection vocabulary, re-exported so applications handling
 // `try_resize` errors or configuring retries need only this crate.

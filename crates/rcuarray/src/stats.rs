@@ -1,7 +1,6 @@
 //! Aggregate array instrumentation.
 
-use rcuarray_ebr::ZoneStats;
-use rcuarray_qsbr::DomainStats;
+use rcuarray_reclaim::ReclaimStats;
 use rcuarray_runtime::{CommStats, FaultStats};
 
 /// A snapshot of an array's counters, aggregated across locales.
@@ -25,11 +24,11 @@ pub struct ArrayStats {
     /// Writes whose communication charge failed even after retries; the
     /// store still landed in the (simulated shared-memory) block.
     pub degraded_writes: u64,
-    /// EBR protocol counters summed over every locale's zone (all zeros
-    /// under QSBR).
-    pub ebr: ZoneStats,
-    /// QSBR domain counters (all zeros under EBR).
-    pub qsbr: DomainStats,
+    /// Reclamation counters in the scheme-neutral vocabulary, folded over
+    /// every locale's engine with [`ReclaimStats::merge`]: per-locale
+    /// engines (EBR zones, leak counters) sum; clones of one shared
+    /// domain (QSBR family) report the domain's numbers once.
+    pub reclaim: ReclaimStats,
     /// Cluster communication counters at the time of the call.
     pub comm: CommStats,
     /// Cluster fault accounting (attempted/failed/retried) at the time of

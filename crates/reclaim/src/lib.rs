@@ -1,0 +1,389 @@
+#![warn(missing_docs)]
+
+//! # rcuarray-reclaim — the unified reclamation core
+//!
+//! One behavior-carrying trait, [`Reclaim`], is the single answer to
+//! "how do I add a reclamation scheme" in this workspace. It realizes
+//! the paper's `isQSBR` compile-time parameter as *behavior* rather than
+//! a boolean: the read-side protocol lives in a GAT guard type, the
+//! write-side protocol in [`retire`](Reclaim::retire), and quiescence in
+//! [`quiesce`](Reclaim::quiesce). `RcuArray`, `RcuPtr`, `RcuList`, the
+//! collections, the hazard-pointer baseline, and the bench harness all
+//! consume this one interface; `rcuarray-ebr` and `rcuarray-qsbr`
+//! implement it natively on `EpochZone` and `QsbrDomain`.
+//!
+//! Two further schemes prove the seam is real without touching any
+//! consumer: [`LeakReclaim`] (defined here — no-op guards, never frees,
+//! the honest upper bound the paper's UnsafeArray plays) and the
+//! amortized QSBR variant in `rcuarray-qsbr` (DEBRA-style bounded drain
+//! per checkpoint).
+//!
+//! ## The contract
+//!
+//! * A value may be dereferenced through a scheme-protected pointer only
+//!   while a [`read_lock`](Reclaim::read_lock) guard is live (schemes
+//!   whose [`guards_reads`](Reclaim::guards_reads) is `false` make the
+//!   guard a no-op token and protect readers structurally instead —
+//!   deferral until quiescence, or never freeing at all).
+//! * [`retire`](Reclaim::retire) takes ownership of an unlinked object's
+//!   destructor. The scheme chooses *when* to run it: synchronously after
+//!   draining readers (EBR, hazard), deferred until a quiescent state
+//!   (QSBR), or never (leak).
+//! * [`quiesce`](Reclaim::quiesce) announces the calling thread holds no
+//!   protected pointers, returning how many retired objects were freed.
+//!   Synchronous schemes return 0.
+
+use rcuarray_analysis::atomic::{AtomicU64, Ordering};
+
+/// A retired object: an unlinked allocation's destructor, plus the
+/// accounting hints schemes key on.
+///
+/// The byte hint feeds backlog gauges (QSBR's `pending_bytes`); the
+/// address hint lets pointer-scanning schemes (hazard pointers) wait for
+/// the exact retired pointer to evacuate. Schemes that need neither
+/// simply ignore them.
+pub struct Retired {
+    bytes: usize,
+    addr: usize,
+    run: Box<dyn FnOnce() + Send>,
+}
+
+impl Retired {
+    /// A retired object with no accounting hints.
+    pub fn new(run: impl FnOnce() + Send + 'static) -> Self {
+        Self::with_hint(0, 0, run)
+    }
+
+    /// A retired object carrying an approximate heap footprint.
+    pub fn with_bytes(bytes: usize, run: impl FnOnce() + Send + 'static) -> Self {
+        Self::with_hint(bytes, 0, run)
+    }
+
+    /// A retired object carrying both a byte footprint and the retired
+    /// pointer's address (for hazard-style scanning schemes).
+    pub fn with_hint(bytes: usize, addr: usize, run: impl FnOnce() + Send + 'static) -> Self {
+        Retired {
+            bytes,
+            addr,
+            run: Box::new(run),
+        }
+    }
+
+    /// Approximate heap footprint of the retired object.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Address of the retired allocation (0 when the retirer provided
+    /// none).
+    #[inline]
+    pub fn addr(&self) -> usize {
+        self.addr
+    }
+
+    /// Run the destructor now (the scheme has proven no reader holds the
+    /// object).
+    #[inline]
+    pub fn run(self) {
+        (self.run)()
+    }
+
+    /// Decompose into `(bytes, destructor)` for schemes that thread the
+    /// byte hint through their own defer machinery.
+    #[inline]
+    pub fn into_parts(self) -> (usize, Box<dyn FnOnce() + Send>) {
+        (self.bytes, self.run)
+    }
+
+    /// Leak the retired object: the destructor is forgotten, never run.
+    /// Only [`LeakReclaim`]-style schemes call this — it is what makes
+    /// their unguarded readers sound.
+    #[inline]
+    pub fn leak(self) {
+        std::mem::forget(self.run);
+    }
+}
+
+impl std::fmt::Debug for Retired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Retired")
+            .field("bytes", &self.bytes)
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// Scheme-agnostic reclamation counters, the per-scheme stats hook of the
+/// unified trait. Each scheme fills the fields that mean something for it
+/// and leaves the rest zero.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReclaimStats {
+    /// Read-side guard acquisitions (EBR pins, hazard protections; zero
+    /// for schemes whose guards are free).
+    pub guards: u64,
+    /// Read-side protocol retries (EBR's read-increment-verify loop,
+    /// hazard re-validations).
+    pub guard_retries: u64,
+    /// Writer-side epoch advances (EBR).
+    pub advances: u64,
+    /// Objects handed to [`Reclaim::retire`].
+    pub retired: u64,
+    /// Retired objects whose destructors have run.
+    pub reclaimed: u64,
+    /// Retired objects not yet reclaimed (`retired - reclaimed`; for a
+    /// leaking scheme this equals `retired` forever).
+    pub pending: u64,
+    /// Approximate bytes awaiting reclamation.
+    pub pending_bytes: u64,
+    /// How many epochs the slowest participant trails the writer (QSBR's
+    /// `state_epoch - min_observed`; zero for synchronous schemes).
+    pub epoch_lag: u64,
+    /// True when these counters are domain-global rather than
+    /// per-instance: merging takes the elementwise maximum instead of
+    /// summing, so cloned handles of one shared domain are not
+    /// multiple-counted.
+    pub domain_wide: bool,
+}
+
+impl ReclaimStats {
+    /// Combine stats from several per-locale reclaimer instances:
+    /// per-instance counters sum, domain-wide counters (every instance
+    /// reports the same shared domain) take the maximum.
+    pub fn merge(self, other: ReclaimStats) -> ReclaimStats {
+        if self.domain_wide || other.domain_wide {
+            ReclaimStats {
+                guards: self.guards.max(other.guards),
+                guard_retries: self.guard_retries.max(other.guard_retries),
+                advances: self.advances.max(other.advances),
+                retired: self.retired.max(other.retired),
+                reclaimed: self.reclaimed.max(other.reclaimed),
+                pending: self.pending.max(other.pending),
+                pending_bytes: self.pending_bytes.max(other.pending_bytes),
+                epoch_lag: self.epoch_lag.max(other.epoch_lag),
+                domain_wide: true,
+            }
+        } else {
+            ReclaimStats {
+                guards: self.guards + other.guards,
+                guard_retries: self.guard_retries + other.guard_retries,
+                advances: self.advances + other.advances,
+                retired: self.retired + other.retired,
+                reclaimed: self.reclaimed + other.reclaimed,
+                pending: self.pending + other.pending,
+                pending_bytes: self.pending_bytes + other.pending_bytes,
+                epoch_lag: self.epoch_lag.max(other.epoch_lag),
+                domain_wide: false,
+            }
+        }
+    }
+}
+
+/// A memory reclamation scheme: the read-side protocol as a guard type,
+/// the write-side protocol as [`retire`](Self::retire), quiescence as
+/// [`quiesce`](Self::quiesce). See the [module docs](self) for the
+/// contract.
+pub trait Reclaim: Send + Sync + 'static {
+    /// RAII read-side critical section. Protected pointers may be
+    /// dereferenced only while a guard is live. Schemes with free reads
+    /// (QSBR, leak) use a zero-sized token.
+    type Guard<'a>
+    where
+        Self: 'a;
+
+    /// Enter a read-side critical section.
+    fn read_lock(&self) -> Self::Guard<'_>;
+
+    /// Hand over an unlinked object; the scheme frees it once no reader
+    /// can hold it (possibly before returning, possibly never).
+    fn retire(&self, retired: Retired);
+
+    /// Announce a quiescent state for the calling thread and drain
+    /// whatever the scheme's policy allows. Returns the number of retired
+    /// objects freed by this call (0 for synchronous schemes).
+    fn quiesce(&self) -> usize;
+
+    /// Whether readers must hold a guard for safety. `false` means the
+    /// guard is advisory (participation registration) and reads are
+    /// structurally protected.
+    fn guards_reads(&self) -> bool;
+
+    /// Scheme name for harness output ("ebr", "qsbr", "leak", ...).
+    fn name(&self) -> &'static str;
+
+    /// Current counters. Named `reclaim_stats` (not `stats`) so inherent
+    /// `stats()` methods on implementing types stay unambiguous.
+    fn reclaim_stats(&self) -> ReclaimStats;
+}
+
+/// The never-free scheme: guards are no-ops, retired objects are leaked.
+///
+/// This is the paper's *UnsafeArray* upper bound made honest: running the
+/// identical `RcuArray` code path with zero read-side cost and zero
+/// reclamation, it prices exactly what EBR/QSBR protection costs — and it
+/// is *safe*, because never freeing is what makes unguarded readers
+/// sound. Memory grows monotonically with retirement; use only for
+/// benchmarking and bounded test runs.
+#[derive(Debug, Default)]
+pub struct LeakReclaim {
+    retired: AtomicU64,
+    retired_bytes: AtomicU64,
+}
+
+impl LeakReclaim {
+    /// A fresh leaking reclaimer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Reclaim for LeakReclaim {
+    type Guard<'a> = ();
+
+    #[inline]
+    fn read_lock(&self) -> Self::Guard<'_> {}
+
+    fn retire(&self, retired: Retired) {
+        // SeqCst: these are cold (one per resize) correctness counters —
+        // the monotone-defer assertion in the checker harness reads them
+        // cross-thread.
+        self.retired.fetch_add(1, Ordering::SeqCst);
+        self.retired_bytes
+            .fetch_add(retired.bytes() as u64, Ordering::SeqCst);
+        retired.leak();
+    }
+
+    #[inline]
+    fn quiesce(&self) -> usize {
+        0
+    }
+
+    #[inline]
+    fn guards_reads(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn name(&self) -> &'static str {
+        "leak"
+    }
+
+    fn reclaim_stats(&self) -> ReclaimStats {
+        let retired = self.retired.load(Ordering::SeqCst);
+        ReclaimStats {
+            retired,
+            pending: retired,
+            pending_bytes: self.retired_bytes.load(Ordering::SeqCst),
+            ..ReclaimStats::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuarray_analysis::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn retired_runs_exactly_once() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let r = Retired::with_bytes(64, move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(r.bytes(), 64);
+        assert_eq!(r.addr(), 0);
+        r.run();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn retired_into_parts_preserves_the_closure() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let (bytes, run) = Retired::with_hint(8, 0xdead, move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        })
+        .into_parts();
+        assert_eq!(bytes, 8);
+        run();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn leak_never_runs_destructors_and_counts_monotonically() {
+        struct Canary(Arc<AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let leak = LeakReclaim::new();
+        for i in 0..10u64 {
+            let c = Canary(Arc::clone(&drops));
+            leak.retire(Retired::with_bytes(16, move || drop(c)));
+            let s = leak.reclaim_stats();
+            assert_eq!(s.retired, i + 1, "defer count must be monotone");
+            assert_eq!(s.pending, i + 1);
+            assert_eq!(s.reclaimed, 0);
+        }
+        assert_eq!(leak.quiesce(), 0, "quiesce frees nothing");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "LeakReclaim must never run a destructor"
+        );
+        assert_eq!(leak.reclaim_stats().pending_bytes, 160);
+        assert!(!leak.guards_reads());
+        assert_eq!(leak.name(), "leak");
+        // Guard is a free token.
+        leak.read_lock();
+    }
+
+    #[test]
+    fn merge_sums_per_instance_counters() {
+        let a = ReclaimStats {
+            guards: 3,
+            retired: 2,
+            ..Default::default()
+        };
+        let b = ReclaimStats {
+            guards: 4,
+            retired: 1,
+            epoch_lag: 5,
+            ..Default::default()
+        };
+        let m = a.merge(b);
+        assert_eq!(m.guards, 7);
+        assert_eq!(m.retired, 3);
+        assert_eq!(m.epoch_lag, 5, "lag is a maximum even when summing");
+        assert!(!m.domain_wide);
+    }
+
+    #[test]
+    fn merge_takes_max_for_domain_wide_counters() {
+        let a = ReclaimStats {
+            retired: 10,
+            pending: 4,
+            domain_wide: true,
+            ..Default::default()
+        };
+        let m = a.merge(a);
+        assert_eq!(m.retired, 10, "shared domain must not be double-counted");
+        assert_eq!(m.pending, 4);
+        assert!(m.domain_wide);
+    }
+
+    #[test]
+    fn trait_is_usable_behind_a_generic() {
+        fn churn<R: Reclaim>(r: &R) -> u64 {
+            let _g = r.read_lock();
+            r.retire(Retired::new(|| {}));
+            r.quiesce();
+            r.reclaim_stats().retired
+        }
+        assert_eq!(churn(&LeakReclaim::new()), 1);
+    }
+}

@@ -20,7 +20,7 @@ fn main() {
     println!("cluster: {}", cluster.topology());
 
     // Phase 1: concurrent ingestion + lookups at the initial capacity.
-    let mut table = DistTable::with_capacity(&cluster, 1 << 12);
+    let mut table: DistTable = DistTable::with_capacity(&cluster, 1 << 12);
     println!("table capacity: {} slots", table.capacity());
 
     let start = Instant::now();

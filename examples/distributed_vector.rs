@@ -106,8 +106,8 @@ fn main() {
         stats.capacity, stats.num_blocks, stats.resizes, stats.blocks_per_locale
     );
     println!(
-        "reclamation: {} snapshots deferred, {} reclaimed, {} pending",
-        stats.qsbr.defers, stats.qsbr.reclaimed, stats.qsbr.pending
+        "reclamation: {} snapshots retired, {} reclaimed, {} pending",
+        stats.reclaim.retired, stats.reclaim.reclaimed, stats.reclaim.pending
     );
     println!(
         "every push present exactly once — no updates lost across {} resizes",

@@ -77,8 +77,8 @@ fn main() {
         stats.resizes
     );
     println!(
-        "qsbr: {} defers, {} reclaimed, {} pending",
-        stats.qsbr.defers, stats.qsbr.reclaimed, stats.qsbr.pending
+        "qsbr: {} retired, {} reclaimed, {} pending",
+        stats.reclaim.retired, stats.reclaim.reclaimed, stats.reclaim.pending
     );
     println!(
         "comm: {} remote ops, locality {:.1}%",
@@ -91,5 +91,5 @@ fn main() {
     ebr.resize(1024);
     ebr.write(0, 1);
     println!("EBR variant works identically: read(0) = {}", ebr.read(0));
-    println!("ebr protocol: {:?}", ebr.stats().ebr);
+    println!("ebr protocol: {:?}", ebr.stats().reclaim);
 }

@@ -135,7 +135,7 @@ fn broadcast_and_all_reduce_round_trip() {
 #[test]
 fn dist_table_and_vector_share_a_cluster_with_arrays() {
     let c = cluster();
-    let table = DistTable::with_capacity(&c, 1 << 10);
+    let table: DistTable = DistTable::with_capacity(&c, 1 << 10);
     let vec: DistVector<u64> = DistVector::with_config(&c, cfg());
     let array: EbrArray<u64> = EbrArray::with_config(&c, cfg());
     array.resize(64);

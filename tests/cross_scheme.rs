@@ -114,27 +114,29 @@ fn scheme_specific_reclamation_behaviour() {
     for _ in 0..5 {
         e.resize(16);
     }
-    assert_eq!(
-        e.stats().qsbr.defers,
-        0,
-        "EBR must not touch the QSBR domain"
+    assert!(
+        e.qsbr_domain().is_none(),
+        "EBR must not carry a QSBR domain"
     );
-    assert_eq!(e.stats().ebr.advances, 5 * c.num_locales() as u64);
+    let es = e.stats().reclaim;
+    assert_eq!(es.pending, 0, "EBR leaves nothing pending");
+    assert_eq!(es.retired, es.reclaimed);
+    assert_eq!(es.advances, 5 * c.num_locales() as u64);
 
     // QSBR defers: snapshots pend until quiescence.
     let q: QsbrArray<u64> = QsbrArray::with_config(&c, cfg());
     for _ in 0..5 {
         q.resize(16);
     }
-    assert_eq!(q.stats().ebr.pins, 0, "QSBR reads must never pin");
-    assert!(q.stats().qsbr.defers > 0);
+    assert_eq!(q.stats().reclaim.guards, 0, "QSBR reads must never pin");
+    assert!(q.stats().reclaim.retired > 0);
     // Poll: resize tasks' TLS destructors may still be orphaning.
     for _ in 0..1000 {
         q.checkpoint();
-        if q.stats().qsbr.pending == 0 {
+        if q.stats().reclaim.pending == 0 {
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
-    assert_eq!(q.stats().qsbr.pending, 0);
+    assert_eq!(q.stats().reclaim.pending, 0);
 }

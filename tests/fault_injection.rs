@@ -311,7 +311,7 @@ fn dist_vector_push_survives_faulty_growth() {
 #[test]
 fn dist_table_grow_aborts_cleanly_when_allocation_faults() {
     let c = faulty_cluster(2, FaultPlan::new(seed()));
-    let mut t = DistTable::with_config(&c, 16, cfg());
+    let mut t: DistTable = DistTable::with_config(&c, 16, cfg());
     for k in 1..=10u64 {
         t.insert(k, k * 5).unwrap();
     }

@@ -85,7 +85,7 @@ fn qsbr_array_snapshot_count_is_bounded_by_checkpointing() {
         if i % 4 == 3 {
             a.checkpoint();
         }
-        let pending = a.qsbr_domain().stats().pending;
+        let pending = a.qsbr_domain().unwrap().stats().pending;
         assert!(
             pending <= 64,
             "pending snapshots unbounded: {pending} at resize {i}"
@@ -94,12 +94,12 @@ fn qsbr_array_snapshot_count_is_bounded_by_checkpointing() {
     // Drain (poll for coforall TLS destructors).
     for _ in 0..1000 {
         a.checkpoint();
-        if a.qsbr_domain().stats().pending == 0 {
+        if a.qsbr_domain().unwrap().stats().pending == 0 {
             break;
         }
         std::thread::sleep(Duration::from_millis(1));
     }
-    assert_eq!(a.qsbr_domain().stats().pending, 0);
+    assert_eq!(a.qsbr_domain().unwrap().stats().pending, 0);
 }
 
 #[test]
@@ -107,7 +107,7 @@ fn parked_thread_never_gates_array_reclamation() {
     let cluster = Cluster::new(Topology::new(1, 1));
     let a: QsbrArray<u64> = QsbrArray::with_config(&cluster, Config::with_block_size(8));
     a.resize(8);
-    let domain = a.qsbr_domain().clone();
+    let domain = a.qsbr_domain().unwrap().clone();
 
     let parked = Arc::new(std::sync::Barrier::new(2));
     let release = Arc::new(std::sync::Barrier::new(2));
@@ -116,10 +116,10 @@ fn parked_thread_never_gates_array_reclamation() {
     let release2 = Arc::clone(&release);
     let idler = std::thread::spawn(move || {
         let _ = a2.read(0); // participate
-        a2.qsbr_domain().park(); // then go idle
+        a2.qsbr_domain().unwrap().park(); // then go idle
         parked2.wait();
         release2.wait();
-        a2.qsbr_domain().unpark();
+        a2.qsbr_domain().unwrap().unpark();
         let _ = a2.read(0); // safe again after unpark
     });
 
@@ -184,12 +184,12 @@ fn exited_reader_threads_do_not_leak_or_wedge_the_domain() {
     // The exited threads must not be counted in the minimum.
     for _ in 0..1000 {
         a.checkpoint();
-        if a.qsbr_domain().stats().pending == 0 {
+        if a.qsbr_domain().unwrap().stats().pending == 0 {
             break;
         }
         std::thread::sleep(Duration::from_millis(1));
     }
-    assert_eq!(a.qsbr_domain().stats().pending, 0);
+    assert_eq!(a.qsbr_domain().unwrap().stats().pending, 0);
 }
 
 #[test]
