@@ -162,9 +162,11 @@ impl<T: Element> HazardArray<T> {
         let new_snap = unsafe { &*old_ptr }.clone_recycled(&new_blocks);
         let new_ptr = Box::into_raw(Box::new(new_snap));
         self.snapshot.store(new_ptr, Ordering::Release);
-        // Retire through the domain: the scan waits until no hazard slot
-        // still holds `old_ptr`, then the free runs synchronously. Late
-        // readers re-validate against the new pointer and retry.
+        // Retire through the domain: retire() issues a SeqCst fence that
+        // orders the publish above before its hazard scan (the StoreLoad
+        // edge hazard pointers require), then waits until no slot still
+        // holds `old_ptr` and frees synchronously. Late readers
+        // re-validate against the new pointer and retry.
         let old = SendSnap(old_ptr);
         self.domain.retire(Retired::with_hint(
             std::mem::size_of::<Snapshot<T>>(),

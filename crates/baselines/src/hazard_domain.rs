@@ -18,14 +18,16 @@
 //!   synchronously. Retiring without an address hint skips the scan (no
 //!   reader can have protected an address the writer never published).
 //!
-//! Hazard slots are assigned per thread, sticky for the domain's
-//! lifetime. Guards on one thread share the thread's slot, so read-side
-//! critical sections must not nest: the inner guard's drop would clear
-//! the outer guard's protection.
+//! Hazard slots are assigned per `(thread, domain)` pair, sticky for the
+//! domain's lifetime. Guards on one thread share the thread's slot, so
+//! read-side critical sections must not nest; [`Reclaim::read_lock`]
+//! panics if a guard for this domain is already live on the calling
+//! thread (the inner guard's protect would silently overwrite the outer
+//! guard's protection).
 
 use rcuarray_reclaim::{Reclaim, ReclaimStats, Retired};
-use std::cell::Cell;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 /// Maximum threads that may ever touch one `HazardDomain`.
 pub const MAX_THREADS: usize = 256;
@@ -34,17 +36,21 @@ pub const MAX_THREADS: usize = 256;
 static NEXT_DOMAIN_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    /// One-slot cache: (domain id, hazard slot index) most recently used
-    /// by this thread.
-    static SLOT_CACHE: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
+    /// Per-domain slot map: (domain id, hazard slot index) pairs for every
+    /// domain this thread has touched. A thread keeps exactly one sticky
+    /// slot per domain no matter how it interleaves domains.
+    static SLOT_CACHE: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// One hazard slot, cache-line padded: the address this thread is about
-/// to dereference, or 0.
+/// to dereference (or 0), plus whether a guard currently owns the slot.
 #[repr(align(64))]
 #[derive(Default)]
 struct HazardSlot {
     addr: AtomicUsize,
+    /// Set while a [`HazardGuard`] over this slot is live; detects nested
+    /// `read_lock` on one thread, which would corrupt the protection.
+    occupied: AtomicBool,
 }
 
 /// A hazard-pointer reclamation engine (see [module docs](self)).
@@ -70,19 +76,23 @@ impl HazardDomain {
         }
     }
 
-    /// The calling thread's hazard slot for this domain (assigned once).
+    /// The calling thread's hazard slot for this domain (assigned once
+    /// per `(thread, domain)` pair; alternating between domains reuses
+    /// each domain's slot rather than claiming fresh ones).
     fn slot(&self) -> usize {
-        let (cached_id, cached_slot) = SLOT_CACHE.with(|c| c.get());
-        if cached_id == self.id {
-            return cached_slot;
-        }
-        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
-        assert!(
-            slot < MAX_THREADS,
-            "more than {MAX_THREADS} threads touched one HazardDomain"
-        );
-        SLOT_CACHE.with(|c| c.set((self.id, slot)));
-        slot
+        SLOT_CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            if let Some(&(_, slot)) = cache.iter().find(|&&(id, _)| id == self.id) {
+                return slot;
+            }
+            let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
+            assert!(
+                slot < MAX_THREADS,
+                "more than {MAX_THREADS} threads touched one HazardDomain"
+            );
+            cache.push((self.id, slot));
+            slot
+        })
     }
 }
 
@@ -134,29 +144,45 @@ impl HazardGuard<'_> {
 
 impl Drop for HazardGuard<'_> {
     fn drop(&mut self) {
-        self.domain.hazards[self.slot]
-            .addr
-            .store(0, Ordering::Release);
+        let slot = &self.domain.hazards[self.slot];
+        slot.addr.store(0, Ordering::Release);
+        slot.occupied.store(false, Ordering::Release);
     }
 }
 
 impl Reclaim for HazardDomain {
     type Guard<'a> = HazardGuard<'a>;
 
+    /// # Panics
+    /// If the calling thread already holds a live guard for this domain:
+    /// guards share the thread's single hazard slot, so a nested guard
+    /// would overwrite the outer guard's protection and its drop would
+    /// clear the slot while the outer guard still relies on it.
     fn read_lock(&self) -> HazardGuard<'_> {
         self.guards.fetch_add(1, Ordering::Relaxed);
-        HazardGuard {
-            domain: self,
-            slot: self.slot(),
-        }
+        let slot = self.slot();
+        assert!(
+            !self.hazards[slot].occupied.swap(true, Ordering::Acquire),
+            "nested HazardDomain::read_lock on one thread: drop the outer \
+             guard before taking another (guards share the thread's slot)"
+        );
+        HazardGuard { domain: self, slot }
     }
 
     fn retire(&self, retired: Retired) {
         let addr = retired.addr();
         if addr != 0 {
-            // Scan: wait out every claimed slot still holding the address.
-            let claimed = self.next_slot.load(Ordering::Acquire).min(MAX_THREADS);
-            for slot in &self.hazards[..claimed] {
+            // StoreLoad: the caller's unlink/publish store must be ordered
+            // before the slot scan below. Without this fence the publish
+            // can sit in the store buffer while the scan runs, so a reader
+            // that re-validated against the *old* pointer is missed and
+            // the object freed under it. (`protect` pairs with this via
+            // its SeqCst hazard store + validation load.)
+            fence(Ordering::SeqCst);
+            // Scan every slot unconditionally (they are zero-initialized):
+            // bounding by `next_slot` would race a concurrent Relaxed slot
+            // claim and skip a thread that is mid-validation.
+            for slot in self.hazards.iter() {
                 while slot.addr.load(Ordering::SeqCst) == addr {
                     std::hint::spin_loop();
                 }
@@ -211,6 +237,37 @@ mod tests {
             g.slot
         };
         assert_eq!(s1, s2, "same thread keeps its slot");
+    }
+
+    #[test]
+    fn alternating_domains_reuse_slots() {
+        // Regression: a one-entry TLS cache allocated a fresh slot on
+        // every domain switch, exhausting MAX_THREADS slots on a single
+        // thread after 256 alternations.
+        let a = HazardDomain::new();
+        let b = HazardDomain::new();
+        for _ in 0..(2 * MAX_THREADS) {
+            drop(a.read_lock());
+            drop(b.read_lock());
+        }
+        assert_eq!(a.next_slot.load(Ordering::Relaxed), 1);
+        assert_eq!(b.next_slot.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested HazardDomain::read_lock")]
+    fn nested_read_lock_panics() {
+        let d = HazardDomain::new();
+        let _outer = d.read_lock();
+        let _inner = d.read_lock();
+    }
+
+    #[test]
+    fn guard_drop_releases_the_slot_for_reuse() {
+        let d = HazardDomain::new();
+        drop(d.read_lock());
+        // Not nesting: the previous guard is gone, so the slot is free.
+        drop(d.read_lock());
     }
 
     #[test]

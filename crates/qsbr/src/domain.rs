@@ -291,10 +291,11 @@ impl QsbrDomain {
     /// unbounded backlog).
     ///
     /// Orphaned chains (from exited or parked threads) are adopted whole
-    /// and reclaimed whole, so they are only touched while budget remains
-    /// after the local drain; one orphan chain may therefore overshoot the
-    /// budget by its own length. `budget == 0` is a pure quiescence
-    /// announcement that frees nothing.
+    /// and reclaimed whole, one chain at a time, only while budget remains
+    /// after the local drain; the last chain reclaimed may therefore
+    /// overshoot the budget by its own length, but further chains wait for
+    /// later calls. `budget == 0` is a pure quiescence announcement that
+    /// frees nothing.
     ///
     /// The same contract as [`checkpoint`](Self::checkpoint) applies: the
     /// calling thread must hold no references to protected data acquired
@@ -318,7 +319,10 @@ impl QsbrDomain {
         let mut freed_bytes = chain.bytes() as u64;
         let mut freed = chain.reclaim_all();
         if freed < budget && self.inner.registry.has_orphans() {
-            let (n, b) = self.inner.registry.reclaim_orphans(min);
+            let (n, b) = self
+                .inner
+                .registry
+                .reclaim_orphans_budgeted(min, budget - freed);
             freed += n;
             freed_bytes += b as u64;
         }

@@ -101,6 +101,14 @@ impl Registry {
     /// Reclaim every orphaned chain whose epochs are all `<= min_epoch`.
     /// Returns `(entries freed, approximate bytes freed)`.
     pub fn reclaim_orphans(&self, min_epoch: u64) -> (usize, usize) {
+        self.reclaim_orphans_budgeted(min_epoch, usize::MAX)
+    }
+
+    /// [`reclaim_orphans`](Self::reclaim_orphans) with a bounded drain:
+    /// eligible chains are reclaimed whole, one at a time, only while
+    /// fewer than `budget` entries have been freed — so the overshoot is
+    /// at most the last chain's length, not the whole orphan backlog.
+    pub fn reclaim_orphans_budgeted(&self, min_epoch: u64, budget: usize) -> (usize, usize) {
         // try_lock: orphan reclamation is best-effort housekeeping; a
         // contended checkpoint should not serialize on it.
         let Some(mut orphans) = self.orphans.try_lock() else {
@@ -109,14 +117,13 @@ impl Registry {
         let mut freed = 0;
         let mut freed_bytes = 0;
         orphans.retain_mut(|o| {
-            if o.max_epoch <= min_epoch {
-                let chain = std::mem::replace(&mut o.chain, DeferChain::empty());
-                freed_bytes += chain.bytes();
-                freed += chain.reclaim_all();
-                false
-            } else {
-                true
+            if freed >= budget || o.max_epoch > min_epoch {
+                return true;
             }
+            let chain = std::mem::replace(&mut o.chain, DeferChain::empty());
+            freed_bytes += chain.bytes();
+            freed += chain.reclaim_all();
+            false
         });
         self.orphan_count
             .store(orphans.len(), rcuarray_analysis::atomic::Ordering::Release);
@@ -225,6 +232,27 @@ mod tests {
         assert_eq!(reg.reclaim_orphans(6), (0, 0), "min below chain epoch");
         assert_eq!(reg.num_orphans(), 1);
         assert_eq!(reg.reclaim_orphans(7), (1, 0));
+    }
+
+    #[test]
+    fn budgeted_orphan_reclaim_stops_between_chains() {
+        let reg = Registry::new();
+        // Three eligible single-entry chains.
+        for _ in 0..3 {
+            let mut list = DeferList::new();
+            list.push(1, || {});
+            reg.adopt(list.take_all());
+        }
+        assert_eq!(reg.num_orphans(), 3);
+        // Budget 1: exactly one chain drains; the others wait.
+        assert_eq!(reg.reclaim_orphans_budgeted(1, 1), (1, 0));
+        assert_eq!(reg.num_orphans(), 2);
+        // Budget 0 frees nothing.
+        assert_eq!(reg.reclaim_orphans_budgeted(1, 0), (0, 0));
+        assert_eq!(reg.num_orphans(), 2);
+        // Unbudgeted drains the rest.
+        assert_eq!(reg.reclaim_orphans(1), (2, 0));
+        assert_eq!(reg.num_orphans(), 0);
     }
 
     #[test]
