@@ -26,6 +26,14 @@
 //!    only under [`SCHEME_FLAG_ALLOWLIST`]. Everywhere else, scheme
 //!    differences must be *behavior* on the `rcuarray-reclaim::Reclaim`
 //!    trait — a new scheme plugs in without touching consumers.
+//! 6. **No read guard held across a blocking call** in
+//!    [`INSTRUMENTED_CRATES`]: a `let`-bound guard from `read_lock()` /
+//!    `pin()` that is still in scope at a `park()` / `sleep` / `join` /
+//!    `recv` call is exactly the stalled reader DESIGN.md §9 defends
+//!    against — it pins the reclamation backlog for the full block.
+//!    Detection is lexical (brace-depth scope tracking) and stops at the
+//!    first `#[cfg(test)]` line: tests deliberately stall readers to
+//!    exercise quarantine and evacuation.
 //!
 //! Detection runs on *code only*: comments, strings (incl. raw strings)
 //! and char literals are stripped by a small state machine first, so
@@ -158,6 +166,7 @@ pub enum Rule {
     BareSyncPrimitive,
     BareCounterOutsideObs,
     SchemeFlagBranching,
+    GuardAcrossBlocking,
 }
 
 impl std::fmt::Display for Violation {
@@ -168,6 +177,7 @@ impl std::fmt::Display for Violation {
             Rule::BareSyncPrimitive => "bare-sync",
             Rule::BareCounterOutsideObs => "bare-counter",
             Rule::SchemeFlagBranching => "scheme-flag",
+            Rule::GuardAcrossBlocking => "guard-across-blocking",
         };
         write!(
             f,
@@ -402,6 +412,73 @@ fn site_has_safety(raw_lines: &[&str], idx: usize) -> bool {
     false
 }
 
+/// Source patterns that `let`-bind a read-side guard.
+const GUARD_BINDERS: &[&str] = &["read_lock()", ".pin()", "Guard::pin("];
+
+/// True when `line` makes a call that blocks the thread for an unbounded
+/// (or scheduler-scale) duration. `park(` is word-boundary matched so
+/// `unpark()` — which wakes a thread, never blocks one — stays clean.
+fn is_blocking_call(line: &str) -> bool {
+    if line.contains("thread::sleep") || line.contains(".join(") || line.contains(".recv(") {
+        return true;
+    }
+    let mut start = 0;
+    while let Some(pos) = line[start..].find("park(") {
+        let at = start + pos;
+        let boundary = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        start = at + "park(".len();
+    }
+    false
+}
+
+/// Rule 6: scan `code_lines` for a guard binding still in scope (by brace
+/// depth) at a blocking call. Scanning stops at the first `#[cfg(test)]`
+/// line — test modules stall readers on purpose.
+fn guard_across_blocking(path: &Path, code_lines: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // (depth the guard's scope closes at, line it was bound on)
+    let mut guards: Vec<(i64, usize)> = Vec::new();
+    let mut depth: i64 = 0;
+    for (i, code) in code_lines.iter().enumerate() {
+        if code.contains("#[cfg(test)]") {
+            break;
+        }
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("let ") && GUARD_BINDERS.iter().any(|g| code.contains(g)) {
+            guards.push((depth, i + 1));
+        } else if !guards.is_empty() && is_blocking_call(code) {
+            let (_, bound_at) = guards[guards.len() - 1];
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: Rule::GuardAcrossBlocking,
+                msg: format!(
+                    "blocking call while the read guard bound on line {bound_at} is live; \
+                     a parked reader pins the reclamation backlog (DESIGN.md §9)"
+                ),
+            });
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|&(d, _)| d <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
 fn allowlisted(path: &Path, allow: &[&str]) -> bool {
     let norm: String = path
         .to_string_lossy()
@@ -468,6 +545,9 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Violation> {
                     .into(),
             });
         }
+    }
+    if allowlisted(path, INSTRUMENTED_CRATES) {
+        out.extend(guard_across_blocking(path, &code_lines));
     }
     out
 }
@@ -646,6 +726,69 @@ mod tests {
         // not the flag pattern.
         let v = lint_str("let this_is_qsbr_adjacent = 1;\ncall(MY_IS_QSBR_X);\n");
         assert!(!v.iter().any(|v| v.rule == Rule::SchemeFlagBranching));
+    }
+
+    #[test]
+    fn guard_across_sleep_flagged_in_instrumented_crate() {
+        let v = lint_source(
+            Path::new("crates/qsbr/src/new_module.rs"),
+            "fn f(d: &D) {\n    let g = d.read_lock();\n    std::thread::sleep(t);\n}\n",
+        );
+        assert_eq!(
+            v.iter()
+                .filter(|v| v.rule == Rule::GuardAcrossBlocking)
+                .count(),
+            1
+        );
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn guard_dropped_before_blocking_ok() {
+        let v = lint_source(
+            Path::new("crates/ebr/src/new_module.rs"),
+            "fn f(z: &Z) {\n    {\n        let g = z.read_lock();\n        use_it(&g);\n    }\n    handle.join().unwrap();\n}\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::GuardAcrossBlocking));
+    }
+
+    #[test]
+    fn blocking_without_guard_ok() {
+        let v = lint_source(
+            Path::new("crates/rcuarray/src/new_module.rs"),
+            "fn f() {\n    std::thread::sleep(t);\n    worker.join().unwrap();\n}\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::GuardAcrossBlocking));
+    }
+
+    #[test]
+    fn guard_across_blocking_ignored_in_test_modules() {
+        let v = lint_source(
+            Path::new("crates/qsbr/src/new_module.rs"),
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t(d: &D) {\n        let g = d.read_lock();\n        std::thread::sleep(t);\n    }\n}\n",
+        );
+        assert!(
+            !v.iter().any(|v| v.rule == Rule::GuardAcrossBlocking),
+            "tests stall readers on purpose"
+        );
+    }
+
+    #[test]
+    fn guard_across_blocking_not_enforced_outside_instrumented_crates() {
+        let v = lint_source(
+            Path::new("crates/model/src/whatever.rs"),
+            "fn f(d: &D) {\n    let g = d.read_lock();\n    std::thread::sleep(t);\n}\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::GuardAcrossBlocking));
+    }
+
+    #[test]
+    fn pin_binding_across_park_flagged() {
+        let v = lint_source(
+            Path::new("crates/ebr/src/new_module.rs"),
+            "fn f(z: &Zone) {\n    let t = z.pin();\n    std::thread::park();\n}\n",
+        );
+        assert!(v.iter().any(|v| v.rule == Rule::GuardAcrossBlocking));
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub struct HazardDomain {
     guards: AtomicU64,
     guard_retries: AtomicU64,
     retired: AtomicU64,
+    guard_panics: AtomicU64,
 }
 
 impl HazardDomain {
@@ -73,6 +74,7 @@ impl HazardDomain {
             guards: AtomicU64::new(0),
             guard_retries: AtomicU64::new(0),
             retired: AtomicU64::new(0),
+            guard_panics: AtomicU64::new(0),
         }
     }
 
@@ -147,6 +149,12 @@ impl Drop for HazardGuard<'_> {
         let slot = &self.domain.hazards[self.slot];
         slot.addr.store(0, Ordering::Release);
         slot.occupied.store(false, Ordering::Release);
+        // A panicking reader still cleared its hazard and freed the slot
+        // (the two stores above) — count it so chaos runs can assert no
+        // retire ever wedged on a dead reader's slot.
+        if std::thread::panicking() {
+            self.domain.guard_panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -214,6 +222,7 @@ impl Reclaim for HazardDomain {
             advances: retired,
             retired,
             reclaimed: retired,
+            guard_panics: self.guard_panics.load(Ordering::Relaxed),
             ..ReclaimStats::default()
         }
     }
@@ -321,6 +330,22 @@ mod tests {
         drop(g);
         // SAFETY: test-owned.
         drop(unsafe { Box::from_raw(a) });
+    }
+
+    #[test]
+    fn panicked_reader_releases_slot_and_is_counted() {
+        let d = HazardDomain::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = d.read_lock();
+            panic!("reader died");
+        }));
+        assert!(r.is_err());
+        // The slot is free again: a fresh guard on this thread succeeds
+        // (nested-detection would panic if `occupied` leaked), and a
+        // retire with a hint does not spin on a stale hazard.
+        drop(d.read_lock());
+        d.retire(Retired::with_hint(8, 0xdead_beef, || {}));
+        assert_eq!(d.reclaim_stats().guard_panics, 1);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 
 use rcuarray::{AmortizedArray, Config, EbrArray, LeakArray, QsbrArray, RcuArray, Scheme};
 use rcuarray_bench::runner::{run_indexing, run_resize, IndexingParams, ResizeParams};
-use rcuarray_bench::telemetry::{write_bench_report, Sampler, VariantReport};
+use rcuarray_bench::telemetry::{write_bench_report, PressureEvents, Sampler, VariantReport};
 use rcuarray_bench::workload::IndexPattern;
 use rcuarray_runtime::{Cluster, Topology};
 use std::time::Duration;
@@ -96,11 +96,15 @@ fn sampled_run<S: Scheme>(
         let s = probe.stats().reclaim;
         (s.epoch_lag, s.pending, s.pending_bytes)
     });
+    // Pressure events are process-wide; variants run sequentially, so a
+    // delta around the run attributes them to this variant.
+    let pressure_before = PressureEvents::totals();
     let ops_per_sec = work();
     VariantReport {
         name: name.into(),
         ops_per_sec,
         samples: sampler.finish(),
+        pressure: PressureEvents::since(pressure_before),
     }
 }
 
@@ -245,11 +249,14 @@ fn finish(workload: &str, variants: Vec<VariantReport>) {
         .unwrap_or_else(|e| panic!("writing BENCH_{workload}.json: {e}"));
     for v in &variants {
         println!(
-            "{workload:>10} {:<22} {:>12.0} ops/s  peak lag {}  peak backlog {}",
+            "{workload:>10} {:<22} {:>12.0} ops/s  peak lag {}  peak backlog {} ({} B)  \
+             forced drains {}",
             v.name,
             v.ops_per_sec,
             v.peak_lag(),
-            v.peak_backlog()
+            v.peak_backlog(),
+            v.peak_backlog_bytes(),
+            v.pressure.forced_drains
         );
     }
     println!("{workload:>10} wrote {}", path.display());

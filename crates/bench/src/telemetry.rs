@@ -74,6 +74,43 @@ impl Sampler {
     }
 }
 
+/// Process-wide pressure-event deltas accumulated while one variant ran
+/// (DESIGN.md §9): how often writers helped, were refused, or overran
+/// the cap. All zeros under an unbounded [`PressureConfig`]
+/// (`rcuarray_reclaim::PressureConfig`) — the default bench setup — so
+/// a non-zero column always marks a deliberately bounded run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PressureEvents {
+    /// Forced (helping) drains past the high watermark.
+    pub forced_drains: u64,
+    /// Retirements refused at the hard byte cap.
+    pub backpressure: u64,
+    /// Cap overruns: blocked retires that gave up on dry quiesces.
+    pub cap_overruns: u64,
+}
+
+impl PressureEvents {
+    /// Current process-wide totals, for delta capture around a run.
+    pub fn totals() -> PressureEvents {
+        let (forced_drains, backpressure, cap_overruns) = rcuarray_reclaim::pressure_event_totals();
+        PressureEvents {
+            forced_drains,
+            backpressure,
+            cap_overruns,
+        }
+    }
+
+    /// Counts accumulated since `start` (an earlier [`totals`](Self::totals)).
+    pub fn since(start: PressureEvents) -> PressureEvents {
+        let now = Self::totals();
+        PressureEvents {
+            forced_drains: now.forced_drains - start.forced_drains,
+            backpressure: now.backpressure - start.backpressure,
+            cap_overruns: now.cap_overruns - start.cap_overruns,
+        }
+    }
+}
+
 /// One array variant's result within a workload.
 #[derive(Debug, Clone)]
 pub struct VariantReport {
@@ -83,6 +120,9 @@ pub struct VariantReport {
     pub ops_per_sec: f64,
     /// Gauge series sampled while the variant ran.
     pub samples: Vec<Sample>,
+    /// Pressure events (helping drains / refusals / overruns) charged
+    /// while this variant ran.
+    pub pressure: PressureEvents,
 }
 
 impl VariantReport {
@@ -92,6 +132,16 @@ impl VariantReport {
         self.samples
             .iter()
             .map(|s| s.backlog_entries)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum observed backlog, in bytes — the high-watermark the
+    /// memory-bound contract caps.
+    pub fn peak_backlog_bytes(&self) -> u64 {
+        self.samples
+            .iter()
+            .map(|s| s.backlog_bytes)
             .max()
             .unwrap_or(0)
     }
@@ -114,11 +164,17 @@ pub fn bench_json(workload: &str, variants: &[VariantReport], metrics_json: &str
         }
         out.push_str(&format!(
             "{{\"name\":{:?},\"ops_per_sec\":{},\"peak_epoch_lag\":{},\
-             \"peak_backlog_entries\":{},\"series\":[",
+             \"peak_backlog_entries\":{},\"peak_backlog_bytes\":{},\
+             \"forced_drains\":{},\"backpressure_refusals\":{},\
+             \"cap_overruns\":{},\"series\":[",
             v.name,
             v.ops_per_sec,
             v.peak_lag(),
-            v.peak_backlog()
+            v.peak_backlog(),
+            v.peak_backlog_bytes(),
+            v.pressure.forced_drains,
+            v.pressure.backpressure,
+            v.pressure.cap_overruns
         ));
         for (j, s) in v.samples.iter().enumerate() {
             if j > 0 {
@@ -181,18 +237,20 @@ mod tests {
                     t_ms: 0,
                     epoch_lag: 1,
                     backlog_entries: 10,
-                    backlog_bytes: 0,
+                    backlog_bytes: 640,
                 },
                 Sample {
                     t_ms: 1,
                     epoch_lag: 5,
                     backlog_entries: 3,
-                    backlog_bytes: 0,
+                    backlog_bytes: 192,
                 },
             ],
+            pressure: PressureEvents::default(),
         };
         assert_eq!(v.peak_lag(), 5);
         assert_eq!(v.peak_backlog(), 10);
+        assert_eq!(v.peak_backlog_bytes(), 640);
     }
 
     #[test]
@@ -206,12 +264,31 @@ mod tests {
                 backlog_entries: 7,
                 backlog_bytes: 99,
             }],
+            pressure: PressureEvents {
+                forced_drains: 3,
+                backpressure: 1,
+                cap_overruns: 0,
+            },
         };
         let json = bench_json("indexing", &[v], "{\"counters\":{}}");
         assert!(json.starts_with("{\"workload\":\"indexing\""));
         assert!(json.contains("\"peak_epoch_lag\":2"));
+        assert!(json.contains("\"peak_backlog_bytes\":99"));
+        assert!(json.contains("\"forced_drains\":3"));
+        assert!(json.contains("\"backpressure_refusals\":1"));
+        assert!(json.contains("\"cap_overruns\":0"));
         assert!(json.contains("\"backlog_bytes\":99"));
         assert!(json.contains("\"metrics\":{\"counters\":{}}"));
         assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn pressure_event_deltas_are_monotonic() {
+        let before = PressureEvents::totals();
+        let delta = PressureEvents::since(before);
+        // Other tests in this process may bump the counters concurrently,
+        // but a delta can never be negative (u64 subtraction would panic
+        // in debug builds) and a fresh delta from "now" is near zero.
+        assert!(delta.forced_drains <= PressureEvents::totals().forced_drains);
     }
 }

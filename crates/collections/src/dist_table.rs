@@ -264,9 +264,11 @@ impl<S: Scheme> DistTable<S> {
     }
 
     /// As [`grow`](Self::grow), but surfacing allocation failures under an
-    /// enabled fault plan (after the configured retry budget) instead of
-    /// panicking. On `Err` the table is untouched: the doubled backing
-    /// arrays are built aside and installed only once fully allocated.
+    /// enabled fault plan — and backlog refusals
+    /// ([`CommError::Backpressure`]) under a bounded `Config::pressure` —
+    /// after the configured retry budget, instead of panicking. On `Err`
+    /// the table is untouched: the doubled backing arrays are built aside
+    /// and installed only once fully allocated.
     pub fn try_grow(&mut self) -> Result<(), CommError> {
         let entries = self.entries();
         let slots = (self.capacity() * 2)
@@ -275,7 +277,7 @@ impl<S: Scheme> DistTable<S> {
         let keys: RcuArray<u64, S> = RcuArray::with_config(&self.cluster, self.config);
         let values: RcuArray<u64, S> = RcuArray::with_config(&self.cluster, self.config);
         let policy = self.config.retry;
-        if self.cluster.fault().is_enabled() {
+        if self.cluster.fault().is_enabled() || self.config.pressure.is_bounded() {
             policy.run(self.cluster.comm(), || keys.try_resize(slots))?;
             policy.run(self.cluster.comm(), || values.try_resize(slots))?;
         } else {

@@ -79,11 +79,19 @@ impl<T: Element, S: Scheme> DistVector<T, S> {
     /// On `Err` the claimed index stays reserved but unwritten — an
     /// append-only vector cannot give an interior slot back once later
     /// pushers may have claimed past it. The slot reads as `T::default()`
-    /// after a later successful growth covers it. A healthy cluster never
-    /// returns `Err`.
+    /// after a later successful growth covers it. A healthy cluster with
+    /// an unbounded [`Config::pressure`] never returns `Err`; a bounded
+    /// one refuses growth with [`CommError::Backpressure`] once the
+    /// reclamation backlog pins the byte cap through the whole retry
+    /// budget (each retry's resize attempt quiesces, so transient
+    /// pressure drains inside the loop).
     pub fn try_push(&self, value: T) -> Result<usize, CommError> {
         let idx = self.len.fetch_add(1, Ordering::AcqRel);
         let policy = self.array.config().retry;
+        // Growth can fail under fault injection or a bounded backlog;
+        // both surface as retryable `CommError`s through the same loop.
+        let fallible =
+            self.array.cluster().fault().is_enabled() || self.array.config().pressure.is_bounded();
         // Whoever wins the cluster write lock grows; losers re-check.
         while idx >= self.array.capacity() {
             let want = self
@@ -91,7 +99,7 @@ impl<T: Element, S: Scheme> DistVector<T, S> {
                 .config()
                 .block_size
                 .max(idx + 1 - self.array.capacity());
-            if self.array.cluster().fault().is_enabled() {
+            if fallible {
                 policy.run(self.array.cluster().comm(), || self.array.try_resize(want))?;
             } else {
                 self.array.resize(want);

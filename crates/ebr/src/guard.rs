@@ -59,6 +59,11 @@ impl Drop for EpochGuard<'_> {
     fn drop(&mut self) {
         if let Some(t) = self.ticket.take() {
             self.zone.unpin(t);
+            // A panicking reader still unpins (the store above) — count
+            // it so chaos runs can assert no epoch ever wedged.
+            if std::thread::panicking() {
+                self.zone.note_guard_panic();
+            }
         }
     }
 }
@@ -86,6 +91,7 @@ mod tests {
         }));
         assert!(r.is_err());
         assert_eq!(z.readers_on(0), 0, "panicked reader must still unpin");
+        assert_eq!(z.stats().guard_panics, 1, "the unwind release is counted");
     }
 
     #[test]

@@ -75,4 +75,6 @@ pub use sharded::{ShardedEpochZone, ShardedTicket};
 
 // The unified reclamation vocabulary, re-exported so EBR consumers need
 // only this crate.
-pub use rcuarray_reclaim::{Reclaim, ReclaimStats, Retired};
+pub use rcuarray_reclaim::{
+    Backpressure, PressureConfig, Reclaim, ReclaimStats, Retired, StallPolicy,
+};

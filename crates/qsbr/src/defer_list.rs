@@ -144,23 +144,53 @@ impl DeferList {
     /// kept portion a *prefix* of the original list, so the
     /// descending-epoch invariant (Lemma 4) is preserved untouched.
     pub fn pop_less_equal_budget(&mut self, min_epoch: u64, budget: usize) -> DeferChain {
-        if budget == 0 || self.head.is_none() {
+        self.pop_less_equal_budgeted(min_epoch, budget, usize::MAX)
+    }
+
+    /// [`pop_less_equal_budget`](Self::pop_less_equal_budget) with an
+    /// additional **byte** budget: the cut stops once the freed entries'
+    /// cumulative size hints would exceed `byte_budget` — but always
+    /// frees at least one reclaimable entry, so a single oversized entry
+    /// cannot wedge the drain (it overshoots by its own size instead:
+    /// the same "one retire of slack" contract `PressureConfig` gives).
+    pub fn pop_less_equal_budgeted(
+        &mut self,
+        min_epoch: u64,
+        budget: usize,
+        byte_budget: usize,
+    ) -> DeferChain {
+        if budget == 0 || byte_budget == 0 || self.head.is_none() {
             return DeferChain::empty();
         }
         // The reclaimable entries form a contiguous tail suffix (the list
-        // is sorted descending from the head); count it.
-        let mut suffix_len = 0usize;
+        // is sorted descending from the head); collect its sizes in
+        // head→tail order.
+        let mut suffix_bytes: Vec<usize> = Vec::new();
         let mut cur = self.head.as_deref();
         while let Some(n) = cur {
             if n.epoch <= min_epoch {
-                suffix_len += 1;
+                suffix_bytes.push(n.bytes);
             }
             cur = n.next.as_deref();
         }
+        let suffix_len = suffix_bytes.len();
         if suffix_len == 0 {
             return DeferChain::empty();
         }
-        let take = suffix_len.min(budget);
+        // Oldest entries sit at the tail: grow the cut from the back of
+        // the suffix while both budgets hold, guaranteeing at least one.
+        let mut take = 0usize;
+        let mut taken_bytes = 0usize;
+        for &b in suffix_bytes.iter().rev() {
+            if take >= budget {
+                break;
+            }
+            if take > 0 && taken_bytes.saturating_add(b) > byte_budget {
+                break;
+            }
+            take += 1;
+            taken_bytes = taken_bytes.saturating_add(b);
+        }
         let keep = self.len - take;
         if keep == 0 {
             return self.take_all();
@@ -525,6 +555,55 @@ mod tests {
         assert_eq!(chain.len(), 1);
         assert_eq!(chain.bytes(), 100, "oldest entry carries 100 bytes");
         assert_eq!(l.bytes(), 37);
+    }
+
+    #[test]
+    fn byte_budgeted_pop_stops_at_the_byte_cap() {
+        let c = Arc::new(AtomicUsize::new(0));
+        let mut l = DeferList::new();
+        for (e, b) in [(1u64, 40usize), (2, 40), (3, 40), (4, 40)] {
+            l.push_with_bytes(e, b, counting(&c));
+        }
+        // Everything reclaimable; 100-byte budget fits the two oldest
+        // (80 bytes), the third would cross.
+        let chain = l.pop_less_equal_budgeted(100, usize::MAX, 100);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.bytes(), 80);
+        drop(chain);
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+        assert_eq!(l.epochs(), vec![4, 3]);
+    }
+
+    #[test]
+    fn byte_budgeted_pop_always_frees_one_oversized_entry() {
+        let mut l = DeferList::new();
+        l.push_with_bytes(1, 1000, || {});
+        l.push_with_bytes(2, 1000, || {});
+        // A 1-byte budget cannot fit any entry, but progress is
+        // guaranteed: the oldest frees anyway (one-entry slack).
+        let chain = l.pop_less_equal_budgeted(100, usize::MAX, 1);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.bytes(), 1000);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn byte_budgeted_pop_respects_the_entry_budget_too() {
+        let mut l = DeferList::new();
+        for e in 1..=4u64 {
+            l.push_with_bytes(e, 1, || {});
+        }
+        let chain = l.pop_less_equal_budgeted(100, 3, usize::MAX);
+        assert_eq!(chain.len(), 3, "entry budget still binds");
+        assert_eq!(l.epochs(), vec![4]);
+    }
+
+    #[test]
+    fn byte_budgeted_pop_zero_byte_budget_is_noop() {
+        let mut l = DeferList::new();
+        l.push_with_bytes(1, 8, || {});
+        assert!(l.pop_less_equal_budgeted(100, usize::MAX, 0).is_empty());
+        assert_eq!(l.len(), 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::registry::Registry;
 use crate::state::StateEpoch;
 use rcuarray_analysis::atomic::{AtomicU64, Ordering};
 use rcuarray_obs::{LazyCounter, LazyGauge, LazyHistogram};
+use rcuarray_reclaim::{PressureConfig, StallPolicy};
 use std::cell::RefCell;
 use std::sync::{Arc, Weak};
 
@@ -50,6 +51,18 @@ static OBS_BACKLOG_BYTES: LazyGauge = LazyGauge::new(
     "rcuarray_qsbr_defer_backlog_bytes",
     "approximate bytes still pending after the last reclaiming checkpoint",
 );
+static OBS_QUARANTINED: LazyGauge = LazyGauge::new(
+    "rcuarray_qsbr_quarantined_readers",
+    "participants currently force-parked by stall detection",
+);
+static OBS_QUARANTINES: LazyCounter = LazyCounter::new(
+    "rcuarray_qsbr_quarantines_total",
+    "stalled participants force-parked by stall detection",
+);
+static OBS_REJOINS: LazyCounter = LazyCounter::new(
+    "rcuarray_qsbr_rejoins_total",
+    "quarantined participants that resumed participation",
+);
 
 struct DomainInner {
     id: u64,
@@ -60,6 +73,17 @@ struct DomainInner {
     checkpoints: AtomicU64,
     reclaimed: AtomicU64,
     reclaimed_bytes: AtomicU64,
+    /// The robustness clock: bumped by every reclaiming (slow-path)
+    /// checkpoint, never by wall time, so stall detection replays
+    /// identically under the deterministic checker.
+    ticks: AtomicU64,
+    /// [`StallPolicy`] fields, atomically reconfigurable (`u64::MAX` =
+    /// detection off, the default).
+    stall_lag: AtomicU64,
+    stall_patience: AtomicU64,
+    /// [`PressureConfig`] fields (`u64::MAX` = unbounded, the default).
+    cap_bytes: AtomicU64,
+    watermark_bytes: AtomicU64,
 }
 
 /// Counters describing a domain's activity.
@@ -78,6 +102,10 @@ pub struct DomainStats {
     /// passed to [`QsbrDomain::defer_with_bytes`], minus what has been
     /// reclaimed).
     pub pending_bytes: u64,
+    /// Participants currently force-parked by stall detection.
+    pub quarantined: u64,
+    /// Cumulative quarantine events since the domain was created.
+    pub quarantines: u64,
 }
 
 /// A QSBR reclamation domain.
@@ -143,8 +171,61 @@ impl QsbrDomain {
                 checkpoints: AtomicU64::new(0),
                 reclaimed: AtomicU64::new(0),
                 reclaimed_bytes: AtomicU64::new(0),
+                ticks: AtomicU64::new(0),
+                stall_lag: AtomicU64::new(u64::MAX),
+                stall_patience: AtomicU64::new(u64::MAX),
+                cap_bytes: AtomicU64::new(u64::MAX),
+                watermark_bytes: AtomicU64::new(u64::MAX),
             }),
         }
+    }
+
+    /// Install a stall policy; [`StallPolicy::disabled`] (the default)
+    /// restores the classic never-quarantine protocol.
+    pub fn set_stall_policy(&self, policy: StallPolicy) {
+        self.inner
+            .stall_lag
+            .store(policy.lag_epochs, Ordering::SeqCst);
+        self.inner
+            .stall_patience
+            .store(policy.patience, Ordering::SeqCst);
+    }
+
+    /// The currently installed stall policy.
+    pub fn stall_policy(&self) -> StallPolicy {
+        StallPolicy {
+            lag_epochs: self.inner.stall_lag.load(Ordering::SeqCst),
+            patience: self.inner.stall_patience.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Install a backlog byte budget; [`PressureConfig::unbounded`] (the
+    /// default) disables it. Consumed by the [`Reclaim`] impls'
+    /// `pressure()` override, which drives `try_retire` backpressure.
+    ///
+    /// [`Reclaim`]: rcuarray_reclaim::Reclaim
+    pub fn set_pressure(&self, pressure: PressureConfig) {
+        pressure.validate();
+        self.inner
+            .cap_bytes
+            .store(pressure.max_backlog_bytes, Ordering::SeqCst);
+        self.inner
+            .watermark_bytes
+            .store(pressure.high_watermark, Ordering::SeqCst);
+    }
+
+    /// The currently installed backlog budget.
+    pub fn pressure_config(&self) -> PressureConfig {
+        PressureConfig {
+            max_backlog_bytes: self.inner.cap_bytes.load(Ordering::SeqCst),
+            high_watermark: self.inner.watermark_bytes.load(Ordering::SeqCst),
+        }
+    }
+
+    /// The robustness clock: how many reclaiming checkpoints the domain
+    /// has run. Stall patience is measured against this, never wall time.
+    pub fn tick(&self) -> u64 {
+        self.inner.ticks.load(Ordering::Relaxed)
     }
 
     /// This domain's unique id.
@@ -167,6 +248,9 @@ impl QsbrDomain {
                 return Arc::clone(&e.record);
             }
             let record = self.inner.registry.register(self.inner.state.read());
+            // A fresh thread starts with full patience: its progress clock
+            // begins *now*, not at domain creation.
+            record.stamp_progress(self.inner.ticks.load(Ordering::Relaxed));
             tls.entries.push(TlsEntry {
                 domain_id: self.inner.id,
                 domain: Arc::downgrade(&self.inner),
@@ -216,10 +300,20 @@ impl QsbrDomain {
     pub fn defer_with_bytes(&self, bytes: usize, reclaim: impl FnOnce() + Send + 'static) {
         let record = self.record();
         let epoch = self.inner.state.bump();
-        record.observe(epoch);
-        // SAFETY: `record` belongs to the calling thread (looked up/created
-        // through its TLS just above).
-        unsafe { record.defer_mut().push_with_bytes(epoch, bytes, reclaim) };
+        let rejoined;
+        {
+            // The guard covers observe + push so stall detection can never
+            // seize the chain between the two.
+            let mut defer = record.lock_defer();
+            rejoined = record.take_quarantined();
+            record.observe(epoch);
+            record.stamp_progress(self.inner.ticks.load(Ordering::Relaxed));
+            defer.push_with_bytes(epoch, bytes, reclaim);
+        }
+        if rejoined {
+            self.inner.registry.note_rejoin();
+            OBS_REJOINS.inc();
+        }
         self.inner.defers.fetch_add(1, Ordering::Relaxed);
         self.inner
             .defer_bytes
@@ -243,44 +337,7 @@ impl QsbrDomain {
     /// memory managed by QSBR if it has been acquired prior to a
     /// checkpoint" (paper §III-B).
     pub fn checkpoint(&self) -> usize {
-        let record = self.record();
-        // Observe the current state: a promise of quiescence of any
-        // earlier state (lines 4–5).
-        let observed = self.inner.state.read();
-        record.observe(observed);
-        self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
-        OBS_CHECKPOINTS.inc();
-        // Fast path: nothing to reclaim here. The announcement above is
-        // the checkpoint's semantic payload; the scan and split only
-        // matter when this thread has pending defers or orphans exist.
-        // This keeps high-frequency checkpoints (Fig. 4's every-op case)
-        // to one epoch load, one store and two cheap checks.
-        // SAFETY: owner-only access from the owning thread.
-        if unsafe { record.pending() } == 0 && !self.inner.registry.has_orphans() {
-            return 0;
-        }
-        // Slow (reclaiming) path: measured — fast-path checkpoints never
-        // touch the clock, so Fig. 4's every-op case stays cheap.
-        let t0 = rcuarray_obs::enabled().then(std::time::Instant::now);
-        // Find the smallest (safest) epoch over all participants
-        // (lines 6–8).
-        let min = self.inner.registry.min_observed(observed);
-        // Split our defer list at the safe boundary and reclaim
-        // (lines 9–13).
-        // SAFETY: owner-only access from the owning thread.
-        let chain: DeferChain = unsafe { record.defer_mut().pop_less_equal(min) };
-        let mut freed_bytes = chain.bytes() as u64;
-        let mut freed = chain.reclaim_all();
-        if self.inner.registry.has_orphans() {
-            let (n, b) = self.inner.registry.reclaim_orphans(min);
-            freed += n;
-            freed_bytes += b as u64;
-        }
-        // Lag and backlog after this reclaim: how far the slowest
-        // participant trails the state epoch, and what that delay
-        // keeps alive (the Fig. 2 read-cost/backlog trade-off).
-        self.record_reclaim(freed, freed_bytes, min, t0);
-        freed
+        self.checkpoint_impl(usize::MAX, usize::MAX)
     }
 
     /// [`checkpoint`](Self::checkpoint) with a bounded drain: announce
@@ -301,31 +358,92 @@ impl QsbrDomain {
     /// calling thread must hold no references to protected data acquired
     /// before this call.
     pub fn checkpoint_budgeted(&self, budget: usize) -> usize {
+        self.checkpoint_impl(budget, usize::MAX)
+    }
+
+    /// [`checkpoint_budgeted`](Self::checkpoint_budgeted) with an
+    /// additional *byte* budget: the drain stops once the freed entries'
+    /// size hints reach `byte_budget` (overshooting by at most one entry),
+    /// so a bounded drain composes with [`PressureConfig`]'s byte caps —
+    /// what the cap measures is what the drain retires against.
+    pub fn checkpoint_budgeted_bytes(&self, budget: usize, byte_budget: usize) -> usize {
+        self.checkpoint_impl(budget, byte_budget)
+    }
+
+    /// The one checkpoint engine behind [`checkpoint`](Self::checkpoint)
+    /// and its budgeted variants: announce quiescence, rejoin after
+    /// quarantine, detect stalls, then drain within the given budgets.
+    fn checkpoint_impl(&self, budget: usize, byte_budget: usize) -> usize {
         let record = self.record();
+        // Observe the current state: a promise of quiescence of any
+        // earlier state (lines 4–5). The defer guard spans the observe so
+        // stall detection can never quarantine a thread mid-checkpoint.
         let observed = self.inner.state.read();
-        record.observe(observed);
+        let (rejoined, pending) = {
+            let defer = record.lock_defer();
+            let rejoined = record.take_quarantined();
+            record.observe(observed);
+            record.stamp_progress(self.inner.ticks.load(Ordering::Relaxed));
+            (rejoined, defer.len())
+        };
+        if rejoined {
+            self.inner.registry.note_rejoin();
+            OBS_REJOINS.inc();
+        }
         self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
         OBS_CHECKPOINTS.inc();
-        // Same fast path as `checkpoint`; additionally a zero budget never
-        // reclaims, so the announcement above is all there is to do.
-        // SAFETY: owner-only access from the owning thread.
-        if budget == 0 || (unsafe { record.pending() } == 0 && !self.inner.registry.has_orphans()) {
+        // Fast path: nothing to reclaim here (or a zero budget — a pure
+        // quiescence announcement). The announcement above is the
+        // checkpoint's semantic payload; the scan and split only matter
+        // when this thread has pending defers or orphans exist. This keeps
+        // high-frequency checkpoints (Fig. 4's every-op case) to an epoch
+        // load, the uncontended defer-flag swap and a few cheap checks.
+        if budget == 0 || byte_budget == 0 || (pending == 0 && !self.inner.registry.has_orphans()) {
             return 0;
         }
+        // Slow (reclaiming) path: measured — fast-path checkpoints never
+        // touch the clock, so Fig. 4's every-op case stays cheap.
         let t0 = rcuarray_obs::enabled().then(std::time::Instant::now);
-        let min = self.inner.registry.min_observed(observed);
-        // SAFETY: owner-only access from the owning thread.
-        let chain: DeferChain = unsafe { record.defer_mut().pop_less_equal_budget(min, budget) };
+        // Reclaiming checkpoints are the robustness clock.
+        let now = self.inner.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        record.stamp_progress(now);
+        // Find the smallest (safest) epoch over all participants
+        // (lines 6–8).
+        let mut min = self.inner.registry.min_observed(observed);
+        // Stall detection: when the minimum trails the state epoch past
+        // the policy's lag threshold, quarantine whoever exhausted their
+        // patience and recompute the minimum without them.
+        let policy = self.stall_policy();
+        if policy.detects_lag() && observed.saturating_sub(min) >= policy.lag_epochs {
+            let q = self
+                .inner
+                .registry
+                .quarantine_stalled(observed, now, policy);
+            if q > 0 {
+                OBS_QUARANTINES.add(q as u64);
+                min = self.inner.registry.min_observed(observed);
+            }
+        }
+        // Split our defer list at the safe boundary and reclaim
+        // (lines 9–13), within budget.
+        let chain: DeferChain =
+            record
+                .lock_defer()
+                .pop_less_equal_budgeted(min, budget, byte_budget);
         let mut freed_bytes = chain.bytes() as u64;
         let mut freed = chain.reclaim_all();
         if freed < budget && self.inner.registry.has_orphans() {
-            let (n, b) = self
-                .inner
-                .registry
-                .reclaim_orphans_budgeted(min, budget - freed);
+            let (n, b) = self.inner.registry.reclaim_orphans_budgeted_bytes(
+                min,
+                budget - freed,
+                byte_budget.saturating_sub(freed_bytes as usize),
+            );
             freed += n;
             freed_bytes += b as u64;
         }
+        // Lag and backlog after this reclaim: how far the slowest
+        // participant trails the state epoch, and what that delay
+        // keeps alive (the Fig. 2 read-cost/backlog trade-off).
         self.record_reclaim(freed, freed_bytes, min, t0);
         freed
     }
@@ -353,6 +471,7 @@ impl QsbrDomain {
             let s = self.stats();
             OBS_BACKLOG_ENTRIES.set(s.pending as i64);
             OBS_BACKLOG_BYTES.set(s.pending_bytes as i64);
+            OBS_QUARANTINED.set(self.inner.registry.num_quarantined() as i64);
         }
     }
 
@@ -367,8 +486,7 @@ impl QsbrDomain {
         self.checkpoint();
         // Whatever remains waits for *other* threads; it cannot stay on a
         // parked record (nobody would process it), so the domain adopts it.
-        // SAFETY: owner-only access from the owning thread.
-        let leftovers = unsafe { record.defer_mut().take_all() };
+        let leftovers = record.lock_defer().take_all();
         self.inner.registry.adopt(leftovers);
         record.set_parked(true);
     }
@@ -379,6 +497,7 @@ impl QsbrDomain {
         let record = self.record();
         record.set_parked(false);
         record.observe(self.inner.state.read());
+        record.stamp_progress(self.inner.ticks.load(Ordering::Relaxed));
     }
 
     /// Whether the calling thread is currently parked in this domain.
@@ -398,9 +517,12 @@ impl QsbrDomain {
 
     /// Pending defers on the calling thread's own list.
     pub fn pending_local(&self) -> usize {
-        let record = self.record();
-        // SAFETY: owner-only access from the owning thread.
-        unsafe { record.pending() }
+        self.record().pending()
+    }
+
+    /// Participants currently force-parked by stall detection.
+    pub fn num_quarantined(&self) -> usize {
+        self.inner.registry.num_quarantined()
     }
 
     /// Number of registered, live participants.
@@ -420,6 +542,8 @@ impl QsbrDomain {
             reclaimed,
             pending: defers.saturating_sub(reclaimed),
             pending_bytes: defer_bytes.saturating_sub(reclaimed_bytes),
+            quarantined: self.inner.registry.num_quarantined() as u64,
+            quarantines: self.inner.registry.quarantines_total(),
         }
     }
 }
@@ -768,5 +892,154 @@ mod tests {
         let d = QsbrDomain::new();
         assert_eq!(d.checkpoint(), 0);
         assert_eq!(d.stats().checkpoints, 1);
+    }
+
+    #[test]
+    fn byte_budgeted_checkpoint_bounds_the_drain() {
+        let d = QsbrDomain::new();
+        for _ in 0..4 {
+            d.defer_with_bytes(40, || {});
+        }
+        // 100 bytes fit the two oldest entries (80 bytes); the third
+        // would cross the budget.
+        assert_eq!(d.checkpoint_budgeted_bytes(usize::MAX, 100), 2);
+        assert_eq!(d.stats().pending_bytes, 80);
+        // An oversized entry still frees (one-entry slack: progress
+        // is guaranteed).
+        assert_eq!(d.checkpoint_budgeted_bytes(usize::MAX, 1), 1);
+        d.checkpoint();
+        assert_eq!(d.stats().pending_bytes, 0);
+    }
+
+    #[test]
+    fn stalled_reader_is_quarantined_and_reclamation_proceeds() {
+        let d = QsbrDomain::new();
+        d.set_stall_policy(rcuarray_reclaim::StallPolicy::after(1, 2));
+        let c = Arc::new(AtomicUsize::new(0));
+        let registered = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+
+        let d2 = d.clone();
+        let registered2 = Arc::clone(&registered);
+        let release2 = Arc::clone(&release);
+        let staller = rcuarray_analysis::thread::spawn(move || {
+            d2.register_current_thread(); // observes epoch 0, then stalls
+            registered2.wait();
+            release2.wait();
+            // Woken after quarantine: the next checkpoint rejoins.
+            d2.checkpoint();
+            d2.stats()
+        });
+
+        registered.wait();
+        counter_defer(&d, &c);
+        // The staller gates the min; with patience 2, a few reclaiming
+        // checkpoints (each advances the tick) quarantine it and the
+        // backlog drains.
+        let mut freed = 0;
+        for _ in 0..16 {
+            freed += d.checkpoint();
+            if freed > 0 {
+                break;
+            }
+        }
+        assert_eq!(freed, 1, "quarantine must unblock reclamation");
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+        let s = d.stats();
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.quarantines, 1);
+
+        release.wait();
+        let after = staller.join().unwrap();
+        assert_eq!(after.quarantined, 0, "rejoin settles the gauge");
+        assert_eq!(after.quarantines, 1, "history is preserved");
+    }
+
+    #[test]
+    fn quarantined_thread_rejoins_and_gates_again() {
+        let d = QsbrDomain::new();
+        // Patience 2: the single post-rejoin checkpoint below must not
+        // re-quarantine the worker on its first tick of lag.
+        d.set_stall_policy(rcuarray_reclaim::StallPolicy::after(1, 2));
+        let c = Arc::new(AtomicUsize::new(0));
+        let stalled = Arc::new(Barrier::new(2));
+        let rejoin = Arc::new(Barrier::new(2));
+        let rejoined = Arc::new(Barrier::new(2));
+        let done = Arc::new(Barrier::new(2));
+
+        let d2 = d.clone();
+        let (s2, rj2, rjd2, done2) = (
+            Arc::clone(&stalled),
+            Arc::clone(&rejoin),
+            Arc::clone(&rejoined),
+            Arc::clone(&done),
+        );
+        let t = rcuarray_analysis::thread::spawn(move || {
+            d2.register_current_thread();
+            s2.wait();
+            rj2.wait();
+            d2.checkpoint(); // rejoin: observes current epoch
+            rjd2.wait();
+            done2.wait(); // stalls again at the rejoined epoch
+            d2.checkpoint();
+        });
+
+        stalled.wait();
+        counter_defer(&d, &c);
+        while d.num_quarantined() == 0 {
+            d.checkpoint();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+        rejoin.wait();
+        rejoined.wait();
+        assert_eq!(d.num_quarantined(), 0);
+        // The rejoined thread participates again: a new defer is gated by
+        // it until patience runs out once more.
+        counter_defer(&d, &c);
+        assert_eq!(
+            d.checkpoint(),
+            0,
+            "a rejoined participant gates reclamation again"
+        );
+        done.wait();
+        t.join().unwrap();
+        d.checkpoint();
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn disabled_stall_policy_preserves_classic_gating() {
+        let d = QsbrDomain::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        let ready = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+
+        let d2 = d.clone();
+        let (ready2, release2) = (Arc::clone(&ready), Arc::clone(&release));
+        let lagger = rcuarray_analysis::thread::spawn(move || {
+            d2.register_current_thread();
+            ready2.wait();
+            release2.wait();
+            d2.checkpoint();
+        });
+
+        ready.wait();
+        counter_defer(&d, &c);
+        for _ in 0..32 {
+            assert_eq!(d.checkpoint(), 0, "no policy, no quarantine — ever");
+        }
+        assert_eq!(d.stats().quarantines, 0);
+        release.wait();
+        lagger.join().unwrap();
+        assert_eq!(d.checkpoint(), 1);
+    }
+
+    #[test]
+    fn pressure_config_round_trips() {
+        let d = QsbrDomain::new();
+        assert!(!d.pressure_config().is_bounded());
+        d.set_pressure(rcuarray_reclaim::PressureConfig::bounded(4096));
+        assert_eq!(d.pressure_config().max_backlog_bytes, 4096);
+        assert_eq!(d.pressure_config().high_watermark, 2048);
     }
 }

@@ -46,6 +46,20 @@
 //! exit hands any undeleted defer entries to a domain-wide orphan list so
 //! nothing leaks.
 //!
+//! ## Robustness (DESIGN.md §9)
+//!
+//! A participant that stops checkpointing gates reclamation forever in
+//! the classic protocol. With a [`StallPolicy`] installed
+//! ([`QsbrDomain::set_stall_policy`]), a reclaiming checkpoint that sees
+//! the minimum trail the state epoch past the policy's lag threshold
+//! *quarantines* the straggler: its defer chain is orphaned and it stops
+//! participating in the minimum (force-park semantics — the domain
+//! asserts a stalled thread holds no protected references, the same
+//! contract `park` states). The quarantined thread rejoins automatically
+//! at its next defer or checkpoint. A [`PressureConfig`]
+//! ([`QsbrDomain::set_pressure`]) additionally bounds the defer backlog
+//! in bytes through the unified trait's `try_retire` path.
+//!
 //! ## Example
 //!
 //! ```
@@ -72,10 +86,12 @@ pub mod state;
 pub use defer_list::{DeferChain, DeferList};
 pub use domain::{DomainStats, QsbrDomain};
 pub use reclaim::AmortizedReclaim;
-pub use record::ThreadRecord;
+pub use record::{DeferGuard, ThreadRecord};
 pub use registry::Registry;
 pub use state::StateEpoch;
 
 // The unified reclamation vocabulary, re-exported so QSBR consumers need
 // only this crate.
-pub use rcuarray_reclaim::{Reclaim, ReclaimStats, Retired};
+pub use rcuarray_reclaim::{
+    Backpressure, PressureConfig, Reclaim, ReclaimStats, Retired, StallPolicy,
+};

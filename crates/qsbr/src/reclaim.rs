@@ -13,7 +13,7 @@
 //!   `budget` entries for [`AmortizedReclaim`].
 
 use crate::domain::QsbrDomain;
-use rcuarray_reclaim::{Reclaim, ReclaimStats, Retired};
+use rcuarray_reclaim::{PressureConfig, Reclaim, ReclaimStats, Retired};
 
 /// Map a domain's counters into the scheme-neutral stats vocabulary.
 ///
@@ -38,6 +38,11 @@ fn domain_stats(domain: &QsbrDomain, name_advances_from_checkpoints: bool) -> Re
         // now. Computed registry-side: probing stats must not register
         // the calling thread as a participant.
         epoch_lag: domain.state_epoch().saturating_sub(domain.min_observed()),
+        // Cumulative quarantine events: every one is a participant the
+        // domain declared stalled and force-parked.
+        stalled: s.quarantines,
+        // QSBR guards are free tokens; nothing to release on unwind.
+        guard_panics: 0,
         domain_wide: true,
     }
 }
@@ -73,6 +78,11 @@ impl Reclaim for QsbrDomain {
     fn reclaim_stats(&self) -> ReclaimStats {
         domain_stats(self, true)
     }
+
+    #[inline]
+    fn pressure(&self) -> PressureConfig {
+        self.pressure_config()
+    }
 }
 
 /// QSBR with a bounded per-quiesce drain budget.
@@ -81,14 +91,20 @@ impl Reclaim for QsbrDomain {
 /// once, so a thread that checkpoints rarely takes a latency spike
 /// proportional to how long it deferred. `AmortizedReclaim` caps that
 /// cost: each [`quiesce`](Reclaim::quiesce) frees at most `budget`
-/// entries (the oldest first), spreading reclamation across calls —
-/// the amortization idea of DEBRA (Brown, PODC 2015) expressed through
-/// the same [`QsbrDomain`] machinery via
-/// [`QsbrDomain::checkpoint_budgeted`].
+/// entries (the oldest first) totalling at most `byte_budget` bytes,
+/// spreading reclamation across calls — the amortization idea of DEBRA
+/// (Brown, PODC 2015) expressed through the same [`QsbrDomain`]
+/// machinery via [`QsbrDomain::checkpoint_budgeted_bytes`].
+///
+/// The byte budget is what makes the drain compose with
+/// [`PressureConfig`]: both the cap and the drain are denominated in the
+/// same byte hints, so "drain until under the watermark" terminates in a
+/// predictable number of quiesces regardless of entry sizes.
 #[derive(Clone, Debug)]
 pub struct AmortizedReclaim {
     domain: QsbrDomain,
     budget: usize,
+    byte_budget: usize,
 }
 
 impl AmortizedReclaim {
@@ -101,9 +117,17 @@ impl AmortizedReclaim {
 
     /// Wrap an existing (possibly shared) domain with a drain budget.
     pub fn with_domain(domain: QsbrDomain, budget: usize) -> Self {
+        Self::with_budgets(domain, budget, usize::MAX)
+    }
+
+    /// Wrap an existing domain with both an entry and a byte budget per
+    /// quiesce. Zero budgets are clamped to 1 / one-entry slack: a
+    /// quiesce that can never free anything would leak by construction.
+    pub fn with_budgets(domain: QsbrDomain, budget: usize, byte_budget: usize) -> Self {
         AmortizedReclaim {
             domain,
             budget: budget.max(1),
+            byte_budget: byte_budget.max(1),
         }
     }
 
@@ -112,9 +136,14 @@ impl AmortizedReclaim {
         &self.domain
     }
 
-    /// The per-quiesce drain budget.
+    /// The per-quiesce drain budget, in entries.
     pub fn budget(&self) -> usize {
         self.budget
+    }
+
+    /// The per-quiesce drain budget, in bytes (`usize::MAX` = unbounded).
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
     }
 }
 
@@ -133,7 +162,8 @@ impl Reclaim for AmortizedReclaim {
 
     #[inline]
     fn quiesce(&self) -> usize {
-        self.domain.checkpoint_budgeted(self.budget)
+        self.domain
+            .checkpoint_budgeted_bytes(self.budget, self.byte_budget)
     }
 
     #[inline]
@@ -148,6 +178,11 @@ impl Reclaim for AmortizedReclaim {
 
     fn reclaim_stats(&self) -> ReclaimStats {
         domain_stats(&self.domain, true)
+    }
+
+    #[inline]
+    fn pressure(&self) -> PressureConfig {
+        self.domain.pressure_config()
     }
 }
 
@@ -250,6 +285,66 @@ mod tests {
         let c = Arc::new(AtomicUsize::new(0));
         retire_counting(&a, &c);
         assert_eq!(a.quiesce(), 1);
+    }
+
+    #[test]
+    fn amortized_byte_budget_bounds_each_quiesce() {
+        let a = AmortizedReclaim::with_budgets(QsbrDomain::new(), usize::MAX, 100);
+        let c = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            retire_counting(&a, &c); // 64 bytes each
+        }
+        // 100 bytes fit one 64-byte entry; the second would cross.
+        assert_eq!(a.quiesce(), 1);
+        assert_eq!(a.quiesce(), 1);
+        assert_eq!(a.byte_budget(), 100);
+        while a.quiesce() > 0 {}
+        assert_eq!(c.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn qsbr_pressure_flows_through_the_trait() {
+        let d = QsbrDomain::new();
+        d.set_pressure(rcuarray_reclaim::PressureConfig::bounded(256));
+        assert_eq!(Reclaim::pressure(&d).max_backlog_bytes, 256);
+        let a = AmortizedReclaim::with_domain(d.clone(), 4);
+        assert_eq!(
+            a.pressure().max_backlog_bytes,
+            256,
+            "shared domain, shared cap"
+        );
+    }
+
+    #[test]
+    fn qsbr_try_retire_backpressures_under_a_stalled_reader() {
+        let d = QsbrDomain::new();
+        d.set_pressure(rcuarray_reclaim::PressureConfig {
+            max_backlog_bytes: 200,
+            high_watermark: 100,
+        });
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let release = Arc::new(std::sync::Barrier::new(2));
+        let d2 = d.clone();
+        let (g2, r2) = (Arc::clone(&gate), Arc::clone(&release));
+        let staller = rcuarray_analysis::thread::spawn(move || {
+            d2.register_current_thread();
+            g2.wait();
+            r2.wait();
+            d2.checkpoint();
+        });
+        gate.wait();
+        // Fill to the cap: the stalled reader gates every drain attempt.
+        assert!(d.try_retire(Retired::with_bytes(200, || {})).is_ok());
+        let err = d
+            .try_retire(Retired::with_bytes(8, || {}))
+            .expect_err("cap reached and nothing can drain");
+        err.into_retired().run();
+        // The reader quiesces: backpressure lifts.
+        release.wait();
+        staller.join().unwrap();
+        assert!(d.try_retire(Retired::with_bytes(8, || {})).is_ok());
+        d.checkpoint();
+        assert_eq!(d.reclaim_stats().pending, 0);
     }
 
     #[test]

@@ -285,21 +285,28 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
     /// their domain, EBR advances the locale's epoch and drains its
     /// readers before freeing, the leak scheme drops the request on the
     /// floor. The array does not know or care which.
+    ///
+    /// Under a bounded [`Config::pressure`] the retire is pressure-aware:
+    /// past the watermark the publishing task helps reclaim, and at the
+    /// byte cap it falls back to [`Reclaim::retire_or_quiesce`] — the
+    /// snapshot is already unlinked, so it *must* be handed to the scheme;
+    /// the blocking fallback (with its escape hatch) bounds the backlog
+    /// without ever dropping a retirement. New resizes are refused before
+    /// reaching this point (see [`try_resize`](Self::try_resize)).
     fn retire_snapshot(&self, st: &LocaleState<T, S::Reclaim>, old_ptr: NonNull<Snapshot<T>>) {
         // SAFETY: unlinked by the caller, so the pointer stays valid until
         // the retirement closure (its sole holder) frees it — whenever the
         // scheme decides that is safe.
         let bytes = snapshot_bytes(unsafe { old_ptr.as_ref() });
         let old = SendSnap(old_ptr);
-        st.reclaim().retire(Retired::with_hint(
-            bytes,
-            old_ptr.as_ptr() as usize,
-            move || {
-                // SAFETY: unlinked by the caller; the scheme runs this
-                // only once no reader can still hold the snapshot.
-                unsafe { reclaim_box(old.into_inner()) };
-            },
-        ));
+        let retired = Retired::with_hint(bytes, old_ptr.as_ptr() as usize, move || {
+            // SAFETY: unlinked by the caller; the scheme runs this
+            // only once no reader can still hold the snapshot.
+            unsafe { reclaim_box(old.into_inner()) };
+        });
+        if let Err(bp) = st.reclaim().try_retire(retired) {
+            st.reclaim().retire_or_quiesce(bp.into_retired());
+        }
     }
 
     /// Algorithm 3 `Helper` (lines 1–3): locate `idx` within a snapshot.
@@ -343,6 +350,14 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         // out-of-bounds index — and a leaked EBR pin would deadlock every
         // future writer on this locale's parity counter.
         let guard = st.reclaim().read_lock();
+        // Chaos hook: a triggered `read.kill` dies *inside* the read-side
+        // critical section, proving the guard's unwind path releases the
+        // pin (one relaxed load when no trigger is armed).
+        self.shared
+            .cluster
+            .fault()
+            .hit("read.kill")
+            .expect("reader killed by fault plan");
         // SAFETY: the guard is live across the call, and this thread
         // crosses no quiescent point inside `f`.
         let ret = f(unsafe { st.snapshot_ref() });
@@ -431,12 +446,15 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
     /// resizes serialize on the cluster-wide write lock.
     ///
     /// Under an enabled fault plan, faulted attempts are rolled back and
-    /// retried per [`Config::retry`]; exhausting the budget panics (use
+    /// retried per [`Config::retry`]; the same loop retries
+    /// [`CommError::Backpressure`] refusals under a bounded
+    /// [`Config::pressure`] (each retry's quiesce helps drain the
+    /// backlog). Exhausting the budget panics (use
     /// [`try_resize`](Self::try_resize) to handle the error instead). On
-    /// a healthy cluster this path is never entered.
+    /// a healthy, unbounded cluster this path is never entered.
     pub fn resize(&self, additional: usize) -> usize {
-        if !self.shared.cluster.fault().is_enabled() {
-            // Infallible without fault injection.
+        if !self.shared.cluster.fault().is_enabled() && !self.shared.config.pressure.is_bounded() {
+            // Infallible without fault injection or a backlog bound.
             return self.try_resize(additional).unwrap();
         }
         let policy = self.shared.config.retry;
@@ -465,6 +483,27 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         let num_locales = self.shared.cluster.num_locales();
         let fault = self.shared.cluster.fault();
         let t0 = rcuarray_obs::enabled().then(std::time::Instant::now);
+
+        // Robustness gate (DESIGN.md §9): a resize retires one snapshot
+        // per locale, so refuse up front when the reclamation backlog
+        // already sits at its byte cap — after giving this task's engine
+        // one chance to help drain. `CommError::Backpressure` is
+        // retryable: `resize` keeps trying under [`Config::retry`], and
+        // the pressure lifts once readers progress (or a stalled one is
+        // quarantined / routed around).
+        let gate_state = self.state.get();
+        let gate = gate_state.reclaim();
+        let pressure = gate.pressure();
+        if pressure.is_bounded() && gate.reclaim_stats().pending_bytes >= pressure.max_backlog_bytes
+        {
+            gate.quiesce();
+            if gate.reclaim_stats().pending_bytes >= pressure.max_backlog_bytes {
+                return Err(self.abort_resize(CommError::Backpressure {
+                    op: OpKind::Put,
+                    locale: rcuarray_runtime::current_locale(),
+                }));
+            }
+        }
 
         // Line 10: mutual exclusion with respect to all locales. Under a
         // fault plan the acquisition is bounded so a wedged writer (e.g.

@@ -2,6 +2,7 @@
 //! retry policy.
 
 use rcuarray_ebr::OrderingMode;
+use rcuarray_reclaim::{PressureConfig, StallPolicy};
 use rcuarray_runtime::RetryPolicy;
 
 /// The paper's benchmarks resize "in increments of 1024" with blocks of
@@ -29,6 +30,16 @@ pub struct Config {
     /// Bounds the latency spike a rarely-quiescing thread pays for its
     /// backlog (DEBRA-style amortization).
     pub drain_budget: usize,
+    /// Memory bound on the reclamation backlog (DESIGN.md §9). Unbounded
+    /// by default; with a bound installed, resizes past the high
+    /// watermark help reclaim, and past the byte cap they refuse with
+    /// `CommError::Backpressure` instead of growing the backlog.
+    pub pressure: PressureConfig,
+    /// Stalled-reader detection (DESIGN.md §9). Disabled by default;
+    /// with a policy installed, a reader that lags the reclamation
+    /// protocol beyond the bound is quarantined (QSBR family) or routed
+    /// around via evacuation (EBR) so it cannot wedge reclamation.
+    pub stall: StallPolicy,
 }
 
 /// Default per-quiesce drain budget for `AmortizedScheme`: large enough
@@ -44,6 +55,8 @@ impl Default for Config {
             account_comm: true,
             retry: RetryPolicy::default(),
             drain_budget: DEFAULT_DRAIN_BUDGET,
+            pressure: PressureConfig::unbounded(),
+            stall: StallPolicy::disabled(),
         }
     }
 }
@@ -70,6 +83,7 @@ impl Config {
             "drain_budget must be positive: a quiesce that can never free \
              anything would leak by construction"
         );
+        self.pressure.validate();
     }
 
     /// Round an element count up to a whole number of blocks, in elements.
@@ -91,6 +105,21 @@ mod tests {
         assert_eq!(c.ordering, OrderingMode::SeqCst);
         assert!(c.account_comm);
         assert_eq!(c.drain_budget, DEFAULT_DRAIN_BUDGET);
+        assert!(!c.pressure.is_bounded(), "unbounded backlog by default");
+        assert!(!c.stall.detects_lag(), "stall detection off by default");
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark")]
+    fn inverted_pressure_watermark_rejected() {
+        let c = Config {
+            pressure: PressureConfig {
+                max_backlog_bytes: 100,
+                high_watermark: 200,
+            },
+            ..Config::default()
+        };
         c.validate();
     }
 

@@ -78,7 +78,9 @@ pub use stats::ArrayStats;
 
 // The unified reclamation vocabulary, re-exported so scheme-generic code
 // (and out-of-crate `Scheme` implementations) need only this crate.
-pub use rcuarray_reclaim::{Reclaim, ReclaimStats, Retired};
+pub use rcuarray_reclaim::{
+    Backpressure, PressureConfig, Reclaim, ReclaimStats, Retired, StallPolicy,
+};
 
 // Fault-injection vocabulary, re-exported so applications handling
 // `try_resize` errors or configuring retries need only this crate.

@@ -17,7 +17,7 @@
 use crate::config::Config;
 use rcuarray_ebr::{EpochZone, OrderingMode};
 use rcuarray_qsbr::{AmortizedReclaim, QsbrDomain};
-use rcuarray_reclaim::{LeakReclaim, Reclaim};
+use rcuarray_reclaim::{LeakReclaim, PressureConfig, Reclaim, StallPolicy};
 
 /// A reclamation scheme: cluster-wide shared state plus a factory for the
 /// per-locale [`Reclaim`] engines embedded in the privatized metadata.
@@ -53,6 +53,8 @@ pub trait Scheme: Send + Sync + Sized + 'static {
 #[derive(Debug)]
 pub struct EbrScheme {
     ordering: OrderingMode,
+    pressure: PressureConfig,
+    stall: StallPolicy,
 }
 
 impl Scheme for EbrScheme {
@@ -62,12 +64,19 @@ impl Scheme for EbrScheme {
     fn new_shared(config: &Config) -> Self {
         EbrScheme {
             ordering: config.ordering,
+            pressure: config.pressure,
+            stall: config.stall,
         }
     }
 
     fn reclaimer(&self) -> EpochZone {
         // Each locale gets its own zone: reader traffic stays node-local.
-        EpochZone::with_mode(self.ordering)
+        // Robustness knobs are per-zone: the bound applies to each
+        // locale's evacuation backlog independently.
+        let zone = EpochZone::with_mode(self.ordering);
+        zone.set_stall_policy(self.stall);
+        zone.set_pressure(self.pressure);
+        zone
     }
 }
 
@@ -83,10 +92,13 @@ impl Scheme for QsbrScheme {
     type Reclaim = QsbrDomain;
     const NAME: &'static str = "qsbr";
 
-    fn new_shared(_config: &Config) -> Self {
-        QsbrScheme {
-            domain: QsbrDomain::new(),
-        }
+    fn new_shared(config: &Config) -> Self {
+        let domain = QsbrDomain::new();
+        // Robustness knobs are domain-wide: one backlog bound and one
+        // stall policy cover every locale sharing the domain.
+        domain.set_stall_policy(config.stall);
+        domain.set_pressure(config.pressure);
+        QsbrScheme { domain }
     }
 
     fn reclaimer(&self) -> QsbrDomain {
@@ -109,18 +121,24 @@ impl Scheme for QsbrScheme {
 /// measurement and harness runs; a long-lived array under `LeakScheme`
 /// grows without bound.
 #[derive(Debug, Default)]
-pub struct LeakScheme;
+pub struct LeakScheme {
+    pressure: PressureConfig,
+}
 
 impl Scheme for LeakScheme {
     type Reclaim = LeakReclaim;
     const NAME: &'static str = "leak";
 
-    fn new_shared(_config: &Config) -> Self {
-        LeakScheme
+    fn new_shared(config: &Config) -> Self {
+        LeakScheme {
+            pressure: config.pressure,
+        }
     }
 
     fn reclaimer(&self) -> LeakReclaim {
-        LeakReclaim::new()
+        // A bounded leak scheme is a *retirement budget*: nothing ever
+        // drains, so the cap is the total bytes the array may retire.
+        LeakReclaim::with_pressure(self.pressure)
     }
 }
 
@@ -139,8 +157,11 @@ impl Scheme for AmortizedScheme {
     const NAME: &'static str = "amortized";
 
     fn new_shared(config: &Config) -> Self {
+        let domain = QsbrDomain::new();
+        domain.set_stall_policy(config.stall);
+        domain.set_pressure(config.pressure);
         AmortizedScheme {
-            domain: QsbrDomain::new(),
+            domain,
             budget: config.drain_budget,
         }
     }

@@ -32,8 +32,54 @@
 //! * [`quiesce`](Reclaim::quiesce) announces the calling thread holds no
 //!   protected pointers, returning how many retired objects were freed.
 //!   Synchronous schemes return 0.
+//!
+//! ## Robustness (DESIGN.md §9)
+//!
+//! Epoch schemes are classically fragile: one stalled reader blocks
+//! reclamation forever and the backlog grows without bound. Two knobs
+//! bound the damage:
+//!
+//! * [`PressureConfig`] puts a byte budget on the backlog. Past the
+//!   [`high_watermark`](PressureConfig::high_watermark) a retiring writer
+//!   *helps reclaim* (a forced [`quiesce`](Reclaim::quiesce)); past the
+//!   hard [`max_backlog_bytes`](PressureConfig::max_backlog_bytes) cap,
+//!   [`try_retire`](Reclaim::try_retire) degrades gracefully to
+//!   `Err(`[`Backpressure`]`)` and
+//!   [`retire_or_quiesce`](Reclaim::retire_or_quiesce) is the blocking
+//!   fallback.
+//! * [`StallPolicy`] tells a scheme when a non-progressing participant
+//!   counts as *stalled*: QSBR quarantines it (force-park), EBR flips the
+//!   writer into an evacuation epoch instead of spinning forever.
 
 use rcuarray_analysis::atomic::{AtomicU64, Ordering};
+use rcuarray_obs::LazyCounter;
+
+// Process-wide pressure telemetry (the per-scheme stats carry the
+// scheme-local view; these totals feed BENCH_*.json).
+static OBS_FORCED_DRAINS: LazyCounter = LazyCounter::new(
+    "rcuarray_reclaim_forced_drains_total",
+    "writer-help drains forced by backlog pressure past the high watermark",
+);
+static OBS_BACKPRESSURE: LazyCounter = LazyCounter::new(
+    "rcuarray_reclaim_backpressure_total",
+    "try_retire rejections at the hard backlog-bytes cap",
+);
+static OBS_CAP_OVERRUNS: LazyCounter = LazyCounter::new(
+    "rcuarray_reclaim_cap_overruns_total",
+    "retire_or_quiesce escapes past the cap after quiescing made no progress",
+);
+
+/// Process-wide pressure event totals:
+/// `(forced_drains, backpressure_rejections, cap_overruns)`. Exposed so
+/// the bench harness can record the cost of robustness without parsing
+/// the metrics registry.
+pub fn pressure_event_totals() -> (u64, u64, u64) {
+    (
+        OBS_FORCED_DRAINS.value(),
+        OBS_BACKPRESSURE.value(),
+        OBS_CAP_OVERRUNS.value(),
+    )
+}
 
 /// A retired object: an unlinked allocation's destructor, plus the
 /// accounting hints schemes key on.
@@ -114,6 +160,162 @@ impl std::fmt::Debug for Retired {
     }
 }
 
+/// A byte budget on a scheme's retirement backlog (DESIGN.md §9).
+///
+/// Both thresholds are approximate: the backlog is measured through the
+/// byte hints on [`Retired`], and a single retire may overshoot either
+/// threshold by its own size ("one retire of slack").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PressureConfig {
+    /// Hard cap: once `pending_bytes` reaches this,
+    /// [`try_retire`](Reclaim::try_retire) refuses with [`Backpressure`].
+    /// `u64::MAX` disables the cap.
+    pub max_backlog_bytes: u64,
+    /// Soft threshold: a retire that would push `pending_bytes` past this
+    /// first makes the *writer help reclaim* (one forced
+    /// [`quiesce`](Reclaim::quiesce)). `u64::MAX` disables helping.
+    pub high_watermark: u64,
+}
+
+impl PressureConfig {
+    /// No pressure: retires never drain or reject (the pre-robustness
+    /// behavior, and the default everywhere).
+    pub const fn unbounded() -> Self {
+        PressureConfig {
+            max_backlog_bytes: u64::MAX,
+            high_watermark: u64::MAX,
+        }
+    }
+
+    /// A hard cap with the watermark at half of it — writers start helping
+    /// at 50% occupancy, rejections begin at 100%.
+    pub const fn bounded(max_backlog_bytes: u64) -> Self {
+        PressureConfig {
+            max_backlog_bytes,
+            high_watermark: max_backlog_bytes / 2,
+        }
+    }
+
+    /// Whether any threshold is active.
+    #[inline]
+    pub fn is_bounded(&self) -> bool {
+        self.max_backlog_bytes != u64::MAX || self.high_watermark != u64::MAX
+    }
+
+    /// Validate invariants (positive cap, watermark not above the cap).
+    pub fn validate(&self) {
+        assert!(
+            self.max_backlog_bytes > 0,
+            "max_backlog_bytes must be positive: a zero cap rejects every retire"
+        );
+        assert!(
+            self.high_watermark <= self.max_backlog_bytes,
+            "high_watermark above max_backlog_bytes would reject before helping"
+        );
+    }
+}
+
+impl Default for PressureConfig {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// When a non-progressing participant counts as *stalled* (DESIGN.md §9).
+///
+/// Progress is measured in protocol events, never wall clock, so stall
+/// detection stays deterministic under the `rcuarray-analysis` checker:
+/// QSBR compares epoch lag plus a monotonic tick counter advanced by
+/// reclaiming checkpoints; EBR counts writer backoff steps against a
+/// parity counter that never drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallPolicy {
+    /// QSBR: a participant whose observed epoch trails the state epoch by
+    /// at least this many epochs is a quarantine candidate. `u64::MAX`
+    /// disables stall detection entirely.
+    pub lag_epochs: u64,
+    /// How long a candidate must additionally fail to make progress
+    /// before it is declared stalled: QSBR counts domain ticks since the
+    /// participant's last progress stamp; EBR counts writer backoff
+    /// snoozes against the non-draining parity counter (`u64::MAX` means
+    /// the EBR writer waits forever — the classic protocol).
+    pub patience: u64,
+}
+
+impl StallPolicy {
+    /// No stall detection (the pre-robustness behavior, and the default).
+    pub const fn disabled() -> Self {
+        StallPolicy {
+            lag_epochs: u64::MAX,
+            patience: u64::MAX,
+        }
+    }
+
+    /// Detect stalls after `lag_epochs` of epoch lag and `patience`
+    /// progress-free ticks/snoozes.
+    pub const fn after(lag_epochs: u64, patience: u64) -> Self {
+        StallPolicy {
+            lag_epochs,
+            patience,
+        }
+    }
+
+    /// Whether QSBR-style lag detection is active.
+    #[inline]
+    pub fn detects_lag(&self) -> bool {
+        self.lag_epochs != u64::MAX
+    }
+
+    /// Whether EBR-style bounded waiting is active.
+    #[inline]
+    pub fn bounds_waits(&self) -> bool {
+        self.patience != u64::MAX
+    }
+}
+
+impl Default for StallPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// The backlog is at its hard cap: the scheme refused to take the object.
+/// Ownership comes back to the caller via
+/// [`into_retired`](Backpressure::into_retired) so nothing is leaked.
+pub struct Backpressure {
+    /// Approximate backlog bytes at the moment of rejection.
+    pub pending_bytes: u64,
+    /// The cap that was hit.
+    pub max_backlog_bytes: u64,
+    retired: Retired,
+}
+
+impl Backpressure {
+    /// Recover the rejected object to retry, quiesce, or leak explicitly.
+    pub fn into_retired(self) -> Retired {
+        self.retired
+    }
+}
+
+impl std::fmt::Debug for Backpressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backpressure")
+            .field("pending_bytes", &self.pending_bytes)
+            .field("max_backlog_bytes", &self.max_backlog_bytes)
+            .finish()
+    }
+}
+
+impl std::fmt::Display for Backpressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "retirement backlog at capacity: {} pending bytes >= {} cap",
+            self.pending_bytes, self.max_backlog_bytes
+        )
+    }
+}
+
 /// Scheme-agnostic reclamation counters, the per-scheme stats hook of the
 /// unified trait. Each scheme fills the fields that mean something for it
 /// and leaves the rest zero.
@@ -139,6 +341,11 @@ pub struct ReclaimStats {
     /// How many epochs the slowest participant trails the writer (QSBR's
     /// `state_epoch - min_observed`; zero for synchronous schemes).
     pub epoch_lag: u64,
+    /// Stall events the scheme has observed: quarantined participants for
+    /// QSBR-family schemes, writer waits that hit the stall bound for EBR.
+    pub stalled: u64,
+    /// Guards released while their thread was unwinding from a panic.
+    pub guard_panics: u64,
     /// True when these counters are domain-global rather than
     /// per-instance: merging takes the elementwise maximum instead of
     /// summing, so cloned handles of one shared domain are not
@@ -161,6 +368,8 @@ impl ReclaimStats {
                 pending: self.pending.max(other.pending),
                 pending_bytes: self.pending_bytes.max(other.pending_bytes),
                 epoch_lag: self.epoch_lag.max(other.epoch_lag),
+                stalled: self.stalled.max(other.stalled),
+                guard_panics: self.guard_panics.max(other.guard_panics),
                 domain_wide: true,
             }
         } else {
@@ -173,6 +382,8 @@ impl ReclaimStats {
                 pending: self.pending + other.pending,
                 pending_bytes: self.pending_bytes + other.pending_bytes,
                 epoch_lag: self.epoch_lag.max(other.epoch_lag),
+                stalled: self.stalled + other.stalled,
+                guard_panics: self.guard_panics + other.guard_panics,
                 domain_wide: false,
             }
         }
@@ -214,6 +425,86 @@ pub trait Reclaim: Send + Sync + 'static {
     /// Current counters. Named `reclaim_stats` (not `stats`) so inherent
     /// `stats()` methods on implementing types stay unambiguous.
     fn reclaim_stats(&self) -> ReclaimStats;
+
+    /// The scheme's configured backlog budget. The default is unbounded;
+    /// schemes with a configurable backlog override this.
+    #[inline]
+    fn pressure(&self) -> PressureConfig {
+        PressureConfig::unbounded()
+    }
+
+    /// [`retire`](Self::retire) under the scheme's [`PressureConfig`]:
+    /// past the high watermark the calling writer first helps reclaim
+    /// (one forced [`quiesce`](Self::quiesce)); at the hard cap the
+    /// object is handed back inside `Err(`[`Backpressure`]`)` instead of
+    /// growing the backlog further.
+    ///
+    /// With the default unbounded pressure this is exactly `retire` (and
+    /// costs nothing extra). A single accepted retire may overshoot the
+    /// cap by its own size — the "one retire of slack" contract.
+    fn try_retire(&self, retired: Retired) -> Result<(), Backpressure> {
+        let p = self.pressure();
+        if !p.is_bounded() {
+            self.retire(retired);
+            return Ok(());
+        }
+        let mut pending = self.reclaim_stats().pending_bytes;
+        if pending.saturating_add(retired.bytes() as u64) > p.high_watermark {
+            // Writer-help: drain before adding to the backlog.
+            self.quiesce();
+            OBS_FORCED_DRAINS.inc();
+            pending = self.reclaim_stats().pending_bytes;
+        }
+        if pending >= p.max_backlog_bytes {
+            OBS_BACKPRESSURE.inc();
+            return Err(Backpressure {
+                pending_bytes: pending,
+                max_backlog_bytes: p.max_backlog_bytes,
+                retired,
+            });
+        }
+        self.retire(retired);
+        Ok(())
+    }
+
+    /// Blocking fallback for [`try_retire`](Self::try_retire): quiesce
+    /// and retry until the backlog drops below the cap. Returns the
+    /// number of objects freed while waiting.
+    ///
+    /// Liveness escape: if two consecutive quiesces free nothing (the
+    /// backlog is gated by something this thread cannot drain — e.g. an
+    /// EBR reader pinned forever), the object is retired anyway rather
+    /// than deadlocking the writer; the overshoot is counted in the
+    /// `rcuarray_reclaim_cap_overruns_total` metric. Under stall
+    /// detection ([`StallPolicy`]) the gating participant is eventually
+    /// quarantined, so the escape only fires when detection is off or
+    /// the stall is undetectable.
+    fn retire_or_quiesce(&self, retired: Retired) -> usize {
+        let mut freed = 0usize;
+        let mut r = retired;
+        let mut dry = 0u32;
+        loop {
+            match self.try_retire(r) {
+                Ok(()) => return freed,
+                Err(bp) => {
+                    r = bp.into_retired();
+                    let n = self.quiesce();
+                    freed += n;
+                    if n == 0 {
+                        dry += 1;
+                        if dry >= 2 {
+                            OBS_CAP_OVERRUNS.inc();
+                            self.retire(r);
+                            return freed;
+                        }
+                        rcuarray_analysis::thread::yield_now();
+                    } else {
+                        dry = 0;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The never-free scheme: guards are no-ops, retired objects are leaked.
@@ -224,16 +515,50 @@ pub trait Reclaim: Send + Sync + 'static {
 /// is *safe*, because never freeing is what makes unguarded readers
 /// sound. Memory grows monotonically with retirement; use only for
 /// benchmarking and bounded test runs.
-#[derive(Debug, Default)]
+///
+/// Because nothing ever frees, a [`PressureConfig`] cap on a leaking
+/// scheme is a *retirement budget*: once the leaked bytes reach the cap,
+/// [`try_retire`](Reclaim::try_retire) rejects — which is what keeps the
+/// chaos suite's leak runs memory-bounded.
+#[derive(Debug)]
 pub struct LeakReclaim {
     retired: AtomicU64,
     retired_bytes: AtomicU64,
+    // Stored as atomics only so the shared handle stays `Sync`; set once
+    // at construction/configuration, read on the (cold) retire path.
+    cap_bytes: AtomicU64,
+    watermark_bytes: AtomicU64,
+}
+
+impl Default for LeakReclaim {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LeakReclaim {
-    /// A fresh leaking reclaimer.
+    /// A fresh leaking reclaimer with no retirement budget.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_pressure(PressureConfig::unbounded())
+    }
+
+    /// A leaking reclaimer with a retirement budget.
+    pub fn with_pressure(pressure: PressureConfig) -> Self {
+        LeakReclaim {
+            retired: AtomicU64::new(0),
+            retired_bytes: AtomicU64::new(0),
+            cap_bytes: AtomicU64::new(pressure.max_backlog_bytes),
+            watermark_bytes: AtomicU64::new(pressure.high_watermark),
+        }
+    }
+
+    /// Replace the retirement budget.
+    pub fn set_pressure(&self, pressure: PressureConfig) {
+        pressure.validate();
+        self.cap_bytes
+            .store(pressure.max_backlog_bytes, Ordering::SeqCst);
+        self.watermark_bytes
+            .store(pressure.high_watermark, Ordering::SeqCst);
     }
 }
 
@@ -275,6 +600,13 @@ impl Reclaim for LeakReclaim {
             pending: retired,
             pending_bytes: self.retired_bytes.load(Ordering::SeqCst),
             ..ReclaimStats::default()
+        }
+    }
+
+    fn pressure(&self) -> PressureConfig {
+        PressureConfig {
+            max_backlog_bytes: self.cap_bytes.load(Ordering::SeqCst),
+            high_watermark: self.watermark_bytes.load(Ordering::SeqCst),
         }
     }
 }
@@ -385,5 +717,110 @@ mod tests {
             r.reclaim_stats().retired
         }
         assert_eq!(churn(&LeakReclaim::new()), 1);
+    }
+
+    #[test]
+    fn pressure_config_constructors_and_validation() {
+        let p = PressureConfig::unbounded();
+        assert!(!p.is_bounded());
+        p.validate();
+        let b = PressureConfig::bounded(1024);
+        assert!(b.is_bounded());
+        assert_eq!(b.high_watermark, 512);
+        b.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark")]
+    fn pressure_watermark_above_cap_rejected() {
+        PressureConfig {
+            max_backlog_bytes: 10,
+            high_watermark: 11,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn pressure_zero_cap_rejected() {
+        PressureConfig {
+            max_backlog_bytes: 0,
+            high_watermark: 0,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn stall_policy_flags() {
+        let off = StallPolicy::disabled();
+        assert!(!off.detects_lag());
+        assert!(!off.bounds_waits());
+        let on = StallPolicy::after(4, 2);
+        assert!(on.detects_lag());
+        assert!(on.bounds_waits());
+    }
+
+    #[test]
+    fn unbounded_try_retire_is_plain_retire() {
+        let leak = LeakReclaim::new();
+        assert!(leak.try_retire(Retired::with_bytes(1 << 40, || {})).is_ok());
+    }
+
+    #[test]
+    fn try_retire_rejects_at_the_cap_and_hands_the_object_back() {
+        let leak = LeakReclaim::with_pressure(PressureConfig {
+            max_backlog_bytes: 100,
+            high_watermark: 100,
+        });
+        // First retire may overshoot the cap by its own size (slack).
+        assert!(leak.try_retire(Retired::with_bytes(100, || {})).is_ok());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let err = leak
+            .try_retire(Retired::with_bytes(8, move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }))
+            .expect_err("backlog at cap must reject");
+        assert_eq!(err.pending_bytes, 100);
+        assert_eq!(err.max_backlog_bytes, 100);
+        // Ownership comes back: run the destructor ourselves.
+        err.into_retired().run();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // The rejected retire never entered the backlog.
+        assert_eq!(leak.reclaim_stats().pending_bytes, 100);
+    }
+
+    #[test]
+    fn retire_or_quiesce_escapes_when_nothing_can_drain() {
+        // A leaking scheme can never drain; the blocking fallback must
+        // not deadlock — it retires past the cap and reports 0 freed.
+        let leak = LeakReclaim::with_pressure(PressureConfig::bounded(64));
+        leak.retire(Retired::with_bytes(64, || {}));
+        assert_eq!(leak.retire_or_quiesce(Retired::with_bytes(8, || {})), 0);
+        assert_eq!(leak.reclaim_stats().pending_bytes, 72);
+    }
+
+    #[test]
+    fn backpressure_formats_both_numbers() {
+        let leak = LeakReclaim::with_pressure(PressureConfig {
+            max_backlog_bytes: 10,
+            high_watermark: 10,
+        });
+        leak.retire(Retired::with_bytes(10, || {}));
+        let err = leak.try_retire(Retired::new(|| {})).unwrap_err();
+        let s = format!("{err} / {err:?}");
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn merge_sums_robustness_counters_per_instance() {
+        let a = ReclaimStats {
+            stalled: 1,
+            guard_panics: 2,
+            ..Default::default()
+        };
+        let m = a.merge(a);
+        assert_eq!(m.stalled, 2);
+        assert_eq!(m.guard_panics, 4);
     }
 }

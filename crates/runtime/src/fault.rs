@@ -87,6 +87,18 @@ pub enum CommError {
         /// The remote locale it was addressed to.
         locale: LocaleId,
     },
+    /// The target structure's reclamation backlog is at its configured
+    /// byte cap (see `PressureConfig` in `rcuarray-reclaim`): the write
+    /// was refused rather than growing the backlog. Retrying after a
+    /// quiesce may succeed — unless a stalled reader pins the backlog,
+    /// in which case the error keeps surfacing until stall detection
+    /// clears it.
+    Backpressure {
+        /// The operation that was refused.
+        op: OpKind,
+        /// The locale whose reclamation backlog is at capacity.
+        locale: LocaleId,
+    },
 }
 
 impl CommError {
@@ -96,7 +108,9 @@ impl CommError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            CommError::Transient { .. } | CommError::Timeout { .. }
+            CommError::Transient { .. }
+                | CommError::Timeout { .. }
+                | CommError::Backpressure { .. }
         )
     }
 
@@ -106,7 +120,8 @@ impl CommError {
         match *self {
             CommError::Timeout { op, .. }
             | CommError::LocaleDown { op, .. }
-            | CommError::Transient { op, .. } => op,
+            | CommError::Transient { op, .. }
+            | CommError::Backpressure { op, .. } => op,
         }
     }
 
@@ -116,7 +131,8 @@ impl CommError {
         match *self {
             CommError::Timeout { locale, .. }
             | CommError::LocaleDown { locale, .. }
-            | CommError::Transient { locale, .. } => locale,
+            | CommError::Transient { locale, .. }
+            | CommError::Backpressure { locale, .. } => locale,
         }
     }
 }
@@ -132,6 +148,13 @@ impl std::fmt::Display for CommError {
             }
             CommError::Transient { op, locale } => {
                 write!(f, "{} to {locale} dropped (transient)", op.name())
+            }
+            CommError::Backpressure { op, locale } => {
+                write!(
+                    f,
+                    "{} to {locale} refused: reclamation backlog at capacity",
+                    op.name()
+                )
             }
         }
     }
@@ -490,6 +513,7 @@ impl FaultPlan {
                     CommError::Timeout { .. } => 0x1111_0000_0000_0000,
                     CommError::LocaleDown { .. } => 0x2222_0000_0000_0000,
                     CommError::Transient { .. } => 0x3333_0000_0000_0000,
+                    CommError::Backpressure { .. } => 0x4444_0000_0000_0000,
                 };
                 // splitmix64 finalizer, then fold by XOR (commutative).
                 x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -505,16 +529,69 @@ fn prob_to_threshold(p: f64) -> u64 {
     (p * PROB_ONE as f64) as u64
 }
 
+/// Backoff floor in spin units (first retry waits at least this long).
+const JITTER_BASE: u64 = 1 << 6;
+/// Backoff ceiling in spin units: pure exponential growth stops here.
+const JITTER_CAP: u64 = 1 << 16;
+/// Spinning past one batch yields the thread between batches so a backed-off
+/// retrier cannot starve the task whose progress it is waiting on.
+const SPIN_YIELD_BATCH: u64 = 1 << 10;
+/// Default stream for the decorrelated-jitter PRNG. Any fixed value works;
+/// what matters is that two policies with the same seed replay the same
+/// backoff sequence (checker/fingerprint determinism).
+const DEFAULT_JITTER_SEED: u64 = 0x5265_7472_794A_6974; // "RetryJit"
+
+/// One step of AWS-style *decorrelated jitter*: the next wait is uniform in
+/// `[base, prev * 3]`, clamped to the cap. Unlike equal/full jitter this
+/// decorrelates concurrent retriers (different seeds spread out instead of
+/// colliding on the same power-of-two rungs) while still growing
+/// geometrically in expectation. The PRNG is a counter-mode splitmix64 over
+/// `state`, so the sequence is a pure function of the starting seed — no
+/// clocks, no global RNG — and replays identically under the deterministic
+/// checker and the fault plan's fingerprint tests.
+fn decorrelated_jitter(state: &mut u64, prev: u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *state;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let span = prev.saturating_mul(3).max(JITTER_BASE + 1) - JITTER_BASE;
+    (JITTER_BASE + x % span).min(JITTER_CAP)
+}
+
+/// Busy-wait for `units` spin units, yielding between batches.
+fn spin_units(units: u64) {
+    let mut done = 0u64;
+    while done < units {
+        let batch = (units - done).min(SPIN_YIELD_BATCH);
+        for _ in 0..batch {
+            std::hint::spin_loop();
+        }
+        done += batch;
+        if done < units {
+            rcuarray_analysis::thread::yield_now();
+        }
+    }
+}
+
 /// Bounded-retry policy for fault-aware operations: retry transient
-/// failures with exponential spin-then-yield backoff (the EBR writer's
-/// [`Backoff`](rcuarray_ebr::Backoff)) until the attempt budget or the time
-/// budget runs out.
+/// failures with decorrelated-jitter spin-then-yield backoff until the
+/// attempt budget or the time budget runs out.
+///
+/// The jitter sequence is a pure function of [`jitter_seed`]
+/// (`RetryPolicy::jitter_seed`): replaying an operation with the same seed
+/// replays the same waits, which keeps fault-plan fingerprints and the
+/// deterministic checker stable across runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Retries after the first attempt (0 = fail fast).
     pub max_retries: u32,
     /// Wall-clock budget across all attempts of one operation.
     pub op_timeout: Duration,
+    /// Seed for the decorrelated-jitter backoff PRNG. Two tasks retrying
+    /// the same contended operation should use different seeds so their
+    /// retries spread out instead of colliding in lockstep.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -522,6 +599,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_retries: 16,
             op_timeout: Duration::from_millis(100),
+            jitter_seed: DEFAULT_JITTER_SEED,
         }
     }
 }
@@ -532,6 +610,7 @@ impl RetryPolicy {
         RetryPolicy {
             max_retries,
             op_timeout,
+            jitter_seed: DEFAULT_JITTER_SEED,
         }
     }
 
@@ -540,12 +619,21 @@ impl RetryPolicy {
         RetryPolicy {
             max_retries: 0,
             op_timeout: Duration::from_secs(1),
+            jitter_seed: DEFAULT_JITTER_SEED,
         }
+    }
+
+    /// The same policy with a different jitter stream (e.g. one per task,
+    /// derived from the task id).
+    pub const fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
     }
 
     /// Run `attempt` until it succeeds or the budget is exhausted. Each
     /// retry is charged to the calling locale through `comm` (so tests can
-    /// assert who paid for the recovery) and backs off exponentially.
+    /// assert who paid for the recovery) and backs off with decorrelated
+    /// jitter.
     ///
     /// Non-retryable errors ([`CommError::LocaleDown`]) propagate
     /// immediately; exhausting the time budget converts the last error
@@ -555,7 +643,8 @@ impl RetryPolicy {
         comm: &crate::comm::CommLayer,
         mut attempt: impl FnMut() -> Result<T, CommError>,
     ) -> Result<T, CommError> {
-        let mut backoff = rcuarray_ebr::Backoff::new();
+        let mut rng = self.jitter_seed;
+        let mut wait = JITTER_BASE;
         let start = Instant::now();
         let mut retries = 0u32;
         loop {
@@ -572,7 +661,8 @@ impl RetryPolicy {
                     }
                     retries += 1;
                     comm.record_retry(crate::task::current_locale());
-                    backoff.snooze();
+                    wait = decorrelated_jitter(&mut rng, wait);
+                    spin_units(wait);
                 }
             }
         }
@@ -794,5 +884,70 @@ mod tests {
                 })
             });
         assert!(matches!(out, Err(CommError::Timeout { .. })));
+    }
+
+    #[test]
+    fn backpressure_is_retryable_and_classified() {
+        let e = CommError::Backpressure {
+            op: OpKind::Put,
+            locale: l(3),
+        };
+        assert!(e.is_retryable(), "backpressure lifts after a quiesce");
+        assert_eq!(e.op(), OpKind::Put);
+        assert_eq!(e.locale(), l(3));
+        assert!(e.to_string().contains("backlog at capacity"));
+    }
+
+    #[test]
+    fn retry_policy_retries_through_backpressure() {
+        let comm = CommLayer::new(1, LatencyModel::None);
+        let mut calls = 0;
+        let out = RetryPolicy::new(8, Duration::from_secs(1)).run(&comm, || {
+            calls += 1;
+            if calls < 3 {
+                Err(CommError::Backpressure {
+                    op: OpKind::Put,
+                    locale: l(0),
+                })
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(comm.fault_totals().retries, 2);
+    }
+
+    #[test]
+    fn jitter_sequence_is_a_pure_function_of_the_seed() {
+        let walk = |seed: u64| {
+            let mut state = seed;
+            let mut wait = JITTER_BASE;
+            (0..32)
+                .map(|_| {
+                    wait = decorrelated_jitter(&mut state, wait);
+                    wait
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(walk(7), walk(7), "same seed replays the same backoff");
+        assert_ne!(walk(7), walk(8), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn jitter_stays_within_base_and_cap() {
+        let mut state = 0xDEAD_BEEF;
+        let mut wait = JITTER_BASE;
+        for _ in 0..10_000 {
+            wait = decorrelated_jitter(&mut state, wait);
+            assert!((JITTER_BASE..=JITTER_CAP).contains(&wait));
+        }
+    }
+
+    #[test]
+    fn with_jitter_seed_changes_only_the_stream() {
+        let p = RetryPolicy::default().with_jitter_seed(42);
+        assert_eq!(p.jitter_seed, 42);
+        assert_eq!(p.max_retries, RetryPolicy::default().max_retries);
+        assert_eq!(p.op_timeout, RetryPolicy::default().op_timeout);
     }
 }

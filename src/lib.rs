@@ -22,12 +22,14 @@ pub use rcuarray_collections;
 pub use rcuarray_ebr;
 pub use rcuarray_qsbr;
 pub use rcuarray_rcu;
+pub use rcuarray_reclaim;
 pub use rcuarray_runtime;
 
 /// Convenience prelude for examples and tests.
 pub mod prelude {
     pub use rcuarray::{
-        Config, EbrArray, ElemRef, Element, QsbrArray, RcuArray, Scheme, DEFAULT_BLOCK_SIZE,
+        AmortizedArray, Backpressure, Config, EbrArray, ElemRef, Element, LeakArray,
+        PressureConfig, QsbrArray, RcuArray, ReclaimStats, Scheme, StallPolicy, DEFAULT_BLOCK_SIZE,
     };
     pub use rcuarray_baselines::{
         HazardArray, LockFreeVector, RwLockArray, SyncArray, UnsafeArray,

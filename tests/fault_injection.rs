@@ -355,3 +355,61 @@ fn disabled_plan_keeps_healthy_semantics_and_zero_fault_counters() {
     assert_eq!(s.degraded_writes, 0);
     a.checkpoint();
 }
+
+#[test]
+fn reader_killed_mid_critical_section_releases_its_guard() {
+    // The `read.kill` trigger dies *inside* the read-side critical
+    // section, after the guard is acquired — the harshest place to
+    // unwind. The guard's Drop must still release the pin so the next
+    // read on the same thread works and writers are never wedged.
+    let plan = FaultPlan::new(seed()).trigger_once("read.kill", FaultAction::Panic);
+    let c = faulty_cluster(2, plan);
+    let a: EbrArray<u64> = EbrArray::with_config(&c, cfg());
+    a.resize(16);
+
+    // First snapshot access fires the trigger and unwinds.
+    let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.read(0)));
+    assert!(killed.is_err(), "armed read.kill must unwind the reader");
+
+    // One-shot trigger: the same thread reads again immediately...
+    a.write(0, 9);
+    assert_eq!(a.read(0), 9, "guard leaked by the killed reader");
+    // ...and a resize completes (a leaked EBR pin would hang the drain).
+    let before = a.capacity();
+    a.resize(16);
+    assert_eq!(a.capacity(), before + 16);
+    assert!(
+        a.stats().reclaim.guard_panics >= 1,
+        "killed reader's guard was not counted"
+    );
+    assert_eq!(c.fault().fault_count(), 1);
+    a.checkpoint();
+}
+
+#[test]
+fn reader_kill_by_error_unwinds_and_recovers_under_qsbr() {
+    // FaultAction::Error surfaces as an expect() panic in the read path;
+    // QSBR readers carry no release obligation, but the registered
+    // participant must not gate reclamation after the unwind.
+    let plan = FaultPlan::new(seed()).trigger("read.kill", 1, 1, FaultAction::Error);
+    let c = faulty_cluster(2, plan);
+    let a: QsbrArray<u64> = QsbrArray::with_config(&c, cfg());
+    a.resize(16);
+    a.write(1, 7); // first snapshot access passes (skip = 1)...
+    let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.read(1)));
+    assert!(killed.is_err(), "second snapshot access must die");
+    assert_eq!(a.read(1), 7, "trigger exhausted; reads recover");
+    a.resize(16);
+    for _ in 0..1000 {
+        a.checkpoint();
+        if a.qsbr_domain().unwrap().stats().pending == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        a.qsbr_domain().unwrap().stats().pending,
+        0,
+        "killed reader wedged reclamation"
+    );
+}

@@ -1,0 +1,149 @@
+//! Panic-safety of read-side guards (DESIGN.md §9): a reader that panics
+//! while pinned must release its guard on unwind — never poisoning the
+//! scheme or wedging epoch advancement. For every scheme the same thread
+//! must be able to read again immediately, and a subsequent resize must
+//! complete (under EBR a leaked pin would stall the writer's drain
+//! forever, so completion *is* the proof).
+
+use rcuarray_repro::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    Config {
+        block_size: 8,
+        account_comm: false,
+        ..Config::default()
+    }
+}
+
+fn panicking_pinned_reader_recovers<S: Scheme>() {
+    let c = Cluster::new(Topology::new(2, 2));
+    let a: RcuArray<u64, S> = RcuArray::with_config(&c, cfg());
+    a.resize(16);
+    a.write(3, 11);
+
+    // The out-of-bounds panic fires *inside* the read-side critical
+    // section, while the guard is live.
+    let r = catch_unwind(AssertUnwindSafe(|| a.read(1_000_000)));
+    assert!(r.is_err(), "out-of-bounds read must panic");
+
+    // The guard was released on unwind: the same thread reads again.
+    assert_eq!(a.read(3), 11, "{}: read after guard panic", a.scheme_name());
+
+    // And epoch advancement is not wedged: a resize retires the old
+    // snapshot and completes. (A leaked EBR pin would hang right here.)
+    let before = a.capacity();
+    a.resize(16);
+    assert_eq!(
+        a.capacity(),
+        before + 16,
+        "{}: resize after guard panic",
+        a.scheme_name()
+    );
+    a.checkpoint();
+}
+
+#[test]
+fn ebr_guard_panic_releases_pin() {
+    panicking_pinned_reader_recovers::<rcuarray::EbrScheme>();
+}
+
+#[test]
+fn qsbr_guard_panic_releases_registration() {
+    panicking_pinned_reader_recovers::<rcuarray::QsbrScheme>();
+}
+
+#[test]
+fn amortized_guard_panic_releases_registration() {
+    panicking_pinned_reader_recovers::<rcuarray::AmortizedScheme>();
+}
+
+#[test]
+fn leak_guard_panic_is_harmless() {
+    panicking_pinned_reader_recovers::<rcuarray::LeakScheme>();
+}
+
+/// EBR surfaces the unwind in its stats: the guard's `Drop` notices
+/// `std::thread::panicking()` and bumps the panicked-guard counter.
+#[test]
+fn ebr_counts_panicked_guards() {
+    let c = Cluster::new(Topology::new(1, 1));
+    let a: EbrArray<u64> = EbrArray::with_config(&c, cfg());
+    a.resize(8);
+    assert_eq!(a.stats().reclaim.guard_panics, 0);
+    let r = catch_unwind(AssertUnwindSafe(|| a.read(999)));
+    assert!(r.is_err());
+    assert!(
+        a.stats().reclaim.guard_panics >= 1,
+        "panicked guard was not counted"
+    );
+    // The zone still functions: pin again, resize, drain.
+    assert_eq!(a.read(0), 0);
+    a.resize(8);
+    a.checkpoint();
+}
+
+/// The hazard-pointer baseline releases its slot on unwind too — the
+/// next reader on the same thread reacquires it and a resize scan sees
+/// no stale protection.
+#[test]
+fn hazard_baseline_guard_panic_releases_slot() {
+    let c = Cluster::new(Topology::new(2, 2));
+    let a: HazardArray<u64> = HazardArray::new(&c, 8, false);
+    a.resize(16);
+    a.write(2, 6);
+
+    let r = catch_unwind(AssertUnwindSafe(|| a.read(1_000_000)));
+    assert!(r.is_err(), "out-of-bounds hazard read must panic");
+    assert!(
+        a.domain().reclaim_stats().guard_panics >= 1,
+        "hazard domain did not count the panicked guard"
+    );
+
+    // Slot released: same thread reads again and resize completes (a
+    // stale hazard would keep old snapshots alive, not block, so also
+    // check the domain drains to zero).
+    assert_eq!(a.read(2), 6);
+    a.resize(16);
+    assert_eq!(a.read(2), 6);
+    let _ = a.domain().quiesce();
+    assert_eq!(
+        a.domain().reclaim_stats().pending,
+        0,
+        "stale hazard protection kept retired snapshots alive"
+    );
+}
+
+/// A panicking reader must not poison reclamation for *other* threads:
+/// after one thread's guard unwinds, a different thread's writer makes
+/// progress and readers everywhere see consistent data.
+#[test]
+fn guard_panic_does_not_poison_other_threads() {
+    let c = Cluster::new(Topology::new(2, 2));
+    let a: Arc<EbrArray<u64>> = Arc::new(EbrArray::with_config(&c, cfg()));
+    a.resize(16);
+    a.fill(1);
+
+    let panicker = {
+        let a = Arc::clone(&a);
+        std::thread::spawn(move || {
+            let r = catch_unwind(AssertUnwindSafe(|| a.read(1_000_000)));
+            assert!(r.is_err());
+        })
+    };
+    panicker.join().unwrap();
+
+    let writer = {
+        let a = Arc::clone(&a);
+        std::thread::spawn(move || {
+            for _ in 0..10 {
+                a.resize(8);
+            }
+        })
+    };
+    writer.join().unwrap();
+    assert_eq!(a.read(0), 1);
+    assert_eq!(a.capacity(), 96);
+    a.checkpoint();
+}
