@@ -15,7 +15,14 @@
 //!    [`clock`]): seeded-random and PCT schedules with bounded
 //!    preemptions, serialized execution of registered threads, and
 //!    vector-clock happens-before race detection over instrumented
-//!    accesses. Every report carries the seed that replays it.
+//!    accesses. Every report carries the seed that replays it. With
+//!    `Policy::Dpor` ([`dpor`]) the sampler is replaced by exhaustive
+//!    source-DPOR exploration with sleep-set pruning, and failures carry
+//!    a minimized, replayable serialized schedule instead of a seed. A
+//!    shadow-heap oracle ([`shadow`]) tracks retire → reclaim lifecycles
+//!    by fresh id and turns use-after-reclaim, double-retire and
+//!    double-reclaim into deterministic reports, plus leak accounting at
+//!    session end.
 //!
 //! 3. **A source lint** ([`lint`], `cargo run -p rcuarray-analysis --bin
 //!    lint`): every `unsafe` site must carry a `SAFETY:`/`# Safety`
@@ -30,8 +37,12 @@ pub mod cell;
 #[cfg(feature = "check")]
 pub mod checker;
 pub mod clock;
+#[cfg(feature = "check")]
+pub mod dpor;
 pub mod lint;
 pub mod sched;
+#[cfg(feature = "check")]
+pub mod shadow;
 pub mod sync;
 pub mod thread;
 
@@ -40,4 +51,10 @@ pub use sched::Policy;
 pub use sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 #[cfg(feature = "check")]
-pub use checker::{Checker, Config, Race, RaceKind, Report};
+pub use checker::{
+    BudgetAbort, Checker, Config, Race, RaceKind, ReplayToken, Report, ShadowLeak, ShadowViolation,
+};
+#[cfg(feature = "check")]
+pub use dpor::{parse_schedule, serialize_schedule, DporReport};
+#[cfg(feature = "check")]
+pub use shadow::{ShadowId, ShadowKind, TrackedCell};

@@ -1,6 +1,6 @@
 //! Source-level concurrency lint.
 //!
-//! Walks Rust sources and enforces five repo rules:
+//! Walks Rust sources and enforces seven repo rules:
 //!
 //! 1. **`unsafe` sites must be justified**: every `unsafe` block, `unsafe
 //!    fn`, or `unsafe impl` must have a `// SAFETY:` comment (or a
@@ -34,6 +34,15 @@
 //!    Detection is lexical (brace-depth scope tracking) and stops at the
 //!    first `#[cfg(test)]` line: tests deliberately stall readers to
 //!    exercise quarantine and evacuation.
+//! 7. **No leaked read guards**: `std::mem::forget` or
+//!    `ManuallyDrop::new` applied to a `let`-bound read-side guard
+//!    (`read_lock()` / `pin()`) suppresses the drop that ends the
+//!    critical section — the epoch/hazard/QSBR record stays pinned
+//!    forever and reclamation wedges (the shadow-heap oracle would show
+//!    it as an unbounded `Retired` backlog). Binding names are tracked
+//!    with the same brace-depth scoping as rule 6; `Retired::leak`'s
+//!    internal `mem::forget` of its *closure* is not a guard binding and
+//!    does not match. Like rule 6, scanning stops at `#[cfg(test)]`.
 //!
 //! Detection runs on *code only*: comments, strings (incl. raw strings)
 //! and char literals are stripped by a small state machine first, so
@@ -167,6 +176,7 @@ pub enum Rule {
     BareCounterOutsideObs,
     SchemeFlagBranching,
     GuardAcrossBlocking,
+    ForgetGuard,
 }
 
 impl std::fmt::Display for Violation {
@@ -178,6 +188,7 @@ impl std::fmt::Display for Violation {
             Rule::BareCounterOutsideObs => "bare-counter",
             Rule::SchemeFlagBranching => "scheme-flag",
             Rule::GuardAcrossBlocking => "guard-across-blocking",
+            Rule::ForgetGuard => "forget-guard",
         };
         write!(
             f,
@@ -479,6 +490,74 @@ fn guard_across_blocking(path: &Path, code_lines: &[String]) -> Vec<Violation> {
     out
 }
 
+/// The binding name introduced by a guard `let` line (`let g = ...` /
+/// `let mut g = ...`), if the line binds one of [`GUARD_BINDERS`].
+fn guard_binding_name(trimmed: &str) -> Option<&str> {
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let end = rest
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+/// Rule 7: a live read-guard binding passed to `mem::forget` or
+/// `ManuallyDrop::new`. Same scope model as rule 6: brace-depth tracked
+/// bindings, scanning stops at the first `#[cfg(test)]` line.
+fn forget_guard(path: &Path, code_lines: &[String]) -> Vec<Violation> {
+    const SINKS: &[&str] = &["mem::forget(", "ManuallyDrop::new("];
+    let mut out = Vec::new();
+    // (depth the guard's scope closes at, binding name, line bound on)
+    let mut guards: Vec<(i64, String, usize)> = Vec::new();
+    let mut depth: i64 = 0;
+    for (i, code) in code_lines.iter().enumerate() {
+        if code.contains("#[cfg(test)]") {
+            break;
+        }
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("let ") && GUARD_BINDERS.iter().any(|g| code.contains(g)) {
+            if let Some(name) = guard_binding_name(trimmed) {
+                guards.push((depth, name.to_string(), i + 1));
+            }
+        } else if !guards.is_empty() {
+            for sink in SINKS {
+                let Some(pos) = code.find(sink) else { continue };
+                let arg = &code[pos + sink.len()..];
+                if let Some((_, name, bound_at)) =
+                    guards.iter().find(|(_, name, _)| has_word(arg, name))
+                {
+                    out.push(Violation {
+                        file: path.to_path_buf(),
+                        line: i + 1,
+                        rule: Rule::ForgetGuard,
+                        msg: format!(
+                            "`{}` applied to the read guard `{name}` bound on line \
+                             {bound_at}; a leaked guard never ends its critical \
+                             section, so reclamation backs up forever",
+                            sink.trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|g| g.0 <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
 fn allowlisted(path: &Path, allow: &[&str]) -> bool {
     let norm: String = path
         .to_string_lossy()
@@ -549,6 +628,7 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Violation> {
     if allowlisted(path, INSTRUMENTED_CRATES) {
         out.extend(guard_across_blocking(path, &code_lines));
     }
+    out.extend(forget_guard(path, &code_lines));
     out
 }
 
@@ -789,6 +869,59 @@ mod tests {
             "fn f(z: &Zone) {\n    let t = z.pin();\n    std::thread::park();\n}\n",
         );
         assert!(v.iter().any(|v| v.rule == Rule::GuardAcrossBlocking));
+    }
+
+    #[test]
+    fn forget_of_guard_binding_flagged() {
+        let v = lint_str(
+            "fn f(z: &Zone) {\n    let ticket = z.pin();\n    std::mem::forget(ticket);\n}\n",
+        );
+        let hits: Vec<_> = v.iter().filter(|v| v.rule == Rule::ForgetGuard).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 3);
+        assert!(hits[0].msg.contains("ticket"), "{}", hits[0].msg);
+    }
+
+    #[test]
+    fn manually_drop_of_guard_binding_flagged() {
+        let v = lint_str(
+            "fn f(d: &D) {\n    let mut g = d.read_lock();\n    let held = ManuallyDrop::new(g);\n}\n",
+        );
+        assert!(v.iter().any(|v| v.rule == Rule::ForgetGuard));
+    }
+
+    #[test]
+    fn forget_of_non_guard_value_ok() {
+        // `Retired::leak` forgets its *closure*, not a guard binding.
+        let v = lint_str(
+            "fn leak(self) {\n    let g = d.read_lock();\n    drop(g);\n    std::mem::forget(self.run);\n}\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::ForgetGuard));
+    }
+
+    #[test]
+    fn forget_after_guard_scope_closed_ok() {
+        let v = lint_str(
+            "fn f(z: &Zone, x: X) {\n    {\n        let t = z.pin();\n        use_it(&t);\n    }\n    std::mem::forget(x);\n}\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::ForgetGuard));
+    }
+
+    #[test]
+    fn forget_guard_ignored_in_test_modules() {
+        let v = lint_str(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t(z: &Zone) {\n        let t = z.pin();\n        std::mem::forget(t);\n    }\n}\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::ForgetGuard));
+    }
+
+    #[test]
+    fn forget_guard_shadowed_name_word_boundary() {
+        // `ticket2` is not `ticket`.
+        let v = lint_str(
+            "fn f(z: &Zone, ticket2: X) {\n    let ticket = z.pin();\n    std::mem::forget(ticket2);\n}\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::ForgetGuard));
     }
 
     #[test]

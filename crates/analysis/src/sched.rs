@@ -11,6 +11,12 @@
 //!   Bugs"): random static priorities plus `depth - 1` priority change
 //!   points sampled over the step budget; always runs the
 //!   highest-priority runnable thread.
+//!
+//! A third mode, [`Policy::Dpor`], is not seeded sampling at all: it is
+//! exhaustive exploration by source-DPOR (see [`crate::dpor`] when the
+//! `check` feature is on). Schedules are derived from backtrack sets,
+//! pruned by sleep sets, and every reported failure carries the exact
+//! serialized schedule rather than a seed.
 
 /// How the checker picks the next thread at each scheduling point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,6 +26,13 @@ pub enum Policy {
     /// PCT with the given bug depth `d` (number of ordering constraints;
     /// `d - 1` priority change points are inserted).
     Pct { depth: usize },
+    /// Exhaustive source-DPOR exploration: backtrack sets from a
+    /// dependence relation over the recorded trace, sleep sets to prune
+    /// redundant interleavings, and an optional preemption bound
+    /// (`Config::preemption_bound`). `Config::iterations` becomes the
+    /// execution budget; `Report::dpor` reports explored / pruned /
+    /// remaining. Counterexamples carry a replayable serialized schedule.
+    Dpor,
 }
 
 /// SplitMix64: tiny, high-quality, and trivially reproducible. Good

@@ -16,7 +16,7 @@
 #![cfg(feature = "check")]
 
 use rcuarray_analysis::atomic::{AtomicUsize, Ordering};
-use rcuarray_analysis::{thread, CheckedCell, Checker, Config};
+use rcuarray_analysis::{thread, CheckedCell, Checker, Config, Policy};
 use rcuarray_ebr::{EpochZone, OrderingMode};
 use std::sync::Arc;
 
@@ -91,6 +91,90 @@ fn relaxed_mode_races_with_reproducing_seed() {
         "seed {:#x} did not reproduce",
         race.seed
     );
+}
+
+/// The read-vs-reclaim scenario with the *reader* protocol on the root
+/// thread and the writer spawned. Same mutation surface as
+/// [`scenario`], but oriented so the racy interleaving (reader pinned
+/// and reading the old slot before the writer publishes) sits shallow
+/// in the DPOR exploration tree: the zone's pin-retry and barrier spin
+/// loops make deep subtrees combinatorially large, and depth-first
+/// exploration must drain a subtree before backtracking above it.
+/// Bounded harnesses meant for exhaustive modes are oriented so the
+/// property under test does not hide behind a spin subtree.
+fn reader_rooted(mode: OrderingMode) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let sh = Arc::new(Shared {
+            zone: EpochZone::with_mode(mode),
+            slots: [CheckedCell::new(1), CheckedCell::new(2)],
+            cur: AtomicUsize::new(0),
+        });
+
+        let w = sh.clone();
+        let writer = thread::spawn(move || {
+            w.slots[1].write(2);
+            w.cur.store(1, Ordering::Release);
+            let old = w.zone.advance();
+            w.zone.wait_for_readers(old);
+            w.slots[0].write(0xDEAD);
+        });
+
+        let ticket = sh.zone.pin();
+        let idx = sh.cur.load(Ordering::Acquire);
+        let v = sh.slots[idx].read();
+        assert!(v == 1 || v == 2, "torn or reused value: {v}");
+        sh.zone.unpin(ticket);
+
+        let _ = writer.join();
+    }
+}
+
+/// The Relaxed-mode mutation under [`Policy::Dpor`]: the race must be
+/// found on *every* run — systematic exploration, no seed sweep, no
+/// luck — and the minimized counterexample schedule must replay. The
+/// barrier spins (each extra probe is its own Mazurkiewicz trace), so
+/// this asserts detection within the budget, not exhaustion.
+#[test]
+fn relaxed_mode_found_on_every_dpor_run() {
+    for round in 0..2 {
+        let report = Checker::new(Config {
+            policy: Policy::Dpor,
+            iterations: 64,
+            ..Config::default()
+        })
+        .run(reader_rooted(OrderingMode::Relaxed));
+        assert!(
+            !report.is_clean(),
+            "round {round}: Relaxed mode not caught by exhaustive exploration: {report}"
+        );
+        let race = report.first_race().unwrap().clone();
+        let schedule = race
+            .schedule
+            .clone()
+            .expect("DPOR counterexamples carry a schedule");
+        let replay = Checker::replay(
+            schedule.as_str(),
+            &Config::default(),
+            reader_rooted(OrderingMode::Relaxed),
+        );
+        assert!(
+            !replay.is_clean(),
+            "round {round}: schedule {schedule:?} did not reproduce"
+        );
+    }
+}
+
+/// The paper's SeqCst configuration under the same exploration budget:
+/// no interleaving within the budget races.
+#[test]
+fn seqcst_mode_clean_under_dpor() {
+    let report = Checker::new(Config {
+        policy: Policy::Dpor,
+        iterations: 64,
+        ..Config::default()
+    })
+    .run(reader_rooted(OrderingMode::SeqCst));
+    assert!(report.is_clean(), "{report}");
 }
 
 #[test]

@@ -45,6 +45,23 @@ fn missing_safety_fixture_fails() {
 }
 
 #[test]
+fn forget_guard_fixture_fails() {
+    let fixture = crate_dir().join("tests/fixtures/forget_guard.rs");
+    assert!(fixture.exists(), "fixture missing at {}", fixture.display());
+    let out = lint_bin().arg(&fixture).output().expect("run lint");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "lint must fail on the fixture; stderr:\n{stderr}"
+    );
+    assert_eq!(out.status.code(), Some(1), "violations exit with code 1");
+    assert!(
+        stderr.contains("forget-guard"),
+        "diagnostic should name the forget-guard rule: {stderr}"
+    );
+}
+
+#[test]
 fn fixtures_are_skipped_by_the_directory_walk() {
     // Pointing the binary at the tests/ directory (which contains the
     // fixtures dir) must stay clean: fixtures are excluded from walks.

@@ -9,9 +9,52 @@
 #![cfg(feature = "check")]
 
 use rcuarray_analysis::atomic::{AtomicUsize, Ordering};
-use rcuarray_analysis::{thread, CheckedCell, Checker, Config};
+use rcuarray_analysis::{thread, CheckedCell, Checker, Config, Policy};
 use rcuarray_qsbr::QsbrDomain;
 use std::sync::Arc;
+
+/// The defer/checkpoint drain scenario shared by the sampled sweep and
+/// the exhaustive-mode run.
+fn defer_drain_scenario() {
+    let domain = Arc::new(QsbrDomain::new());
+    let payload = Arc::new(CheckedCell::new(7u64));
+    let ready = Arc::new(AtomicUsize::new(0));
+    domain.register_current_thread();
+
+    let d = domain.clone();
+    let p = payload.clone();
+    let rdy = ready.clone();
+    let reader = thread::spawn(move || {
+        d.ensure_registered();
+        // Announce participation: a thread registered before the
+        // defer gates reclamation; one that joins later does not.
+        rdy.store(1, Ordering::Release);
+        let v = p.read();
+        assert_eq!(v, 7, "read after reclaim");
+        // Done with protected data: park so an idle reader does not
+        // gate the owner's reclamation forever.
+        d.park();
+    });
+    while ready.load(Ordering::Acquire) == 0 {
+        thread::yield_now();
+    }
+
+    // Retire the payload: the "free" poisons it.
+    let p2 = payload.clone();
+    domain.defer(move || p2.write(0xDEAD));
+
+    // Drain. Terminates once the reader has parked (parked records
+    // leave the min-observed scan).
+    let mut freed = 0;
+    while freed == 0 {
+        freed = domain.checkpoint();
+        thread::yield_now();
+    }
+    assert_eq!(freed, 1);
+    assert_eq!(payload.read(), 0xDEAD);
+
+    reader.join().unwrap();
+}
 
 #[test]
 fn defer_drain_orders_reader_before_reclaim() {
@@ -20,48 +63,24 @@ fn defer_drain_orders_reader_before_reclaim() {
         iterations: 24,
         ..Config::default()
     })
-    .run(|| {
-        let domain = Arc::new(QsbrDomain::new());
-        let payload = Arc::new(CheckedCell::new(7u64));
-        let ready = Arc::new(AtomicUsize::new(0));
-        domain.register_current_thread();
-
-        let d = domain.clone();
-        let p = payload.clone();
-        let rdy = ready.clone();
-        let reader = thread::spawn(move || {
-            d.ensure_registered();
-            // Announce participation: a thread registered before the
-            // defer gates reclamation; one that joins later does not.
-            rdy.store(1, Ordering::Release);
-            let v = p.read();
-            assert_eq!(v, 7, "read after reclaim");
-            // Done with protected data: park so an idle reader does not
-            // gate the owner's reclamation forever.
-            d.park();
-        });
-        while ready.load(Ordering::Acquire) == 0 {
-            thread::yield_now();
-        }
-
-        // Retire the payload: the "free" poisons it.
-        let p2 = payload.clone();
-        domain.defer(move || p2.write(0xDEAD));
-
-        // Drain. Terminates once the reader has parked (parked records
-        // leave the min-observed scan).
-        let mut freed = 0;
-        while freed == 0 {
-            freed = domain.checkpoint();
-            thread::yield_now();
-        }
-        assert_eq!(freed, 1);
-        assert_eq!(payload.read(), 0xDEAD);
-
-        reader.join().unwrap();
-    });
+    .run(defer_drain_scenario);
     assert!(report.is_clean(), "{report}");
     assert!(report.deadlocks.is_empty(), "{report}");
+}
+
+/// The same drain under [`Policy::Dpor`]: systematic exploration instead
+/// of seed sampling. The registration/drain handshakes spin, so the
+/// trace space is unbounded and this asserts cleanliness across the
+/// budget's worth of *distinct* schedules, not exhaustion.
+#[test]
+fn defer_drain_clean_under_dpor() {
+    let report = Checker::new(Config {
+        policy: Policy::Dpor,
+        iterations: 64,
+        ..Config::default()
+    })
+    .run(defer_drain_scenario);
+    assert!(report.is_clean(), "{report}");
 }
 
 #[test]

@@ -19,7 +19,7 @@ use rcuarray::{
     AmortizedScheme, Config as ArrayConfig, EbrArray, EbrScheme, LeakScheme, QsbrScheme, RcuArray,
     Scheme,
 };
-use rcuarray_analysis::{thread, Checker, Config};
+use rcuarray_analysis::{thread, Checker, Config, Policy};
 use rcuarray_runtime::{Cluster, Topology};
 use std::sync::Arc;
 
@@ -38,14 +38,8 @@ fn small_config() -> ArrayConfig {
 /// written once against the [`Scheme`] seam and instantiated per scheme.
 /// `checkpoint` is the scheme-neutral quiescence announcement: a drain
 /// under the QSBR family, a no-op under EBR and Leak.
-fn read_concurrent_with_resize<S: Scheme>(seed: u64) {
-    let report = Checker::new(Config {
-        base_seed: seed,
-        iterations: 10,
-        max_steps: 200_000,
-        ..Config::default()
-    })
-    .run(|| {
+fn read_concurrent_with_resize<S: Scheme>(cfg: Config) {
+    let report = Checker::new(cfg).run(|| {
         let cluster = Cluster::new(Topology::new(1, 1));
         let a: Arc<RcuArray<u64, S>> = Arc::new(RcuArray::with_config(&cluster, small_config()));
         a.resize(2);
@@ -77,24 +71,57 @@ fn read_concurrent_with_resize<S: Scheme>(seed: u64) {
     assert!(report.budget_exhausted.is_empty(), "[{}] {report}", S::NAME);
 }
 
+fn sampled(seed: u64) -> Config {
+    Config {
+        base_seed: seed,
+        iterations: 10,
+        max_steps: 200_000,
+        ..Config::default()
+    }
+}
+
 #[test]
 fn ebr_read_concurrent_with_resize_is_clean() {
-    read_concurrent_with_resize::<EbrScheme>(0x5eed_0a01);
+    read_concurrent_with_resize::<EbrScheme>(sampled(0x5eed_0a01));
 }
 
 #[test]
 fn qsbr_read_concurrent_with_resize_is_clean() {
-    read_concurrent_with_resize::<QsbrScheme>(0x5eed_0a02);
+    read_concurrent_with_resize::<QsbrScheme>(sampled(0x5eed_0a02));
 }
 
 #[test]
 fn amortized_read_concurrent_with_resize_is_clean() {
-    read_concurrent_with_resize::<AmortizedScheme>(0x5eed_0a04);
+    read_concurrent_with_resize::<AmortizedScheme>(sampled(0x5eed_0a04));
 }
 
 #[test]
 fn leak_read_concurrent_with_resize_is_clean() {
-    read_concurrent_with_resize::<LeakScheme>(0x5eed_0a05);
+    read_concurrent_with_resize::<LeakScheme>(sampled(0x5eed_0a05));
+}
+
+/// The paper's core scenario under [`Policy::Dpor`] for both deferred
+/// back-ends: systematic schedule enumeration of the read-vs-resize
+/// window instead of seed sampling. The array's grace-period machinery
+/// spins, so the budget bounds the exploration, not exhaustion.
+#[test]
+fn ebr_read_concurrent_with_resize_clean_under_dpor() {
+    read_concurrent_with_resize::<EbrScheme>(Config {
+        policy: Policy::Dpor,
+        iterations: 12,
+        max_steps: 200_000,
+        ..Config::default()
+    });
+}
+
+#[test]
+fn qsbr_read_concurrent_with_resize_clean_under_dpor() {
+    read_concurrent_with_resize::<QsbrScheme>(Config {
+        policy: Policy::Dpor,
+        iterations: 12,
+        max_steps: 200_000,
+        ..Config::default()
+    });
 }
 
 #[test]

@@ -92,6 +92,11 @@ pub struct Retired {
     bytes: usize,
     addr: usize,
     run: Box<dyn FnOnce() + Send>,
+    /// Shadow-heap identity (fresh id, never the address) for the
+    /// checker's reclamation-lifecycle oracle. `None` for untracked
+    /// retireds — production code pays nothing for the field.
+    #[cfg(feature = "check")]
+    shadow: Option<rcuarray_analysis::shadow::ShadowId>,
 }
 
 impl Retired {
@@ -112,7 +117,23 @@ impl Retired {
             bytes,
             addr,
             run: Box::new(run),
+            #[cfg(feature = "check")]
+            shadow: None,
         }
+    }
+
+    /// Attach a shadow-heap identity: the object transitions
+    /// `Live → Retired` in the oracle now, and its destructor — however
+    /// the scheme runs it ([`run`](Self::run), [`into_parts`](Self::into_parts)
+    /// or [`leak`](Self::leak)) — reports the matching lifecycle edge.
+    /// Double-retire, double-reclaim, reclaim-without-retire and
+    /// retired-but-never-reclaimed (leak accounting) all become
+    /// deterministic checker reports.
+    #[cfg(feature = "check")]
+    pub fn tracked(mut self, id: rcuarray_analysis::shadow::ShadowId) -> Self {
+        rcuarray_analysis::shadow::on_retire(id);
+        self.shadow = Some(id);
+        self
     }
 
     /// Approximate heap footprint of the retired object.
@@ -132,6 +153,13 @@ impl Retired {
     /// object).
     #[inline]
     pub fn run(self) {
+        // The oracle transitions to Reclaimed *before* the destructor
+        // body: the scheme has committed to freeing, so any tracked read
+        // interleaved past this point is already a protocol violation.
+        #[cfg(feature = "check")]
+        if let Some(id) = self.shadow {
+            rcuarray_analysis::shadow::on_reclaim(id);
+        }
         (self.run)()
     }
 
@@ -139,6 +167,17 @@ impl Retired {
     /// byte hint through their own defer machinery.
     #[inline]
     pub fn into_parts(self) -> (usize, Box<dyn FnOnce() + Send>) {
+        #[cfg(feature = "check")]
+        if let Some(id) = self.shadow {
+            let run = self.run;
+            return (
+                self.bytes,
+                Box::new(move || {
+                    rcuarray_analysis::shadow::on_reclaim(id);
+                    run();
+                }),
+            );
+        }
         (self.bytes, self.run)
     }
 
@@ -147,6 +186,11 @@ impl Retired {
     /// their unguarded readers sound.
     #[inline]
     pub fn leak(self) {
+        // Deliberate leaks drop out of the oracle's leak accounting.
+        #[cfg(feature = "check")]
+        if let Some(id) = self.shadow {
+            rcuarray_analysis::shadow::on_leak(id);
+        }
         std::mem::forget(self.run);
     }
 }
