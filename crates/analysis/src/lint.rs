@@ -1,6 +1,6 @@
 //! Source-level concurrency lint.
 //!
-//! Walks Rust sources and enforces seven repo rules:
+//! Walks Rust sources and enforces eight repo rules:
 //!
 //! 1. **`unsafe` sites must be justified**: every `unsafe` block, `unsafe
 //!    fn`, or `unsafe impl` must have a `// SAFETY:` comment (or a
@@ -43,6 +43,16 @@
 //!    with the same brace-depth scoping as rule 6; `Retired::leak`'s
 //!    internal `mem::forget` of its *closure* is not a guard binding and
 //!    does not match. Like rule 6, scanning stops at `#[cfg(test)]`.
+//! 8. **No unbounded queue construction in the serving layer**: files
+//!    under [`BOUNDED_QUEUE_CRATES`] (currently `crates/service/`) may
+//!    not construct an unbounded channel or growable queue
+//!    (`mpsc::channel`, crossbeam-style `unbounded()`, `VecDeque::new`,
+//!    `LinkedList::new`, `SegQueue::new`). The service's admission
+//!    control rests on every queue refusing at a hard capacity
+//!    (DESIGN.md §11); one unbounded buffer anywhere in the request path
+//!    silently converts overload from refusal into latency and memory
+//!    growth. Use `BoundedQueue` (or `VecDeque::with_capacity` plus an
+//!    explicit length check) instead.
 //!
 //! Detection runs on *code only*: comments, strings (incl. raw strings)
 //! and char literals are stripped by a small state machine first, so
@@ -115,6 +125,7 @@ pub const INSTRUMENTED_CRATES: &[&str] = &[
     "crates/qsbr/",
     "crates/rcuarray/",
     "crates/runtime/",
+    "crates/service/",
 ];
 
 /// Audited pre-obs relaxed-`fetch_add` sites inside the instrumented
@@ -137,6 +148,11 @@ pub const COUNTER_ALLOWLIST: &[&str] = &[
     // Test-module visit counters (joined before asserting).
     "crates/runtime/src/lib.rs",
 ];
+
+/// Crates whose request path must never construct an unbounded queue or
+/// channel (rule 8): admission control only works when every buffer
+/// refuses at a hard capacity.
+pub const BOUNDED_QUEUE_CRATES: &[&str] = &["crates/service/"];
 
 /// Files allowed to name an `IS_QSBR`-style scheme flag. Only the
 /// reclamation core may ever need one (e.g. internally to a future
@@ -177,6 +193,7 @@ pub enum Rule {
     SchemeFlagBranching,
     GuardAcrossBlocking,
     ForgetGuard,
+    UnboundedQueue,
 }
 
 impl std::fmt::Display for Violation {
@@ -189,6 +206,7 @@ impl std::fmt::Display for Violation {
             Rule::SchemeFlagBranching => "scheme-flag",
             Rule::GuardAcrossBlocking => "guard-across-blocking",
             Rule::ForgetGuard => "forget-guard",
+            Rule::UnboundedQueue => "unbounded-queue",
         };
         write!(
             f,
@@ -558,6 +576,39 @@ fn forget_guard(path: &Path, code_lines: &[String]) -> Vec<Violation> {
     out
 }
 
+/// Constructors of queues with no capacity bound (rule 8). Each is a
+/// call-site pattern; `VecDeque::with_capacity` — which the service's
+/// `BoundedQueue` uses under an explicit length check — does not match.
+const UNBOUNDED_QUEUE_CTORS: &[&str] = &[
+    "mpsc::channel(",
+    "unbounded(",
+    "VecDeque::new(",
+    "LinkedList::new(",
+    "SegQueue::new(",
+];
+
+/// True when `line` constructs an unbounded queue/channel. The bare
+/// `unbounded(` pattern is word-boundary matched so identifiers like
+/// `pop_unbounded(` don't trip it.
+fn constructs_unbounded_queue(line: &str) -> bool {
+    UNBOUNDED_QUEUE_CTORS.iter().any(|pat| {
+        let mut start = 0;
+        while let Some(pos) = line[start..].find(pat) {
+            let at = start + pos;
+            let boundary = at == 0
+                || !line[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if boundary {
+                return true;
+            }
+            start = at + pat.len();
+        }
+        false
+    })
+}
+
 fn allowlisted(path: &Path, allow: &[&str]) -> bool {
     let norm: String = path
         .to_string_lossy()
@@ -607,6 +658,17 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Violation> {
                 rule: Rule::SchemeFlagBranching,
                 msg: "const-bool scheme flag outside the reclaim core; express \
                       scheme differences as Reclaim-trait behavior (DESIGN.md §8)"
+                    .into(),
+            });
+        }
+        if constructs_unbounded_queue(code) && allowlisted(path, BOUNDED_QUEUE_CRATES) {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: line_no,
+                rule: Rule::UnboundedQueue,
+                msg: "unbounded queue/channel constructor in the serving layer; \
+                      admission control requires every buffer to refuse at a hard \
+                      capacity — use BoundedQueue (DESIGN.md §11)"
                     .into(),
             });
         }
@@ -922,6 +984,42 @@ mod tests {
             "fn f(z: &Zone, ticket2: X) {\n    let ticket = z.pin();\n    std::mem::forget(ticket2);\n}\n",
         );
         assert!(!v.iter().any(|v| v.rule == Rule::ForgetGuard));
+    }
+
+    #[test]
+    fn unbounded_ctors_flagged_in_service_crate() {
+        for src in [
+            "let (tx, rx) = mpsc::channel();\n",
+            "let (tx, rx) = crossbeam_channel::unbounded();\n",
+            "let buf = VecDeque::new();\n",
+            "let buf: LinkedList<u32> = LinkedList::new();\n",
+            "let q = SegQueue::new();\n",
+        ] {
+            let v = lint_source(Path::new("crates/service/src/new_module.rs"), src);
+            assert_eq!(
+                v.iter().filter(|v| v.rule == Rule::UnboundedQueue).count(),
+                1,
+                "expected exactly one unbounded-queue hit for {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_constructions_ok_in_service_crate() {
+        let v = lint_source(
+            Path::new("crates/service/src/queue.rs"),
+            "let buf = VecDeque::with_capacity(cap);\nlet q = BoundedQueue::with_capacity(cap);\nfn pop_unbounded() {}\npop_unbounded();\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::UnboundedQueue));
+    }
+
+    #[test]
+    fn unbounded_ctors_not_enforced_outside_service_crate() {
+        let v = lint_source(
+            Path::new("crates/bench/src/telemetry.rs"),
+            "let (tx, rx) = mpsc::channel();\nlet buf = VecDeque::new();\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::UnboundedQueue));
     }
 
     #[test]

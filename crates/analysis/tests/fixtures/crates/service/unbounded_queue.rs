@@ -1,0 +1,11 @@
+// Lint fixture (rule 8): an unbounded channel in the serving layer.
+// The fixture lives under a `crates/service/` path inside the fixtures
+// tree so rule 8's path scoping matches, while the `fixtures` directory
+// itself is skipped by the normal lint walk.
+
+fn leak_the_request_path() {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut backlog = std::collections::VecDeque::new();
+    backlog.push_back(tx);
+    drop(rx);
+}

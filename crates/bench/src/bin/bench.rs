@@ -7,6 +7,8 @@
 //!   indexing     Fig. 2-style random indexing with periodic checkpoints
 //!   resize       Fig. 3-style incremental resizes from zero capacity
 //!   checkpoint   Fig. 4-style checkpoint-frequency sweep
+//!   service      open-loop load against the serving layer, batched
+//!                (max_batch=32) vs unbatched (max_batch=1)
 //!   all          everything above (default)
 //!
 //! OPTIONS
@@ -30,10 +32,12 @@
 //! (DESIGN.md §7).
 
 use rcuarray::{AmortizedArray, Config, EbrArray, LeakArray, QsbrArray, RcuArray, Scheme};
-use rcuarray_bench::runner::{run_indexing, run_resize, IndexingParams, ResizeParams};
+use rcuarray_bench::runner::{run_indexing, run_resize, IndexingParams, ResizeParams, RunResult};
+use rcuarray_bench::service_load::{run_service_load, ServiceLoadParams, ServiceLoadResult};
 use rcuarray_bench::telemetry::{write_bench_report, PressureEvents, Sampler, VariantReport};
 use rcuarray_bench::workload::IndexPattern;
 use rcuarray_runtime::{Cluster, Topology};
+use rcuarray_service::{Service, ServiceConfig};
 use std::time::Duration;
 
 struct Options {
@@ -69,14 +73,19 @@ fn parse_args() -> Options {
                     .unwrap()
             }
             "--help" | "-h" => {
-                eprintln!("workloads: indexing resize checkpoint all; options: --ops --increments --sample-ms");
+                eprintln!("workloads: indexing resize checkpoint service all; options: --ops --increments --sample-ms");
                 std::process::exit(0);
             }
             other => opts.workloads.push(other.to_string()),
         }
     }
     if opts.workloads.is_empty() || opts.workloads.iter().any(|w| w == "all") {
-        opts.workloads = vec!["indexing".into(), "resize".into(), "checkpoint".into()];
+        opts.workloads = vec![
+            "indexing".into(),
+            "resize".into(),
+            "checkpoint".into(),
+            "service".into(),
+        ];
     }
     opts
 }
@@ -89,7 +98,7 @@ fn sampled_run<S: Scheme>(
     name: impl Into<String>,
     array: &RcuArray<u64, S>,
     sample_ms: u64,
-    work: impl FnOnce() -> f64,
+    work: impl FnOnce() -> RunResult,
 ) -> VariantReport {
     let probe = array.clone();
     let sampler = Sampler::spawn(Duration::from_millis(sample_ms.max(1)), move || {
@@ -99,10 +108,11 @@ fn sampled_run<S: Scheme>(
     // Pressure events are process-wide; variants run sequentially, so a
     // delta around the run attributes them to this variant.
     let pressure_before = PressureEvents::totals();
-    let ops_per_sec = work();
+    let result = work();
     VariantReport {
         name: name.into(),
-        ops_per_sec,
+        ops_per_sec: result.ops_per_sec,
+        latency: result.latency,
         samples: sampler.finish(),
         pressure: PressureEvents::since(pressure_before),
     }
@@ -243,16 +253,108 @@ fn checkpoint(opts: &Options) {
     finish("checkpoint", variants);
 }
 
+/// Service config for one batching variant. `max_batch = 1` is the
+/// unbatched control: every request is its own batch (and its own guard
+/// pin), so the amortization win shows up as the throughput gap and in
+/// the `rcuarray_service_pins_total` / `..requests_total` ratio.
+fn service_cfg(max_batch: usize) -> ServiceConfig {
+    ServiceConfig {
+        // Deep enough to admit the whole open-loop flood: with refusals
+        // out of the picture, wall time is the server's drain time and
+        // the batched-vs-unbatched gap is pure amortization.
+        queue_capacity: 1 << 16,
+        max_batch,
+        max_delay: if max_batch == 1 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(200)
+        },
+        // Generous deadline: this workload measures amortized throughput,
+        // not shedding (the SLO tests cover that).
+        deadline: Duration::from_secs(30),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Run one scheme × batching variant of the service workload.
+fn service_variant<S: Scheme>(
+    name: String,
+    array: RcuArray<u64, S>,
+    max_batch: usize,
+    opts: &Options,
+    p: &ServiceLoadParams,
+) -> VariantReport {
+    array.resize(p.capacity);
+    let svc = Service::start(array, service_cfg(max_batch));
+    let mut tally: Option<ServiceLoadResult> = None;
+    let report = sampled_run(name, svc.array(), opts.sample_ms, || {
+        let r = run_service_load(&svc, p);
+        let run = RunResult {
+            ops_per_sec: r.ops_per_sec,
+            latency: r.latency.clone(),
+        };
+        tally = Some(r);
+        run
+    });
+    svc.shutdown();
+    let t = tally.expect("load generator ran");
+    println!(
+        "   service {:<22} served {}  overloaded {}  shed {}  failed {}",
+        report.name, t.served, t.overloaded, t.shed, t.failed
+    );
+    report
+}
+
+fn service(opts: &Options) {
+    let p = ServiceLoadParams {
+        clients: 4,
+        requests_per_client: opts.ops.clamp(1, 8192),
+        read_percent: 80,
+        capacity: 1 << 14,
+        seed: 0xC0FFEE,
+    };
+    let cluster = Cluster::new(Topology::new(2, 2));
+    let mut variants = Vec::new();
+
+    for max_batch in [32usize, 1] {
+        variants.push(service_variant(
+            format!("EBRArray@batch={max_batch}"),
+            EbrArray::<u64>::with_config(&cluster, bench_config()),
+            max_batch,
+            opts,
+            &p,
+        ));
+        variants.push(service_variant(
+            format!("QSBRArray@batch={max_batch}"),
+            QsbrArray::<u64>::with_config(&cluster, bench_config()),
+            max_batch,
+            opts,
+            &p,
+        ));
+    }
+
+    // The amortization headline the report exists to show.
+    let snap = rcuarray_obs::snapshot();
+    let pins = snap.counter("rcuarray_service_pins_total").unwrap_or(0);
+    let requests = snap.counter("rcuarray_service_requests_total").unwrap_or(0);
+    println!("   service guard pins {pins} / requests {requests}");
+
+    finish("service", variants);
+}
+
 fn finish(workload: &str, variants: Vec<VariantReport>) {
     let metrics = rcuarray_obs::json_snapshot();
     let path = write_bench_report(workload, &variants, &metrics)
         .unwrap_or_else(|e| panic!("writing BENCH_{workload}.json: {e}"));
     for v in &variants {
         println!(
-            "{workload:>10} {:<22} {:>12.0} ops/s  peak lag {}  peak backlog {} ({} B)  \
-             forced drains {}",
+            "{workload:>10} {:<22} {:>12.0} ops/s  lat p50/p99/max {}/{}/{} ns  \
+             peak lag {}  peak backlog {} ({} B)  forced drains {}",
             v.name,
             v.ops_per_sec,
+            v.latency.quantile(0.50),
+            v.latency.quantile(0.99),
+            v.latency.max,
             v.peak_lag(),
             v.peak_backlog(),
             v.peak_backlog_bytes(),
@@ -269,8 +371,11 @@ fn main() {
             "indexing" => indexing(&opts),
             "resize" => resize(&opts),
             "checkpoint" => checkpoint(&opts),
+            "service" => service(&opts),
             other => {
-                eprintln!("unknown workload '{other}' (try indexing, resize, checkpoint, all)")
+                eprintln!(
+                    "unknown workload '{other}' (try indexing, resize, checkpoint, service, all)"
+                )
             }
         }
     }

@@ -225,7 +225,7 @@ fn fig2(
             // times; report the best of `reps` passes.
             let reps = if ops_per_task <= 4096 { opts.reps } else { 1 };
             let best = (0..reps.max(1))
-                .map(|_| run_indexing(array.as_ref(), &cluster, &params))
+                .map(|_| run_indexing(array.as_ref(), &cluster, &params).ops_per_sec)
                 .fold(0.0f64, f64::max);
             series.push(l, best);
         }
@@ -279,7 +279,7 @@ fn fig3(opts: &Options, tee: &mut Tee) {
                 increments: opts.increments,
                 increment: 1024,
             };
-            series.push(l, run_resize(array.as_ref(), &params));
+            series.push(l, run_resize(array.as_ref(), &params).ops_per_sec);
         }
         table.push_series(series);
     }
@@ -331,7 +331,10 @@ fn readmix(opts: &Options, tee: &mut Tee) {
                 read_percent: mix as u8,
                 seed: 0xC0FFEE,
             };
-            series.push(mix, run_indexing(array.as_ref(), &cluster, &params));
+            series.push(
+                mix,
+                run_indexing(array.as_ref(), &cluster, &params).ops_per_sec,
+            );
         }
         table.push_series(series);
     }
@@ -375,7 +378,7 @@ fn fig4(opts: &Options, tee: &mut Tee) {
     // "The performance gathered from previous benchmarks for EBRArray in
     // Figure 2d are reused here and inserted as a baseline" (§V-B).
     let ebr_array = make_array(ArrayKind::Ebr, &cluster, 1024);
-    let ebr_tput = run_indexing(ebr_array.as_ref(), &cluster, &base);
+    let ebr_tput = run_indexing(ebr_array.as_ref(), &cluster, &base).ops_per_sec;
     let mut ebr = Series::new("EBR");
     for &f in &frequencies {
         ebr.push(f, ebr_tput);

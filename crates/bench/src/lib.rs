@@ -14,6 +14,8 @@
 //! * [`runner`] — measured loops for the indexing, resize and checkpoint
 //!   workloads, spawning the paper's "N tasks per locale" shape through
 //!   the simulated cluster;
+//! * [`service_load`] — an open-loop load generator for the serving
+//!   layer (`rcuarray-service`), feeding the `service` workload;
 //! * [`report`] — series/table formatting for `paper_tables` output;
 //! * [`telemetry`] — background gauge sampling and the
 //!   `BENCH_<workload>.json` report the `bench` binary emits.
@@ -25,11 +27,15 @@
 pub mod arrays;
 pub mod report;
 pub mod runner;
+pub mod service_load;
 pub mod telemetry;
 pub mod workload;
 
 pub use arrays::{make_array, ArrayKind, BenchArray};
 pub use report::{Series, Table};
-pub use runner::{run_checkpoint_sweep, run_indexing, run_resize, IndexingParams, ResizeParams};
+pub use runner::{
+    run_checkpoint_sweep, run_indexing, run_resize, IndexingParams, ResizeParams, RunResult,
+};
+pub use service_load::{run_service_load, ServiceLoadParams, ServiceLoadResult};
 pub use telemetry::{bench_json, write_bench_report, Sample, Sampler, VariantReport};
 pub use workload::{sequential_indices, shuffled_indices, IndexPattern, IndexStream};

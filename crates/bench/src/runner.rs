@@ -3,9 +3,22 @@
 
 use crate::arrays::BenchArray;
 use crate::workload::{IndexPattern, IndexStream};
+use rcuarray_obs::{Histogram, HistogramSnapshot};
 use rcuarray_runtime::Cluster;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Outcome of one measured run: aggregate throughput plus the per-op
+/// latency distribution (nanoseconds), recorded op-by-op into a shared
+/// log-bucketed histogram so every `BENCH_*.json` variant carries its
+/// tail, not just its mean.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Per-operation latency histogram, in nanoseconds.
+    pub latency: HistogramSnapshot,
+}
 
 /// Parameters of a Figure-2-style indexing run.
 #[derive(Debug, Clone, Copy)]
@@ -46,15 +59,23 @@ impl Default for IndexingParams {
 }
 
 /// Run an indexing benchmark: every task performs `ops_per_task` update
-/// operations against `array`. Returns throughput in operations/second.
+/// operations against `array`. Returns throughput plus the per-op
+/// latency histogram.
 ///
 /// The array is grown to `capacity` first (outside the timed region).
-pub fn run_indexing(array: &dyn BenchArray, cluster: &Arc<Cluster>, p: &IndexingParams) -> f64 {
+pub fn run_indexing(
+    array: &dyn BenchArray,
+    cluster: &Arc<Cluster>,
+    p: &IndexingParams,
+) -> RunResult {
     assert!(p.capacity > 0 && p.ops_per_task > 0 && p.tasks_per_locale > 0);
     if array.capacity() < p.capacity {
         array.resize(p.capacity - array.capacity());
     }
     let total_ops = (cluster.num_locales() * p.tasks_per_locale * p.ops_per_task) as f64;
+    // Shared log-bucketed histogram: record() is a handful of relaxed
+    // atomics, cheap enough to time every op without a per-task merge.
+    let latency = Histogram::new();
 
     let start = Instant::now();
     cluster.spawn_tasks(p.tasks_per_locale, |loc, task| {
@@ -68,22 +89,26 @@ pub fn run_indexing(array: &dyn BenchArray, cluster: &Arc<Cluster>, p: &Indexing
             None => {
                 for k in 0..p.ops_per_task {
                     let idx = stream.next_index();
+                    let t0 = Instant::now();
                     if k % 100 < rp {
                         sink = sink.wrapping_add(array.read(idx));
                     } else {
                         array.write(idx, k as u64);
                     }
+                    latency.record(t0.elapsed().as_nanos() as u64);
                 }
             }
             Some(every) => {
                 let every = every.max(1);
                 for k in 0..p.ops_per_task {
                     let idx = stream.next_index();
+                    let t0 = Instant::now();
                     if k % 100 < rp {
                         sink = sink.wrapping_add(array.read(idx));
                     } else {
                         array.write(idx, k as u64);
                     }
+                    latency.record(t0.elapsed().as_nanos() as u64);
                     if (k + 1) % every == 0 {
                         array.checkpoint();
                     }
@@ -93,7 +118,10 @@ pub fn run_indexing(array: &dyn BenchArray, cluster: &Arc<Cluster>, p: &Indexing
         std::hint::black_box(sink);
     });
     let elapsed = start.elapsed().as_secs_f64();
-    total_ops / elapsed
+    RunResult {
+        ops_per_sec: total_ops / elapsed,
+        latency: latency.snapshot(),
+    }
 }
 
 /// Parameters of the Figure 3 resize benchmark.
@@ -116,17 +144,23 @@ impl Default for ResizeParams {
 
 /// Run the resize benchmark: `increments` sequential resizes of
 /// `increment` elements, "starting with zero-capacity". Returns
-/// throughput in resize operations/second.
-pub fn run_resize(array: &dyn BenchArray, p: &ResizeParams) -> f64 {
+/// throughput plus the per-resize latency histogram.
+pub fn run_resize(array: &dyn BenchArray, p: &ResizeParams) -> RunResult {
     assert_eq!(array.capacity(), 0, "Fig. 3 starts from an empty array");
+    let latency = Histogram::new();
     let start = Instant::now();
     for _ in 0..p.increments {
+        let t0 = Instant::now();
         array.resize(p.increment);
+        latency.record(t0.elapsed().as_nanos() as u64);
     }
     let elapsed = start.elapsed().as_secs_f64();
     // Reclaim whatever the resizes deferred so runs don't accumulate.
     array.checkpoint();
-    p.increments as f64 / elapsed
+    RunResult {
+        ops_per_sec: p.increments as f64 / elapsed,
+        latency: latency.snapshot(),
+    }
 }
 
 /// Figure 4: sweep checkpoint frequency on a QSBR-style array. For each
@@ -146,7 +180,7 @@ pub fn run_checkpoint_sweep(
                 checkpoint_every: Some(every),
                 ..*base
             };
-            (every, run_indexing(array.as_ref(), cluster, &p))
+            (every, run_indexing(array.as_ref(), cluster, &p).ops_per_sec)
         })
         .collect()
 }
@@ -174,10 +208,17 @@ mod tests {
     #[test]
     fn indexing_runs_every_paper_variant() {
         let cluster = quick_cluster();
+        let p = quick_params();
+        let total = cluster.num_locales() * p.tasks_per_locale * p.ops_per_task;
         for kind in ArrayKind::PAPER {
             let a = make_array_config(kind, &cluster, 64, false, OrderingMode::SeqCst);
-            let tput = run_indexing(a.as_ref(), &cluster, &quick_params());
-            assert!(tput > 0.0, "{kind} produced no throughput");
+            let r = run_indexing(a.as_ref(), &cluster, &p);
+            assert!(r.ops_per_sec > 0.0, "{kind} produced no throughput");
+            assert_eq!(
+                r.latency.count, total as u64,
+                "{kind}: every op must land in the latency histogram"
+            );
+            assert!(r.latency.quantile(0.99) >= r.latency.quantile(0.50));
             assert!(a.capacity() >= 512);
         }
     }
@@ -190,7 +231,7 @@ mod tests {
             pattern: IndexPattern::Sequential,
             ..quick_params()
         };
-        assert!(run_indexing(a.as_ref(), &cluster, &p) > 0.0);
+        assert!(run_indexing(a.as_ref(), &cluster, &p).ops_per_sec > 0.0);
     }
 
     #[test]
@@ -202,7 +243,13 @@ mod tests {
                 read_percent: rp,
                 ..quick_params()
             };
-            assert!(run_indexing(a.as_ref(), &cluster, &p) > 0.0, "rp={rp}");
+            let r = run_indexing(a.as_ref(), &cluster, &p);
+            assert!(r.ops_per_sec > 0.0, "rp={rp}");
+            assert_eq!(
+                r.latency.count as usize,
+                cluster.num_locales() * p.tasks_per_locale * p.ops_per_task,
+                "rp={rp}: reads and writes both count"
+            );
         }
     }
 
@@ -214,7 +261,7 @@ mod tests {
             checkpoint_every: Some(10),
             ..quick_params()
         };
-        assert!(run_indexing(a.as_ref(), &cluster, &p) > 0.0);
+        assert!(run_indexing(a.as_ref(), &cluster, &p).ops_per_sec > 0.0);
     }
 
     #[test]
@@ -226,8 +273,9 @@ mod tests {
                 increments: 16,
                 increment: 64,
             };
-            let tput = run_resize(a.as_ref(), &p);
-            assert!(tput > 0.0);
+            let r = run_resize(a.as_ref(), &p);
+            assert!(r.ops_per_sec > 0.0);
+            assert_eq!(r.latency.count, 16, "one latency sample per resize");
             assert_eq!(a.capacity(), 16 * 64, "{kind}");
         }
     }

@@ -1,0 +1,208 @@
+//! Open-loop load generator for the serving layer (DESIGN.md §11).
+//!
+//! Closed-loop clients (submit, wait, repeat) hide queueing delay: a
+//! slow server throttles its own load and the measured latency flatters
+//! it (coordinated omission). This generator is open-loop in the
+//! operative sense — every client fires its whole request schedule
+//! *without waiting for responses*, so arrival pressure is independent
+//! of service speed — then settles the outstanding tickets in
+//! submission order and records each request's admission-to-completion
+//! latency. Refused (`Overloaded`) and shed requests still resolve a
+//! ticket and are tallied separately; only successfully served requests
+//! count toward throughput.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcuarray::{Element, Scheme};
+use rcuarray_obs::{Histogram, HistogramSnapshot};
+use rcuarray_service::{Request, Response, Service};
+use std::time::{Duration, Instant};
+
+/// Shape of one open-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceLoadParams {
+    /// Concurrent client threads firing schedules.
+    pub clients: usize,
+    /// Requests each client submits before settling its tickets.
+    pub requests_per_client: usize,
+    /// Percentage of requests that are Gets (the rest are Puts).
+    pub read_percent: u8,
+    /// Index range the requests target (the array must already cover it).
+    pub capacity: usize,
+    /// PRNG seed; each client derives a distinct stream.
+    pub seed: u64,
+}
+
+impl Default for ServiceLoadParams {
+    fn default() -> Self {
+        ServiceLoadParams {
+            clients: 4,
+            requests_per_client: 4096,
+            read_percent: 80,
+            capacity: 1 << 14,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Tally of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct ServiceLoadResult {
+    /// Successfully served requests per second of wall time.
+    pub ops_per_sec: f64,
+    /// Admission-to-completion latency (ns) of every resolved request.
+    pub latency: HistogramSnapshot,
+    /// Requests answered with a value / write ack.
+    pub served: u64,
+    /// Requests refused at admission (`Response::Overloaded`).
+    pub overloaded: u64,
+    /// Requests dropped past their deadline (`Response::Shed`).
+    pub shed: u64,
+    /// Requests that failed in execution.
+    pub failed: u64,
+}
+
+impl ServiceLoadResult {
+    /// Every submitted request resolved into exactly one tally bucket.
+    pub fn total(&self) -> u64 {
+        self.served + self.overloaded + self.shed + self.failed
+    }
+}
+
+/// Drive `service` with `p.clients` open-loop threads and settle every
+/// ticket. Panics if a ticket fails to resolve within 60 seconds — an
+/// unresolved ticket is a wedged service, not a slow one.
+pub fn run_service_load<T, S>(service: &Service<T, S>, p: &ServiceLoadParams) -> ServiceLoadResult
+where
+    T: Element + From<u64>,
+    S: Scheme,
+{
+    assert!(p.clients > 0 && p.requests_per_client > 0 && p.capacity > 0);
+    let latency = Histogram::new();
+    let served = rcuarray_obs::Counter::default();
+    let overloaded = rcuarray_obs::Counter::default();
+    let shed = rcuarray_obs::Counter::default();
+    let failed = rcuarray_obs::Counter::default();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..p.clients {
+            let client = service.client();
+            let latency = &latency;
+            let (served, overloaded, shed, failed) = (&served, &overloaded, &shed, &failed);
+            scope.spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(p.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let rp = p.read_percent.min(100) as u64;
+                // Fire the whole schedule without waiting: arrivals are
+                // decoupled from completions.
+                let mut outstanding = Vec::with_capacity(p.requests_per_client);
+                for _ in 0..p.requests_per_client {
+                    let idx = rng.random_range(0..p.capacity);
+                    let req = if rng.random_range(0..100u64) < rp {
+                        Request::Get { idx }
+                    } else {
+                        Request::Put {
+                            idx,
+                            value: T::from(idx as u64),
+                        }
+                    };
+                    let t0 = Instant::now();
+                    outstanding.push((client.submit(req), t0));
+                }
+                // Settle in submission order (the per-queue service is
+                // FIFO, so the head ticket is always the oldest
+                // outstanding one).
+                for (ticket, t0) in outstanding {
+                    let resp = ticket
+                        .wait_timeout(Duration::from_secs(60))
+                        .unwrap_or_else(|_| panic!("service wedged: ticket never resolved"));
+                    latency.record(t0.elapsed().as_nanos() as u64);
+                    match resp {
+                        Response::Value(_) | Response::Done { .. } => served.add(1),
+                        Response::Overloaded { .. } => overloaded.add(1),
+                        Response::Shed { .. } => shed.add(1),
+                        _ => failed.add(1),
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    ServiceLoadResult {
+        ops_per_sec: served.value() as f64 / elapsed,
+        latency: latency.snapshot(),
+        served: served.value(),
+        overloaded: overloaded.value(),
+        shed: shed.value(),
+        failed: failed.value(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcuarray::QsbrArray;
+    use rcuarray_runtime::{Cluster, Topology};
+    use rcuarray_service::ServiceConfig;
+
+    fn quick_params() -> ServiceLoadParams {
+        ServiceLoadParams {
+            clients: 2,
+            requests_per_client: 200,
+            capacity: 256,
+            ..ServiceLoadParams::default()
+        }
+    }
+
+    #[test]
+    fn open_loop_settles_every_ticket() {
+        let cluster = Cluster::new(Topology::new(2, 1));
+        let array: QsbrArray<u64> = QsbrArray::new(&cluster);
+        array.resize(256);
+        let service = Service::start(
+            array,
+            ServiceConfig {
+                queue_capacity: 64,
+                deadline: Duration::from_secs(30),
+                ..ServiceConfig::default()
+            },
+        );
+        let p = quick_params();
+        let r = run_service_load(&service, &p);
+        service.shutdown();
+
+        assert_eq!(
+            r.total(),
+            (p.clients * p.requests_per_client) as u64,
+            "every request resolves into exactly one bucket: {r:?}"
+        );
+        assert_eq!(r.latency.count, r.total(), "every resolution is timed");
+        assert!(r.served > 0, "some requests must be served: {r:?}");
+        assert!(r.ops_per_sec > 0.0);
+        assert_eq!(r.failed, 0, "no faults are armed: {r:?}");
+    }
+
+    #[test]
+    fn tiny_queue_refuses_some_of_the_flood() {
+        let cluster = Cluster::new(Topology::new(1, 1));
+        let array: QsbrArray<u64> = QsbrArray::new(&cluster);
+        array.resize(256);
+        let service = Service::start(
+            array,
+            ServiceConfig {
+                queue_capacity: 2,
+                deadline: Duration::from_secs(30),
+                ..ServiceConfig::default()
+            },
+        );
+        let r = run_service_load(&service, &quick_params());
+        service.shutdown();
+        assert!(
+            r.overloaded > 0,
+            "a 2-deep queue under a 400-request flood must refuse: {r:?}"
+        );
+        assert!(r.served > 0, "refusal must not starve service: {r:?}");
+    }
+}

@@ -11,6 +11,7 @@
 //! counter, which rides along in the embedded metrics snapshot
 //! (see DESIGN.md §7).
 
+use rcuarray_obs::HistogramSnapshot;
 use std::sync::mpsc::{RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -118,6 +119,9 @@ pub struct VariantReport {
     pub name: String,
     /// Workload throughput in operations per second.
     pub ops_per_sec: f64,
+    /// Per-operation latency distribution (nanoseconds) recorded by the
+    /// runner while this variant ran.
+    pub latency: HistogramSnapshot,
     /// Gauge series sampled while the variant ran.
     pub samples: Vec<Sample>,
     /// Pressure events (helping drains / refusals / overruns) charged
@@ -166,7 +170,9 @@ pub fn bench_json(workload: &str, variants: &[VariantReport], metrics_json: &str
             "{{\"name\":{:?},\"ops_per_sec\":{},\"peak_epoch_lag\":{},\
              \"peak_backlog_entries\":{},\"peak_backlog_bytes\":{},\
              \"forced_drains\":{},\"backpressure_refusals\":{},\
-             \"cap_overruns\":{},\"series\":[",
+             \"cap_overruns\":{},\"lat_count\":{},\"lat_mean_ns\":{},\
+             \"lat_p50_ns\":{},\"lat_p90_ns\":{},\"lat_p99_ns\":{},\
+             \"lat_max_ns\":{},\"series\":[",
             v.name,
             v.ops_per_sec,
             v.peak_lag(),
@@ -174,7 +180,13 @@ pub fn bench_json(workload: &str, variants: &[VariantReport], metrics_json: &str
             v.peak_backlog_bytes(),
             v.pressure.forced_drains,
             v.pressure.backpressure,
-            v.pressure.cap_overruns
+            v.pressure.cap_overruns,
+            v.latency.count,
+            v.latency.mean(),
+            v.latency.quantile(0.50),
+            v.latency.quantile(0.90),
+            v.latency.quantile(0.99),
+            v.latency.max,
         ));
         for (j, s) in v.samples.iter().enumerate() {
             if j > 0 {
@@ -232,6 +244,7 @@ mod tests {
         let v = VariantReport {
             name: "X".into(),
             ops_per_sec: 1.0,
+            latency: HistogramSnapshot::default(),
             samples: vec![
                 Sample {
                     t_ms: 0,
@@ -255,9 +268,13 @@ mod tests {
 
     #[test]
     fn bench_json_shape() {
+        let lat = rcuarray_obs::Histogram::new();
+        lat.record(100);
+        lat.record(200);
         let v = VariantReport {
             name: "QSBRArray".into(),
             ops_per_sec: 1234.5,
+            latency: lat.snapshot(),
             samples: vec![Sample {
                 t_ms: 0,
                 epoch_lag: 2,
@@ -277,6 +294,9 @@ mod tests {
         assert!(json.contains("\"forced_drains\":3"));
         assert!(json.contains("\"backpressure_refusals\":1"));
         assert!(json.contains("\"cap_overruns\":0"));
+        assert!(json.contains("\"lat_count\":2"));
+        assert!(json.contains("\"lat_p99_ns\":"));
+        assert!(json.contains("\"lat_max_ns\":200"));
         assert!(json.contains("\"backlog_bytes\":99"));
         assert!(json.contains("\"metrics\":{\"counters\":{}}"));
         assert!(json.ends_with("}}"));

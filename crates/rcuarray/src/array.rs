@@ -704,6 +704,62 @@ impl<T: Element, S: Scheme> RcuArray<T, S> {
         });
     }
 
+    /// Batched read: fetch every index in `indices` under a **single**
+    /// read-side critical section — one guard pin (one EBR epoch entry)
+    /// for the whole batch, however many blocks it touches. This is the
+    /// serving layer's amortization primitive: a front-end coalescing
+    /// client requests pays the paper's seq-cst pin cost once per batch
+    /// instead of once per element (`crates/service`, DESIGN.md §11).
+    ///
+    /// An empty batch returns immediately without entering the read-side
+    /// protocol at all (zero pins) — callers can treat "nothing to do" as
+    /// free. Results are in `indices` order. Communication is charged per
+    /// element to each block's home, exactly as [`read`](Self::read)
+    /// charges it.
+    ///
+    /// # Panics
+    /// Panics when any index is out of bounds of this locale's view.
+    pub fn read_many(&self, indices: &[usize]) -> Vec<T> {
+        if indices.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(indices.len());
+        self.with_snapshot(|snap| {
+            for &idx in indices {
+                let (block, off) = self.locate(snap, idx);
+                // SAFETY: registry-owned block.
+                let b = unsafe { block.get() };
+                self.charge_get(b.home(), T::byte_size());
+                out.push(b.load(off));
+            }
+        });
+        out
+    }
+
+    /// Batched update: apply every `(index, value)` assignment in
+    /// `entries` under a **single** read-side critical section — the
+    /// write-path twin of [`read_many`](Self::read_many). All stores land
+    /// in the same snapshot view; because updates are plain stores into
+    /// registry-owned blocks (Lemma 6), they remain visible in every
+    /// later snapshot. An empty batch performs no pin.
+    ///
+    /// # Panics
+    /// Panics when any index is out of bounds of this locale's view.
+    pub fn write_many(&self, entries: &[(usize, T)]) {
+        if entries.is_empty() {
+            return;
+        }
+        self.with_snapshot(|snap| {
+            for &(idx, value) in entries {
+                let (block, off) = self.locate(snap, idx);
+                // SAFETY: registry-owned block.
+                let b = unsafe { block.get() };
+                self.charge_put(b.home(), T::byte_size());
+                b.store(off, value);
+            }
+        });
+    }
+
     /// Announce a quiescent state for the calling thread (a QSBR
     /// checkpoint; bounded drain under the amortized scheme; a no-op for
     /// schemes that never defer). Returns deferred reclamations run.
@@ -1242,6 +1298,96 @@ mod tests {
         q.resize(8);
         let _ = q.read(0);
         assert_eq!(q.stats().reclaim.guards, 0);
+    }
+
+    #[test]
+    fn read_many_pins_once_per_batch() {
+        let c = cluster(2);
+        let a: EbrArray<u64> = RcuArray::with_config(&c, small_config());
+        a.resize(8);
+        for i in 0..8 {
+            a.write(i, i as u64);
+        }
+        let base = a.stats().reclaim.guards;
+        let got = a.read_many(&[0, 3, 7, 1]);
+        assert_eq!(got, vec![0, 3, 7, 1], "results follow batch order");
+        assert_eq!(
+            a.stats().reclaim.guards,
+            base + 1,
+            "a whole batch must cost exactly one EBR pin"
+        );
+        // Contrast: the same four elements read singly cost four pins.
+        for i in [0usize, 3, 7, 1] {
+            let _ = a.read(i);
+        }
+        assert_eq!(a.stats().reclaim.guards, base + 5);
+    }
+
+    #[test]
+    fn write_many_pins_once_and_lands_every_store() {
+        let c = cluster(2);
+        let a: EbrArray<u64> = RcuArray::with_config(&c, small_config());
+        a.resize(8);
+        let base = a.stats().reclaim.guards;
+        a.write_many(&[(0, 10), (5, 15), (7, 17)]);
+        assert_eq!(
+            a.stats().reclaim.guards,
+            base + 1,
+            "a write batch must cost exactly one EBR pin"
+        );
+        assert_eq!(a.read(0), 10);
+        assert_eq!(a.read(5), 15);
+        assert_eq!(a.read(7), 17);
+        // QSBR reads are unsynchronized, so its guard count stays zero
+        // through the identical batch path.
+        let q: QsbrArray<u64> = RcuArray::with_config(&c, small_config());
+        q.resize(8);
+        q.write_many(&[(0, 1), (1, 2)]);
+        assert_eq!(q.read_many(&[0, 1]), vec![1, 2]);
+        assert_eq!(q.stats().reclaim.guards, 0);
+    }
+
+    #[test]
+    fn empty_batches_do_not_pin() {
+        let c = cluster(2);
+        let a: EbrArray<u64> = RcuArray::with_config(&c, small_config());
+        a.resize(8);
+        let base = a.stats().reclaim.guards;
+        assert!(a.read_many(&[]).is_empty());
+        a.write_many(&[]);
+        assert_eq!(
+            a.stats().reclaim.guards,
+            base,
+            "an empty batch must not enter the read-side protocol"
+        );
+    }
+
+    #[test]
+    fn batch_ops_cross_block_boundaries_under_one_pin() {
+        let c = cluster(3);
+        let a: EbrArray<u64> = RcuArray::with_config(&c, small_config());
+        a.resize(8 * 4); // four blocks round-robined over three locales
+        let base = a.stats().reclaim.guards;
+        // One batch touching every block (and so several homes).
+        let entries: Vec<(usize, u64)> = (0..4).map(|b| (b * 8 + 3, (b * 100) as u64)).collect();
+        a.write_many(&entries);
+        let indices: Vec<usize> = entries.iter().map(|&(i, _)| i).collect();
+        let got = a.read_many(&indices);
+        assert_eq!(got, vec![0, 100, 200, 300]);
+        assert_eq!(
+            a.stats().reclaim.guards,
+            base + 2,
+            "one pin per batch regardless of how many blocks it spans"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_many_out_of_bounds_panics() {
+        let c = cluster(1);
+        let a: QsbrArray<u64> = RcuArray::with_config(&c, small_config());
+        a.resize(8);
+        let _ = a.read_many(&[0, 8]);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Pure batching decisions, factored out of the worker loop so the
+//! deterministic checker harness (`service_harness.rs`) and unit tests
+//! can exercise them without threads or clocks.
+
+use std::time::Duration;
+
+/// When a worker flushes its coalescing buffer: at `max_batch` requests
+/// or once the oldest pending request has waited `max_delay`, whichever
+/// comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush at this many coalesced requests.
+    pub max_batch: usize,
+    /// Flush once the oldest pending request has waited this long.
+    pub max_delay: Duration,
+}
+
+impl BatchPolicy {
+    /// Whether a worker holding `pending` requests whose oldest has
+    /// waited `oldest_wait` should execute now rather than keep
+    /// coalescing.
+    pub fn should_flush(&self, pending: usize, oldest_wait: Duration) -> bool {
+        pending >= self.max_batch || oldest_wait >= self.max_delay
+    }
+}
+
+/// Deadline-based shedding: a request that already waited past its
+/// deadline is dropped at dequeue — executing it would burn capacity on
+/// an answer the caller has given up on.
+pub fn is_expired(waited: Duration, deadline: Duration) -> bool {
+    waited > deadline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flushes_at_batch_size_or_delay() {
+        let p = BatchPolicy {
+            max_batch: 4,
+            max_delay: Duration::from_millis(2),
+        };
+        assert!(!p.should_flush(3, Duration::from_millis(1)));
+        assert!(p.should_flush(4, Duration::ZERO), "size bound");
+        assert!(p.should_flush(1, Duration::from_millis(2)), "delay bound");
+    }
+
+    #[test]
+    fn expiry_is_strict() {
+        let d = Duration::from_millis(5);
+        assert!(!is_expired(d, d), "exactly at the deadline still runs");
+        assert!(is_expired(d + Duration::from_nanos(1), d));
+    }
+}

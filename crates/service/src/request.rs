@@ -1,0 +1,115 @@
+//! The service's wire vocabulary: what clients ask, what they get back.
+
+use rcuarray::Element;
+use std::ops::Range;
+use std::time::Duration;
+
+/// A client request against the served array.
+///
+/// Single-element `Get`/`Put` are the common case the batcher coalesces;
+/// `BatchGet`/`BatchPut` let a client pre-batch on its side (the worker
+/// folds them into the same per-batch guard pin); `Grow` is the
+/// pressure-sensitive operation — it is the one the reclaim layer may
+/// refuse under a byte-capped backlog; `Scan` is a bounded range read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request<T: Element> {
+    /// Read one element.
+    Get {
+        /// Element index.
+        idx: usize,
+    },
+    /// Assign one element.
+    Put {
+        /// Element index.
+        idx: usize,
+        /// Value to store.
+        value: T,
+    },
+    /// Read many elements in one request.
+    BatchGet {
+        /// Element indices, in response order.
+        indices: Vec<usize>,
+    },
+    /// Assign many elements in one request.
+    BatchPut {
+        /// `(index, value)` assignments.
+        entries: Vec<(usize, T)>,
+    },
+    /// Grow the array by at least `additional` elements.
+    Grow {
+        /// Minimum number of elements to add (rounded up to blocks).
+        additional: usize,
+    },
+    /// Read a contiguous range (clamped to the current capacity).
+    Scan {
+        /// Half-open element range.
+        range: Range<usize>,
+    },
+}
+
+/// The service's reply to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response<T: Element> {
+    /// `Get` result; `None` when the index is out of bounds.
+    Value(Option<T>),
+    /// `BatchGet` / `Scan` results; `None` marks an out-of-bounds index.
+    Values(Vec<Option<T>>),
+    /// `Put` / `BatchPut` acknowledgement: stores that landed
+    /// (out-of-bounds entries are skipped, not errors).
+    Done {
+        /// Number of assignments applied.
+        applied: usize,
+    },
+    /// `Grow` result: the new capacity.
+    Grown(usize),
+    /// Load was refused — by admission control (full queue) or by the
+    /// reclaim layer (`Err(Backpressure)`: the defer backlog is at its
+    /// byte cap and refuses to grow). Retry after the hint; the
+    /// client-side retry loop consumes it.
+    Overloaded {
+        /// Suggested wait before retrying.
+        retry_after: Duration,
+    },
+    /// Deadline-based shedding dropped the request at dequeue: it had
+    /// already waited longer than the configured deadline, so executing
+    /// it would only burn capacity on an answer the caller gave up on.
+    Shed {
+        /// How long the request had been queued when it was shed.
+        waited: Duration,
+    },
+    /// The executing worker's critical section was killed mid-flight
+    /// (fault injection) or a communication error exhausted its budget.
+    /// The request may be retried.
+    Failed,
+}
+
+impl<T: Element> Response<T> {
+    /// Whether this response signals the caller should retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Response::Overloaded { .. } | Response::Shed { .. } | Response::Failed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Response::<u64>::Overloaded {
+            retry_after: Duration::from_millis(1)
+        }
+        .is_retryable());
+        assert!(Response::<u64>::Shed {
+            waited: Duration::ZERO
+        }
+        .is_retryable());
+        assert!(Response::<u64>::Failed.is_retryable());
+        assert!(!Response::<u64>::Value(None).is_retryable());
+        assert!(!Response::<u64>::Done { applied: 0 }.is_retryable());
+        assert!(!Response::<u64>::Grown(8).is_retryable());
+    }
+}

@@ -1,0 +1,149 @@
+//! One-shot response slots: at-most-once completion, observed by a
+//! waiting client.
+
+use crate::metrics;
+use crate::request::Response;
+use rcuarray::Element;
+use rcuarray_analysis::sync::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct SlotState<T: Element> {
+    resp: Option<Response<T>>,
+    /// Set by the first completion and never cleared — [`TicketSlot::complete`]
+    /// is at-most-once even after the response has been taken by a
+    /// waiter (a racing shed and flush must not both land).
+    done: bool,
+}
+
+/// The worker-side half of a ticket.
+pub(crate) struct TicketSlot<T: Element> {
+    state: Mutex<SlotState<T>>,
+    ready: Condvar,
+}
+
+impl<T: Element> TicketSlot<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TicketSlot {
+            state: Mutex::new(SlotState {
+                resp: None,
+                done: false,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Deliver `resp`. Returns `false` (dropping `resp`) when the ticket
+    /// was already completed — completion is at-most-once, which is what
+    /// keeps a shed racing a late flush from answering twice.
+    pub(crate) fn complete(&self, resp: Response<T>) -> bool {
+        let mut st = self.state.lock();
+        if st.done {
+            return false;
+        }
+        st.done = true;
+        st.resp = Some(resp);
+        drop(st);
+        self.ready.notify_all();
+        true
+    }
+}
+
+/// A client's handle to one in-flight request: wait for the response.
+pub struct Ticket<T: Element> {
+    pub(crate) slot: Arc<TicketSlot<T>>,
+    pub(crate) created: Instant,
+}
+
+impl<T: Element> Ticket<T> {
+    pub(crate) fn new() -> (Ticket<T>, Arc<TicketSlot<T>>) {
+        let slot = TicketSlot::new();
+        (
+            Ticket {
+                slot: Arc::clone(&slot),
+                created: Instant::now(),
+            },
+            slot,
+        )
+    }
+
+    /// Block until the response arrives.
+    pub fn wait(self) -> Response<T> {
+        let mut st = self.slot.state.lock();
+        loop {
+            if let Some(resp) = st.resp.take() {
+                return resp;
+            }
+            self.slot.ready.wait(&mut st);
+        }
+    }
+
+    /// Block up to `timeout`; `Err(self)` hands the ticket back so the
+    /// caller can keep waiting. A timeout bumps the service's timeout
+    /// counter — it is the client-visible SLO miss.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Response<T>, Ticket<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.slot.state.lock();
+        loop {
+            if let Some(resp) = st.resp.take() {
+                return Ok(resp);
+            }
+            if self.slot.ready.wait_until(&mut st, deadline).timed_out() {
+                if let Some(resp) = st.resp.take() {
+                    return Ok(resp);
+                }
+                drop(st);
+                metrics::TIMEOUTS.inc();
+                return Err(self);
+            }
+        }
+    }
+
+    /// Non-blocking check.
+    pub fn try_wait(&self) -> Option<Response<T>> {
+        self.slot.state.lock().resp.take()
+    }
+
+    /// When the request was submitted (for client-side latency).
+    pub fn created_at(&self) -> Instant {
+        self.created
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_is_at_most_once() {
+        let (ticket, slot) = Ticket::<u64>::new();
+        assert!(slot.complete(Response::Value(Some(1))));
+        assert!(
+            !slot.complete(Response::Value(Some(2))),
+            "second completion must be refused"
+        );
+        assert_eq!(ticket.wait(), Response::Value(Some(1)));
+    }
+
+    #[test]
+    fn wait_timeout_hands_the_ticket_back() {
+        let (ticket, slot) = Ticket::<u64>::new();
+        let ticket = match ticket.wait_timeout(Duration::from_millis(1)) {
+            Err(t) => t,
+            Ok(r) => panic!("nothing was completed yet: {r:?}"),
+        };
+        slot.complete(Response::Done { applied: 3 });
+        match ticket.wait_timeout(Duration::from_secs(1)) {
+            Ok(resp) => assert_eq!(resp, Response::Done { applied: 3 }),
+            Err(_) => panic!("response was already delivered"),
+        }
+    }
+
+    #[test]
+    fn complete_after_take_is_still_refused() {
+        let (ticket, slot) = Ticket::<u64>::new();
+        slot.complete(Response::Failed);
+        assert_eq!(ticket.wait(), Response::Failed);
+        assert!(!slot.complete(Response::Value(None)));
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`rcuarray_ebr`] / [`rcuarray_qsbr`] — the two reclamation schemes.
 //! * [`rcuarray_rcu`] — generic RCU decoupled from the array.
 //! * [`rcuarray_baselines`] — every comparator from the evaluation.
+//! * [`rcuarray_service`] — the request-serving front-end (adaptive
+//!   batching, admission control, SLO telemetry).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure.
@@ -20,10 +22,12 @@ pub use rcuarray;
 pub use rcuarray_baselines;
 pub use rcuarray_collections;
 pub use rcuarray_ebr;
+pub use rcuarray_obs;
 pub use rcuarray_qsbr;
 pub use rcuarray_rcu;
 pub use rcuarray_reclaim;
 pub use rcuarray_runtime;
+pub use rcuarray_service;
 
 /// Convenience prelude for examples and tests.
 pub mod prelude {
@@ -41,5 +45,8 @@ pub mod prelude {
     pub use rcuarray_runtime::{
         current_locale, Cluster, CommError, FaultAction, FaultPlan, FaultStats, LatencyModel,
         LocaleId, OpKind, RetryPolicy, SyncVar, Topology,
+    };
+    pub use rcuarray_service::{
+        slo_snapshot, Client, Request, Response, Service, ServiceConfig, SloSnapshot,
     };
 }
