@@ -1,6 +1,6 @@
 //! Source-level concurrency lint.
 //!
-//! Walks Rust sources and enforces eight repo rules:
+//! Walks Rust sources and enforces nine repo rules:
 //!
 //! 1. **`unsafe` sites must be justified**: every `unsafe` block, `unsafe
 //!    fn`, or `unsafe impl` must have a `// SAFETY:` comment (or a
@@ -53,6 +53,14 @@
 //!    silently converts overload from refusal into latency and memory
 //!    growth. Use `BoundedQueue` (or `VecDeque::with_capacity` plus an
 //!    explicit length check) instead.
+//! 9. **No raw comm accounting outside the runtime**: the
+//!    `CommLayer::record_*` family (`record_get` / `record_put` /
+//!    `record_on` / `record_local` / `record_retry`) is the runtime's
+//!    *internal* charging vocabulary. Every cross-locale byte outside
+//!    `crates/runtime/` must be expressed as a typed `CommMessage`
+//!    through the `Transport` facade (`Cluster::send_to` /
+//!    `copy_between` / `CommLayer::send`), so backends stay swappable
+//!    and per-link fault rules apply uniformly (DESIGN.md §14).
 //!
 //! Detection runs on *code only*: comments, strings (incl. raw strings)
 //! and char literals are stripped by a small state machine first, so
@@ -89,6 +97,9 @@ pub const RELAXED_ALLOWLIST: &[&str] = &[
     // migrated sync_var.rs / global_lock.rs get narrow entries below).
     "crates/runtime/src/comm.rs",
     "crates/runtime/src/fault.rs",
+    // Per-link transmission counters and the delivery-log enable gate;
+    // cluster totals are mirrored to obs in the same functions.
+    "crates/runtime/src/transport/",
     "crates/runtime/src/config.rs",
     "crates/runtime/src/telemetry.rs",
     // Round-robin placement hint: the counter only steers which locale
@@ -141,6 +152,8 @@ pub const COUNTER_ALLOWLIST: &[&str] = &[
     // per-locale split; cluster totals are mirrored to obs).
     "crates/runtime/src/comm.rs",
     "crates/runtime/src/fault.rs",
+    // Per-link (from, to) transmission cells; link totals mirrored to obs.
+    "crates/runtime/src/transport/",
     "crates/runtime/src/locale.rs",
     "crates/runtime/src/global_lock.rs",
     // Round-robin placement cursor: an index, not a metric.
@@ -153,6 +166,11 @@ pub const COUNTER_ALLOWLIST: &[&str] = &[
 /// channel (rule 8): admission control only works when every buffer
 /// refuses at a hard capacity.
 pub const BOUNDED_QUEUE_CRATES: &[&str] = &["crates/service/"];
+
+/// Files allowed to call the `CommLayer::record_*` charging primitives
+/// (rule 9). Only the runtime itself may speak them; every other crate
+/// sends typed `CommMessage`s through the `Transport` facade.
+pub const RAW_COMM_ALLOWLIST: &[&str] = &["crates/runtime/"];
 
 /// Files allowed to name an `IS_QSBR`-style scheme flag. Only the
 /// reclamation core may ever need one (e.g. internally to a future
@@ -194,6 +212,7 @@ pub enum Rule {
     GuardAcrossBlocking,
     ForgetGuard,
     UnboundedQueue,
+    RawComm,
 }
 
 impl std::fmt::Display for Violation {
@@ -207,6 +226,7 @@ impl std::fmt::Display for Violation {
             Rule::GuardAcrossBlocking => "guard-across-blocking",
             Rule::ForgetGuard => "forget-guard",
             Rule::UnboundedQueue => "unbounded-queue",
+            Rule::RawComm => "raw-comm",
         };
         write!(
             f,
@@ -686,6 +706,25 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Violation> {
                     .into(),
             });
         }
+        const RECORD_CALLS: [&str; 5] = [
+            "record_get",
+            "record_put",
+            "record_on",
+            "record_local",
+            "record_retry",
+        ];
+        if RECORD_CALLS.iter().any(|c| has_word(code, c)) && !allowlisted(path, RAW_COMM_ALLOWLIST)
+        {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: line_no,
+                rule: Rule::RawComm,
+                msg: "raw `CommLayer::record_*` call outside crates/runtime; \
+                      express remote traffic as a typed CommMessage through \
+                      the Transport facade (DESIGN.md §14)"
+                    .into(),
+            });
+        }
     }
     if allowlisted(path, INSTRUMENTED_CRATES) {
         out.extend(guard_across_blocking(path, &code_lines));
@@ -1020,6 +1059,43 @@ mod tests {
             "let (tx, rx) = mpsc::channel();\nlet buf = VecDeque::new();\n",
         );
         assert!(!v.iter().any(|v| v.rule == Rule::UnboundedQueue));
+    }
+
+    #[test]
+    fn raw_comm_calls_flagged_outside_runtime() {
+        for src in [
+            "cluster.comm().record_get(from, to, 8)?;\n",
+            "comm.record_put(from, to, bytes).unwrap();\n",
+            "let _ = comm.record_on(from, home);\n",
+            "comm.record_local(here);\n",
+            "comm.record_retry(here);\n",
+        ] {
+            let v = lint_source(Path::new("crates/collections/src/dist_vector.rs"), src);
+            assert_eq!(
+                v.iter().filter(|v| v.rule == Rule::RawComm).count(),
+                1,
+                "expected exactly one raw-comm hit for {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_comm_ok_inside_runtime() {
+        let v = lint_source(
+            Path::new("crates/runtime/src/lib.rs"),
+            "self.comm.record_get(from, owner, bytes)\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::RawComm));
+    }
+
+    #[test]
+    fn raw_comm_word_boundary_respected() {
+        // `record_gets` / prose-like identifiers are not the charging calls,
+        // and mentions in strings or comments are stripped before matching.
+        let v = lint_str(
+            "let record_gets = stats.gets;\n// record_put is runtime-internal\nlet s = \"record_on\";\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::RawComm));
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Deterministic-checker harnesses for the mesh transport's
+//! send/dispatch protocol (DESIGN.md §14), under exhaustive
+//! (`Policy::Dpor`) exploration.
+//!
+//! `MeshTransport` runs on real threads behind the parking_lot facade,
+//! so the harness models its two load-bearing invariants in
+//! checker-visible primitives, exactly as the service harness models
+//! the ticket protocol:
+//!
+//! 1. **At-most-once delivery.** The inbox pop must be one atomic
+//!    check-and-remove under the inbox lock. The mutation splits it
+//!    into peek-then-pop; two dispatchers then both observe the same
+//!    frame and both deliver it — a `CheckedCell` write/write race DPOR
+//!    finds, serializes, and replays.
+//! 2. **At-most-once ack completion.** `Ack::complete` checks-and-sets
+//!    a done flag under the same lock as the result write, so a
+//!    dispatcher's success and a shutdown path's error can race without
+//!    colliding. The mutation drops the guard; the two completions are
+//!    a write/write race (the loser silently overwrites — a *lost*
+//!    completion the sender can never observe).
+//!
+//! The real protocol — sequenced enqueue, atomic pop, guarded ack — is
+//! explored clean over the same race surface.
+
+#![cfg(feature = "check")]
+
+use rcuarray_analysis::atomic::{AtomicUsize, Ordering};
+use rcuarray_analysis::sync::Mutex;
+use rcuarray_analysis::{thread, CheckedCell, Checker, Config, Policy, RaceKind};
+use std::sync::Arc;
+
+fn dpor_config(budget: usize) -> Config {
+    Config {
+        policy: Policy::Dpor,
+        iterations: budget,
+        ..Config::default()
+    }
+}
+
+/// An ack modeled after `mesh::Ack`: result write and done flag under
+/// one lock, so completion is at-most-once by construction.
+struct GuardedAck {
+    state: Mutex<(bool, u64)>,
+    completions: AtomicUsize,
+}
+
+impl GuardedAck {
+    fn new() -> Self {
+        GuardedAck {
+            state: Mutex::new((false, 0)),
+            completions: AtomicUsize::new(0),
+        }
+    }
+
+    fn complete(&self, result: u64) -> bool {
+        let mut st = self.state.lock();
+        if st.0 {
+            return false;
+        }
+        *st = (true, result);
+        self.completions.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+}
+
+const ACK_OK: u64 = 1;
+const ACK_ERR: u64 = 2;
+
+/// The real protocol shape: a sender assigns send seqs and enqueues
+/// under the inbox lock; a dispatcher pops atomically, records delivery
+/// and completes the guarded ack. Under every explored interleaving the
+/// link stays FIFO and every frame is delivered and acked exactly once.
+#[test]
+fn mesh_send_dispatch_handshake_is_clean_under_dpor() {
+    let report = Checker::new(dpor_config(512)).run(|| {
+        let inbox = Arc::new(Mutex::new((0u64, Vec::<u64>::new())));
+        let delivered = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let acks = Arc::new([GuardedAck::new(), GuardedAck::new()]);
+
+        let sender = {
+            let inbox = Arc::clone(&inbox);
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    // Seq assignment and enqueue are one critical
+                    // section — the source of per-link FIFO.
+                    let mut ib = inbox.lock();
+                    let seq = ib.0;
+                    ib.0 += 1;
+                    ib.1.push(seq);
+                }
+            })
+        };
+        let dispatcher = {
+            let inbox = Arc::clone(&inbox);
+            let delivered = Arc::clone(&delivered);
+            let acks = Arc::clone(&acks);
+            thread::spawn(move || {
+                // Bounded drain pass racing the sender; the checker
+                // needs loops with a schedule-independent bound.
+                for _ in 0..2 {
+                    let popped = {
+                        let mut ib = inbox.lock();
+                        if ib.1.is_empty() {
+                            None
+                        } else {
+                            Some(ib.1.remove(0))
+                        }
+                    };
+                    if let Some(seq) = popped {
+                        delivered.lock().push(seq);
+                        assert!(acks[seq as usize].complete(ACK_OK));
+                    }
+                    thread::yield_now();
+                }
+            })
+        };
+
+        sender.join().expect("sender");
+        dispatcher.join().expect("dispatcher");
+        // Final sweep after the sender quiesced (the drop-path drain).
+        loop {
+            let popped = {
+                let mut ib = inbox.lock();
+                if ib.1.is_empty() {
+                    None
+                } else {
+                    Some(ib.1.remove(0))
+                }
+            };
+            match popped {
+                Some(seq) => {
+                    delivered.lock().push(seq);
+                    assert!(acks[seq as usize].complete(ACK_OK));
+                }
+                None => break,
+            }
+        }
+
+        let log = delivered.lock().clone();
+        assert_eq!(log, vec![0, 1], "per-link delivery must stay FIFO");
+        for (i, ack) in acks.iter().enumerate() {
+            assert_eq!(
+                ack.completions.load(Ordering::SeqCst),
+                1,
+                "frame {i} must be acked exactly once"
+            );
+        }
+    });
+    assert!(report.is_clean(), "handshake must be race-free: {report}");
+    assert!(
+        report.iterations > 1,
+        "DPOR explored more than one schedule"
+    );
+}
+
+/// The double-delivery mutation: pop split into peek (one lock) and
+/// remove (another lock). Two dispatchers can both peek frame 0 before
+/// either removes it, and both deliver — a write/write race on the
+/// frame's delivery cell that DPOR catches and replays.
+#[test]
+fn unguarded_double_delivery_caught_and_replays() {
+    let scenario = || {
+        let inbox = Arc::new(Mutex::new(vec![0usize]));
+        let delivery = Arc::new(CheckedCell::new(0u64));
+
+        let dispatch = |tag: u64| {
+            let inbox = Arc::clone(&inbox);
+            let delivery = Arc::clone(&delivery);
+            thread::spawn(move || {
+                // BUG under test: the peek and the remove are separate
+                // critical sections, so the frame is observed twice.
+                // (Delivery itself is outside the inbox lock, as in the
+                // real dispatcher.)
+                let peeked = inbox.lock().first().copied();
+                if let Some(frame) = peeked {
+                    assert_eq!(frame, 0);
+                    {
+                        let mut ib = inbox.lock();
+                        if !ib.is_empty() {
+                            ib.remove(0);
+                        }
+                    }
+                    delivery.write(tag);
+                }
+            })
+        };
+        let d1 = dispatch(1);
+        let d2 = dispatch(2);
+        let _ = d1.join();
+        let _ = d2.join();
+    };
+
+    for round in 0..2 {
+        let report = Checker::new(dpor_config(64)).run(scenario);
+        assert!(
+            !report.races.is_empty(),
+            "round {round}: double delivery not caught: {report}"
+        );
+        let race = report.races[0].clone();
+        assert_eq!(race.kind, RaceKind::WriteWrite, "round {round}: {race}");
+        let schedule = race
+            .schedule
+            .clone()
+            .expect("DPOR races carry a serialized counterexample schedule");
+
+        let replay = Checker::replay(schedule.as_str(), &Config::default(), scenario);
+        assert!(
+            !replay.races.is_empty(),
+            "round {round}: schedule {schedule:?} did not reproduce the double delivery"
+        );
+        assert_eq!(replay.races[0].kind, RaceKind::WriteWrite);
+    }
+}
+
+/// The lost-completion mutation: the ack is a bare cell with no done
+/// guard, so the dispatcher's success races the shutdown path's
+/// `LocaleDown` error and one completion silently overwrites the other.
+/// DPOR catches the write/write collision and the schedule replays.
+#[test]
+fn unguarded_ack_completion_race_caught_and_replays() {
+    let scenario = || {
+        let ack = Arc::new(CheckedCell::new(0u64));
+        let dispatcher = {
+            let ack = Arc::clone(&ack);
+            thread::spawn(move || ack.write(ACK_OK))
+        };
+        let shutdown = {
+            let ack = Arc::clone(&ack);
+            thread::spawn(move || ack.write(ACK_ERR))
+        };
+        let _ = dispatcher.join();
+        let _ = shutdown.join();
+    };
+
+    for round in 0..2 {
+        let report = Checker::new(dpor_config(64)).run(scenario);
+        assert!(
+            !report.races.is_empty(),
+            "round {round}: lost completion not caught: {report}"
+        );
+        let race = report.races[0].clone();
+        assert_eq!(race.kind, RaceKind::WriteWrite, "round {round}: {race}");
+        let schedule = race
+            .schedule
+            .clone()
+            .expect("DPOR races carry a serialized counterexample schedule");
+        let replay = Checker::replay(schedule.as_str(), &Config::default(), scenario);
+        assert!(!replay.races.is_empty(), "round {round}: replay failed");
+    }
+}
+
+/// The guarded ack over the identical race surface: dispatcher success
+/// vs shutdown error, exactly one wins, nothing is lost, and the
+/// explored schedules are clean.
+#[test]
+fn guarded_ack_completes_exactly_once_under_dpor() {
+    let report = Checker::new(dpor_config(256)).run(|| {
+        let ack = Arc::new(GuardedAck::new());
+        let dispatcher = {
+            let ack = Arc::clone(&ack);
+            thread::spawn(move || ack.complete(ACK_OK))
+        };
+        let shutdown = {
+            let ack = Arc::clone(&ack);
+            thread::spawn(move || ack.complete(ACK_ERR))
+        };
+        let ok_won = dispatcher.join().expect("dispatcher");
+        let err_won = shutdown.join().expect("shutdown");
+
+        assert!(ok_won ^ err_won, "exactly one completion must win");
+        assert_eq!(ack.completions.load(Ordering::SeqCst), 1);
+        let st = ack.state.lock();
+        assert!(st.0, "the ack ends completed");
+        assert!(st.1 == ACK_OK || st.1 == ACK_ERR);
+    });
+    assert!(report.is_clean(), "guarded ack must be race-free: {report}");
+}

@@ -11,7 +11,7 @@
 use crate::unsafe_array::UnsafeArray;
 use parking_lot::RwLock;
 use rcuarray::Element;
-use rcuarray_runtime::{Cluster, LocaleId};
+use rcuarray_runtime::{Cluster, CommMessage, LocaleId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -55,9 +55,10 @@ impl<T: Element> RwLockArray<T> {
         let from = rcuarray_runtime::current_locale();
         if self.account_comm && from != self.lock_home {
             // Even a shared acquisition is an RMW on the remote lock word.
-            let comm = self.inner.cluster().comm();
-            let _ = comm.record_get(from, self.lock_home, 8);
-            let _ = comm.record_put(from, self.lock_home, 8);
+            let _ = self
+                .inner
+                .cluster()
+                .send_to(self.lock_home, CommMessage::LockAcquire);
         }
     }
 

@@ -14,7 +14,7 @@
 use crate::unsafe_array::UnsafeArray;
 use rcuarray::Element;
 use rcuarray_runtime::sync_var::SyncVarLock;
-use rcuarray_runtime::{Cluster, LocaleId};
+use rcuarray_runtime::{Cluster, CommMessage, LocaleId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -56,9 +56,12 @@ impl<T: Element> SyncArray<T> {
     fn locked<R>(&self, f: impl FnOnce(&UnsafeArray<T>) -> R) -> R {
         let from = rcuarray_runtime::current_locale();
         if self.account_comm && from != self.lock_home {
-            let comm = self.inner.cluster().comm();
-            let _ = comm.record_get(from, self.lock_home, 8);
-            let _ = comm.record_put(from, self.lock_home, 8);
+            // One LockAcquire message: the GET+PUT round trip a remote
+            // lock-word RMW costs on the wire.
+            let _ = self
+                .inner
+                .cluster()
+                .send_to(self.lock_home, CommMessage::LockAcquire);
         }
         let _g = self.lock.acquire();
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
@@ -67,8 +70,7 @@ impl<T: Element> SyncArray<T> {
             let _ = self
                 .inner
                 .cluster()
-                .comm()
-                .record_put(from, self.lock_home, 8);
+                .send_to(self.lock_home, CommMessage::LockRelease);
         }
         r
     }

@@ -196,8 +196,7 @@ impl<T: Element> UnsafeArray<T> {
             if self.account_comm && src_home != dst_home {
                 let _ = self
                     .cluster
-                    .comm()
-                    .record_put(src_home, dst_home, T::byte_size());
+                    .copy_between(src_home, dst_home, T::byte_size());
             }
             T::store(dst, T::load(src));
         }

@@ -15,6 +15,8 @@
 //!   --ops N          ops per task for indexing/checkpoint  (default 20000)
 //!   --increments N   resizes for the resize workload       (default 256)
 //!   --sample-ms N    gauge sampling interval               (default 1)
+//!   --backend B      transport backend: shmem | mesh
+//!                    (default: RCUARRAY_BACKEND env, else shmem)
 //! ```
 //!
 //! Each workload runs all four RCUArray reclamation schemes — EBR, QSBR,
@@ -36,7 +38,7 @@ use rcuarray_bench::runner::{run_indexing, run_resize, IndexingParams, ResizePar
 use rcuarray_bench::service_load::{run_service_load, ServiceLoadParams, ServiceLoadResult};
 use rcuarray_bench::telemetry::{write_bench_report, PressureEvents, Sampler, VariantReport};
 use rcuarray_bench::workload::IndexPattern;
-use rcuarray_runtime::{Cluster, Topology};
+use rcuarray_runtime::{Cluster, Topology, TransportKind};
 use rcuarray_service::{Service, ServiceConfig};
 use std::time::Duration;
 
@@ -45,6 +47,7 @@ struct Options {
     ops: usize,
     increments: usize,
     sample_ms: u64,
+    backend: TransportKind,
 }
 
 fn parse_args() -> Options {
@@ -53,6 +56,7 @@ fn parse_args() -> Options {
         ops: 20_000,
         increments: 256,
         sample_ms: 1,
+        backend: TransportKind::from_env(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,8 +76,15 @@ fn parse_args() -> Options {
                     .parse()
                     .unwrap()
             }
+            "--backend" => {
+                opts.backend = args
+                    .next()
+                    .expect("--backend needs a value")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--backend: {e}"))
+            }
             "--help" | "-h" => {
-                eprintln!("workloads: indexing resize checkpoint service all; options: --ops --increments --sample-ms");
+                eprintln!("workloads: indexing resize checkpoint service all; options: --ops --increments --sample-ms --backend");
                 std::process::exit(0);
             }
             other => opts.workloads.push(other.to_string()),
@@ -118,6 +129,14 @@ fn sampled_run<S: Scheme>(
     }
 }
 
+/// Build the bench cluster on the selected transport backend.
+fn bench_cluster(opts: &Options, locales: usize, cores: usize) -> std::sync::Arc<Cluster> {
+    Cluster::builder()
+        .topology(Topology::new(locales, cores))
+        .backend(opts.backend)
+        .build()
+}
+
 fn bench_config() -> Config {
     Config {
         block_size: 1024,
@@ -139,7 +158,7 @@ fn indexing(opts: &Options) {
         read_percent: 0,
         seed: 0xC0FFEE,
     };
-    let cluster = Cluster::new(Topology::new(2, 2));
+    let cluster = bench_cluster(opts, 2, 2);
     let mut variants = Vec::new();
 
     let ebr = EbrArray::<u64>::with_config(&cluster, bench_config());
@@ -165,7 +184,7 @@ fn indexing(opts: &Options) {
         run_indexing(&leak, &cluster, &params)
     }));
 
-    finish("indexing", variants);
+    finish("indexing", opts, variants);
 }
 
 fn resize(opts: &Options) {
@@ -173,7 +192,7 @@ fn resize(opts: &Options) {
         increments: opts.increments,
         increment: 256,
     };
-    let cluster = Cluster::new(Topology::new(2, 2));
+    let cluster = bench_cluster(opts, 2, 2);
     let mut variants = Vec::new();
 
     let ebr = EbrArray::<u64>::with_config(&cluster, bench_config());
@@ -199,7 +218,7 @@ fn resize(opts: &Options) {
         run_resize(&leak, &params)
     }));
 
-    finish("resize", variants);
+    finish("resize", opts, variants);
 }
 
 fn checkpoint(opts: &Options) {
@@ -212,7 +231,7 @@ fn checkpoint(opts: &Options) {
         read_percent: 0,
         seed: 0xC0FFEE,
     };
-    let cluster = Cluster::new(Topology::new(1, 2));
+    let cluster = bench_cluster(opts, 1, 2);
     let mut variants = Vec::new();
 
     // Checkpoint-free baselines: Fig. 4 reuses the EBR indexing number as
@@ -250,7 +269,7 @@ fn checkpoint(opts: &Options) {
         ));
     }
 
-    finish("checkpoint", variants);
+    finish("checkpoint", opts, variants);
 }
 
 /// Service config for one batching variant. `max_batch = 1` is the
@@ -313,7 +332,7 @@ fn service(opts: &Options) {
         capacity: 1 << 14,
         seed: 0xC0FFEE,
     };
-    let cluster = Cluster::new(Topology::new(2, 2));
+    let cluster = bench_cluster(opts, 2, 2);
     let mut variants = Vec::new();
 
     for max_batch in [32usize, 1] {
@@ -339,12 +358,12 @@ fn service(opts: &Options) {
     let requests = snap.counter("rcuarray_service_requests_total").unwrap_or(0);
     println!("   service guard pins {pins} / requests {requests}");
 
-    finish("service", variants);
+    finish("service", opts, variants);
 }
 
-fn finish(workload: &str, variants: Vec<VariantReport>) {
+fn finish(workload: &str, opts: &Options, variants: Vec<VariantReport>) {
     let metrics = rcuarray_obs::json_snapshot();
-    let path = write_bench_report(workload, &variants, &metrics)
+    let path = write_bench_report(workload, opts.backend.name(), &variants, &metrics)
         .unwrap_or_else(|e| panic!("writing BENCH_{workload}.json: {e}"));
     for v in &variants {
         println!(
@@ -366,6 +385,7 @@ fn finish(workload: &str, variants: Vec<VariantReport>) {
 
 fn main() {
     let opts = parse_args();
+    println!("transport backend: {}", opts.backend);
     for w in opts.workloads.clone() {
         match w.as_str() {
             "indexing" => indexing(&opts),

@@ -157,11 +157,20 @@ impl VariantReport {
 }
 
 /// Render a `BENCH_<workload>.json` document (hand-rolled JSON, matching
-/// the repo's no-serde policy). `metrics_json` is the registry snapshot
+/// the repo's no-serde policy). `backend` is the transport the cluster
+/// ran on (`shmem` | `mesh`) — a report is only comparable to another
+/// report on the same backend. `metrics_json` is the registry snapshot
 /// from [`rcuarray_obs::json_snapshot`] and is embedded verbatim.
-pub fn bench_json(workload: &str, variants: &[VariantReport], metrics_json: &str) -> String {
+pub fn bench_json(
+    workload: &str,
+    backend: &str,
+    variants: &[VariantReport],
+    metrics_json: &str,
+) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{{\"workload\":{workload:?},\"variants\":["));
+    out.push_str(&format!(
+        "{{\"workload\":{workload:?},\"backend\":{backend:?},\"variants\":["
+    ));
     for (i, v) in variants.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -207,11 +216,12 @@ pub fn bench_json(workload: &str, variants: &[VariantReport], metrics_json: &str
 /// and return the path.
 pub fn write_bench_report(
     workload: &str,
+    backend: &str,
     variants: &[VariantReport],
     metrics_json: &str,
 ) -> std::io::Result<std::path::PathBuf> {
     let path = std::path::PathBuf::from(format!("BENCH_{workload}.json"));
-    std::fs::write(&path, bench_json(workload, variants, metrics_json))?;
+    std::fs::write(&path, bench_json(workload, backend, variants, metrics_json))?;
     Ok(path)
 }
 
@@ -287,8 +297,8 @@ mod tests {
                 cap_overruns: 0,
             },
         };
-        let json = bench_json("indexing", &[v], "{\"counters\":{}}");
-        assert!(json.starts_with("{\"workload\":\"indexing\""));
+        let json = bench_json("indexing", "mesh", &[v], "{\"counters\":{}}");
+        assert!(json.starts_with("{\"workload\":\"indexing\",\"backend\":\"mesh\""));
         assert!(json.contains("\"peak_epoch_lag\":2"));
         assert!(json.contains("\"peak_backlog_bytes\":99"));
         assert!(json.contains("\"forced_drains\":3"));

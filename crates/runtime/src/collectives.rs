@@ -11,6 +11,7 @@
 use crate::fault::{CommError, OpKind};
 use crate::locale::LocaleId;
 use crate::task;
+use crate::transport::{CollectiveKind, CommMessage};
 use crate::Cluster;
 use parking_lot::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -24,7 +25,14 @@ pub fn broadcast<T: Clone>(cluster: &Cluster, root: LocaleId, value: &T) -> Vec<
         .map(|i| {
             let dst = LocaleId::new(i as u32);
             if dst != root {
-                let _ = cluster.comm().record_put(root, dst, bytes);
+                let _ = cluster.comm().send(
+                    root,
+                    dst,
+                    CommMessage::Collective {
+                        kind: CollectiveKind::Broadcast,
+                        bytes,
+                    },
+                );
             }
             value.clone()
         })
@@ -49,7 +57,14 @@ where
         let src = LocaleId::new(i as u32);
         let contribution = task::with_locale(src, || contribute(src));
         if src != root {
-            let _ = cluster.comm().record_get(root, src, bytes);
+            let _ = cluster.comm().send(
+                root,
+                src,
+                CommMessage::Collective {
+                    kind: CollectiveKind::Reduce,
+                    bytes,
+                },
+            );
         }
         acc = fold(acc, contribution);
     }
@@ -89,6 +104,17 @@ struct BarrierState {
 }
 
 impl ClusterBarrier {
+    /// An arrival notification: one word PUT to the barrier's home.
+    const ARRIVE: CommMessage = CommMessage::Collective {
+        kind: CollectiveKind::BarrierArrive,
+        bytes: 8,
+    };
+    /// A release notification: one word PUT from the home to a waiter.
+    const RELEASE: CommMessage = CommMessage::Collective {
+        kind: CollectiveKind::BarrierRelease,
+        bytes: 8,
+    };
+
     /// A barrier for `parties` tasks, homed on `home`.
     pub fn new(home: LocaleId, parties: usize) -> Self {
         assert!(parties > 0, "a barrier needs at least one party");
@@ -115,7 +141,7 @@ impl ClusterBarrier {
         let from = task::current_locale();
         if from != self.home {
             // The arrival notification.
-            let _ = cluster.comm().record_put(from, self.home, 8);
+            let _ = cluster.comm().send(from, self.home, Self::ARRIVE);
         }
         let mut st = self.state.lock();
         st.arrived += 1;
@@ -126,7 +152,7 @@ impl ClusterBarrier {
             for i in 0..cluster.num_locales() {
                 let dst = LocaleId::new(i as u32);
                 if dst != self.home {
-                    let _ = cluster.comm().record_put(self.home, dst, 8);
+                    let _ = cluster.comm().send(self.home, dst, Self::RELEASE);
                 }
             }
             drop(st);
@@ -152,7 +178,7 @@ impl ClusterBarrier {
     pub fn wait_timeout(&self, cluster: &Cluster, timeout: Duration) -> Result<bool, CommError> {
         let from = task::current_locale();
         if from != self.home {
-            cluster.comm().record_put(from, self.home, 8)?;
+            cluster.comm().send(from, self.home, Self::ARRIVE)?;
         }
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
@@ -163,7 +189,7 @@ impl ClusterBarrier {
             for i in 0..cluster.num_locales() {
                 let dst = LocaleId::new(i as u32);
                 if dst != self.home {
-                    let _ = cluster.comm().record_put(self.home, dst, 8);
+                    let _ = cluster.comm().send(self.home, dst, Self::RELEASE);
                 }
             }
             drop(st);

@@ -1,5 +1,5 @@
-//! Communication layer: PUT/GET/remote-execute accounting and latency
-//! injection.
+//! Communication facade: PUT/GET/remote-execute accounting, fault
+//! injection and latency, over a pluggable [`Transport`].
 //!
 //! On the paper's Cray XC-50, inter-node traffic rides the Aries network;
 //! Chapel compiles remote accesses into PUT/GET operations "behind the
@@ -13,11 +13,22 @@
 //! 2. **Cost** — an optional [`LatencyModel`] makes remote operations spend
 //!    real time, so benchmark rankings reflect the remote/local asymmetry.
 //!
+//! Since the transport refactor, `CommLayer` is a *facade*: callers hand it
+//! a typed [`CommMessage`], it lowers the message to wire operations
+//! ([`CommMessage::wire_ops`]), runs the fault plan and per-locale
+//! accounting on each, and only then asks the configured [`Transport`]
+//! backend to move the bytes. Fault checks, counters and latency all live
+//! here — **not** in the backends — which is what guarantees identical
+//! `CommStats`/`FaultStats` on shmem and mesh for the same workload.
+//!
 //! Counters are sharded per locale and padded to avoid the instrumentation
 //! itself becoming a contended cache line.
 
 use crate::fault::{CommError, FaultPlan, OpKind};
 use crate::locale::LocaleId;
+use crate::transport::{
+    CommMessage, MeshConfig, MeshTransport, ShmemTransport, Transport, TransportKind,
+};
 use rcuarray_obs::LazyCounter;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -48,7 +59,7 @@ static OBS_RETRIES: LazyCounter = LazyCounter::new(
 );
 static OBS_FAULTS: LazyCounter = LazyCounter::new(
     "rcuarray_comm_faults_injected_total",
-    "operations failed by the installed fault plan",
+    "remote operations charged as failed (fault plan or transport refusal)",
 );
 
 /// How much a remote operation should cost in wall-clock time.
@@ -240,23 +251,47 @@ impl std::ops::Add for CommStats {
     }
 }
 
-/// The cluster's communication fabric.
+/// The cluster's communication fabric: fault plan + accounting + latency
+/// in front of a pluggable [`Transport`] backend.
 #[derive(Debug)]
 pub struct CommLayer {
     per_locale: Box<[LocaleCounters]>,
     fault_counters: Box<[FaultCounters]>,
     latency: LatencyModel,
     fault: FaultPlan,
+    transport: Box<dyn Transport>,
 }
 
 impl CommLayer {
-    /// A fault-free layer (unit tests of comm-adjacent code).
+    /// A fault-free shmem layer (unit tests of comm-adjacent code).
     #[cfg(test)]
     pub(crate) fn new(num_locales: usize, latency: LatencyModel) -> Self {
-        Self::with_faults(num_locales, latency, FaultPlan::disabled())
+        Self::with_transport(
+            num_locales,
+            latency,
+            FaultPlan::disabled(),
+            TransportKind::Shmem,
+            MeshConfig::default(),
+        )
     }
 
-    pub(crate) fn with_faults(num_locales: usize, latency: LatencyModel, fault: FaultPlan) -> Self {
+    pub(crate) fn with_transport(
+        num_locales: usize,
+        latency: LatencyModel,
+        fault: FaultPlan,
+        kind: TransportKind,
+        mesh: MeshConfig,
+    ) -> Self {
+        let transport: Box<dyn Transport> = match kind {
+            TransportKind::Shmem => Box::new(ShmemTransport::new(num_locales)),
+            // The mesh learns which links reorder at construction: the
+            // rules shape dispatcher behaviour, not per-send checks.
+            TransportKind::Mesh => Box::new(MeshTransport::new(
+                num_locales,
+                mesh,
+                &fault.reorder_links(),
+            )),
+        };
         CommLayer {
             per_locale: (0..num_locales)
                 .map(|_| LocaleCounters::default())
@@ -264,6 +299,7 @@ impl CommLayer {
             fault_counters: (0..num_locales).map(|_| FaultCounters::default()).collect(),
             latency,
             fault,
+            transport,
         }
     }
 
@@ -280,32 +316,112 @@ impl CommLayer {
         &self.fault
     }
 
+    /// The transport backend carrying this cluster's cross-locale bytes.
+    #[inline]
+    pub fn transport(&self) -> &dyn Transport {
+        &*self.transport
+    }
+
+    /// Send one typed message from `from` to `to`: the single front door
+    /// for all cross-locale traffic.
+    ///
+    /// The message lowers to wire operations; each is fault-checked and
+    /// charged to the *initiating* locale. Every wire operation is checked
+    /// (consuming its fault-plan stream) even after an earlier one failed,
+    /// but a message with any failed operation is **not** transmitted —
+    /// `attempted = completed + failed` conservation holds per kind, and
+    /// partial delivery never happens. On success the transport moves the
+    /// message, the completed counters and bytes are charged, and latency
+    /// is applied per wire operation.
+    pub fn send(&self, from: LocaleId, to: LocaleId, msg: CommMessage) -> Result<(), CommError> {
+        debug_assert_ne!(from, to, "local accesses use record_local");
+        let ops = msg.wire_ops();
+        let mut first_err = None;
+        for &(op, _) in ops.as_slice() {
+            if let Err(e) = self.fault.check(from, to, op) {
+                self.charge_failed(from, op);
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if let Err(e) = self.transport.transmit(from, to, &msg) {
+            // The backend refused (e.g. a mesh link stayed full past its
+            // deadline): the whole message failed, charge every wire op.
+            for &(op, _) in ops.as_slice() {
+                self.charge_failed(from, op);
+            }
+            return Err(e);
+        }
+        for &(op, bytes) in ops.as_slice() {
+            self.charge_completed(from, op, bytes);
+        }
+        Ok(())
+    }
+
+    /// The per-locale fault cells for one operation kind:
+    /// `(attempted, failed)`.
+    #[inline]
+    fn fault_cells(&self, from: LocaleId, op: OpKind) -> (&AtomicU64, &AtomicU64) {
+        let fc = &self.fault_counters[from.index()];
+        match op {
+            OpKind::Get => (&fc.gets_attempted, &fc.gets_failed),
+            OpKind::Put => (&fc.puts_attempted, &fc.puts_failed),
+            OpKind::RemoteExec => (&fc.ons_attempted, &fc.ons_failed),
+        }
+    }
+
+    #[cold]
+    fn charge_failed(&self, from: LocaleId, op: OpKind) {
+        let (attempted, failed) = self.fault_cells(from, op);
+        attempted.fetch_add(1, Ordering::Relaxed);
+        failed.fetch_add(1, Ordering::Relaxed);
+        OBS_FAULTS.inc();
+    }
+
+    #[inline]
+    fn charge_completed(&self, from: LocaleId, op: OpKind, bytes: usize) {
+        if self.fault.is_enabled() {
+            self.fault_cells(from, op).0.fetch_add(1, Ordering::Relaxed);
+        }
+        let c = &self.per_locale[from.index()];
+        match op {
+            OpKind::Get => {
+                c.gets.fetch_add(1, Ordering::Relaxed);
+                c.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+                OBS_GETS.inc();
+                OBS_BYTES.add(bytes as u64);
+            }
+            OpKind::Put => {
+                c.puts.fetch_add(1, Ordering::Relaxed);
+                c.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+                OBS_PUTS.inc();
+                OBS_BYTES.add(bytes as u64);
+            }
+            OpKind::RemoteExec => {
+                c.remote_executes.fetch_add(1, Ordering::Relaxed);
+                OBS_ONS.inc();
+            }
+        }
+        // An active message (bytes = 0) still costs roughly one small
+        // transfer each way: apply(0) charges the base latency.
+        self.latency.apply(bytes);
+    }
+
     /// Record a GET of `bytes` bytes initiated by `from` against memory on
     /// `to`, and charge its latency. Fails when the fault plan says so;
     /// a failed operation is charged to `from` as attempted-but-failed and
     /// moves no bytes.
+    ///
+    /// Runtime-internal shorthand for [`send`](Self::send) with
+    /// [`CommMessage::Get`]; code outside `crates/runtime` must speak
+    /// `send` (lint rule `raw-comm`).
     #[inline]
     pub fn record_get(&self, from: LocaleId, to: LocaleId, bytes: usize) -> Result<(), CommError> {
-        debug_assert_ne!(from, to, "local accesses use record_local");
-        if let Err(e) = self.fault.check(from, to, OpKind::Get) {
-            let fc = &self.fault_counters[from.index()];
-            fc.gets_attempted.fetch_add(1, Ordering::Relaxed);
-            fc.gets_failed.fetch_add(1, Ordering::Relaxed);
-            OBS_FAULTS.inc();
-            return Err(e);
-        }
-        let c = &self.per_locale[from.index()];
-        if self.fault.is_enabled() {
-            self.fault_counters[from.index()]
-                .gets_attempted
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        c.gets.fetch_add(1, Ordering::Relaxed);
-        c.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
-        OBS_GETS.inc();
-        OBS_BYTES.add(bytes as u64);
-        self.latency.apply(bytes);
-        Ok(())
+        self.send(from, to, CommMessage::Get { bytes })
     }
 
     /// Record a PUT of `bytes` bytes initiated by `from` into memory on
@@ -313,52 +429,14 @@ impl CommLayer {
     /// [`record_get`](Self::record_get).
     #[inline]
     pub fn record_put(&self, from: LocaleId, to: LocaleId, bytes: usize) -> Result<(), CommError> {
-        debug_assert_ne!(from, to, "local accesses use record_local");
-        if let Err(e) = self.fault.check(from, to, OpKind::Put) {
-            let fc = &self.fault_counters[from.index()];
-            fc.puts_attempted.fetch_add(1, Ordering::Relaxed);
-            fc.puts_failed.fetch_add(1, Ordering::Relaxed);
-            OBS_FAULTS.inc();
-            return Err(e);
-        }
-        let c = &self.per_locale[from.index()];
-        if self.fault.is_enabled() {
-            self.fault_counters[from.index()]
-                .puts_attempted
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        c.puts.fetch_add(1, Ordering::Relaxed);
-        c.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
-        OBS_PUTS.inc();
-        OBS_BYTES.add(bytes as u64);
-        self.latency.apply(bytes);
-        Ok(())
+        self.send(from, to, CommMessage::Put { bytes })
     }
 
     /// Record a remote `on`-block execution from `from` to `to`. Fault
     /// semantics as [`record_get`](Self::record_get).
     #[inline]
     pub fn record_on(&self, from: LocaleId, to: LocaleId) -> Result<(), CommError> {
-        debug_assert_ne!(from, to);
-        if let Err(e) = self.fault.check(from, to, OpKind::RemoteExec) {
-            let fc = &self.fault_counters[from.index()];
-            fc.ons_attempted.fetch_add(1, Ordering::Relaxed);
-            fc.ons_failed.fetch_add(1, Ordering::Relaxed);
-            OBS_FAULTS.inc();
-            return Err(e);
-        }
-        if self.fault.is_enabled() {
-            self.fault_counters[from.index()]
-                .ons_attempted
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        self.per_locale[from.index()]
-            .remote_executes
-            .fetch_add(1, Ordering::Relaxed);
-        OBS_ONS.inc();
-        // An active message costs roughly one small transfer each way.
-        self.latency.apply(0);
-        Ok(())
+        self.send(from, to, CommMessage::RemoteExec)
     }
 
     /// Charge one retry attempt to `locale` (called by
@@ -521,6 +599,58 @@ mod tests {
         let start = Instant::now();
         spin_for(Duration::from_micros(200));
         assert!(start.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn send_lowers_composite_messages_to_wire_ops() {
+        let c = layer(2);
+        let (a, b) = (LocaleId::new(0), LocaleId::new(1));
+        c.send(a, b, CommMessage::LockAcquire).unwrap();
+        let s = c.stats_for(a);
+        assert_eq!(s.gets, 1, "lock acquire reads the lock word");
+        assert_eq!(s.puts, 1, "…and writes it back");
+        assert_eq!(s.bytes_moved, 16);
+        c.send(a, b, CommMessage::LockRelease).unwrap();
+        assert_eq!(c.stats_for(a).puts, 2);
+        assert_eq!(c.stats_for(a).bytes_moved, 24);
+        c.send(
+            a,
+            b,
+            CommMessage::Collective {
+                kind: crate::transport::CollectiveKind::Reduce,
+                bytes: 32,
+            },
+        )
+        .unwrap();
+        assert_eq!(c.stats_for(a).gets, 2, "a reduce leg is a GET");
+    }
+
+    #[test]
+    fn stats_are_identical_across_backends() {
+        let run = |kind: TransportKind| {
+            let c = CommLayer::with_transport(
+                3,
+                LatencyModel::None,
+                FaultPlan::disabled(),
+                kind,
+                MeshConfig::default(),
+            );
+            assert_eq!(c.transport().kind(), kind);
+            let (a, b, z) = (LocaleId::new(0), LocaleId::new(1), LocaleId::new(2));
+            c.send(a, b, CommMessage::Get { bytes: 64 }).unwrap();
+            c.send(b, z, CommMessage::Put { bytes: 8 }).unwrap();
+            c.send(z, a, CommMessage::RemoteExec).unwrap();
+            c.send(a, z, CommMessage::LockAcquire).unwrap();
+            c.record_local(a);
+            (c.total(), c.fault_totals())
+        };
+        let shmem = run(TransportKind::Shmem);
+        let mesh = run(TransportKind::Mesh);
+        assert_eq!(shmem, mesh, "the facade owns accounting, not the backend");
+        assert_eq!(shmem.0.gets, 2);
+        assert_eq!(shmem.0.puts, 2);
+        assert_eq!(shmem.0.remote_executes, 1);
+        assert_eq!(shmem.0.bytes_moved, 64 + 8 + 16);
     }
 
     #[test]

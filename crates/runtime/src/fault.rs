@@ -10,6 +10,12 @@
 //! * **locale state** — a locale can be marked *down* (every operation
 //!   touching it fails with [`CommError::LocaleDown`]) or *slow* (operations
 //!   touching it spin for extra time before completing);
+//! * **link rules** — directed `(from, to)` rules targeting one link rather
+//!   than a whole locale: *partition* (fail with
+//!   [`CommError::Partitioned`]), *one-way delay* (spin before completing —
+//!   asymmetric latency), *drop* (probabilistic [`CommError::Transient`],
+//!   pairs with a retry policy) and *reorder* (perturb the mesh backend's
+//!   delivery order — observation only, no failures);
 //! * **trigger points** — named one-shot hooks (e.g. `"resize.publish"`)
 //!   that error or panic on their n-th hit, for aiming a fault at one exact
 //!   phase of an algorithm.
@@ -99,11 +105,22 @@ pub enum CommError {
         /// The locale whose reclamation backlog is at capacity.
         locale: LocaleId,
     },
+    /// The directed link to the target locale is partitioned (a link
+    /// rule, not a down locale — the reverse direction and other links
+    /// may be healthy). A standing condition like `LocaleDown`: retrying
+    /// cannot help until the partition heals.
+    Partitioned {
+        /// The operation that was refused.
+        op: OpKind,
+        /// The unreachable locale (the far end of the cut link).
+        locale: LocaleId,
+    },
 }
 
 impl CommError {
-    /// Whether a retry has any chance of succeeding. `LocaleDown` is a
-    /// standing condition, not worth burning the retry budget on.
+    /// Whether a retry has any chance of succeeding. `LocaleDown` and
+    /// `Partitioned` are standing conditions, not worth burning the retry
+    /// budget on.
     #[inline]
     pub fn is_retryable(&self) -> bool {
         matches!(
@@ -121,7 +138,8 @@ impl CommError {
             CommError::Timeout { op, .. }
             | CommError::LocaleDown { op, .. }
             | CommError::Transient { op, .. }
-            | CommError::Backpressure { op, .. } => op,
+            | CommError::Backpressure { op, .. }
+            | CommError::Partitioned { op, .. } => op,
         }
     }
 
@@ -132,7 +150,8 @@ impl CommError {
             CommError::Timeout { locale, .. }
             | CommError::LocaleDown { locale, .. }
             | CommError::Transient { locale, .. }
-            | CommError::Backpressure { locale, .. } => locale,
+            | CommError::Backpressure { locale, .. }
+            | CommError::Partitioned { locale, .. } => locale,
         }
     }
 }
@@ -156,6 +175,9 @@ impl std::fmt::Display for CommError {
                     op.name()
                 )
             }
+            CommError::Partitioned { op, locale } => {
+                write!(f, "{} refused: link to {locale} partitioned", op.name())
+            }
         }
     }
 }
@@ -178,8 +200,14 @@ pub struct FaultEvent {
     pub from: LocaleId,
     /// The error injected.
     pub error: CommError,
-    /// Position in the initiating `(locale, op)` decision stream —
-    /// `seq` of a probabilistic fault, hit count of a trigger.
+    /// The decision stream the fault was drawn from: a `(locale, op)`
+    /// stream, a link stream, or a trigger stream. Together with `seq`
+    /// this names the draw itself, which is a pure function of the seed
+    /// — unlike the destination in `error`, whose pairing with a draw
+    /// depends on how sibling tasks interleave on the shared stream.
+    pub stream: u64,
+    /// Position in `stream` — `seq` of a probabilistic fault, hit count
+    /// of a trigger.
     pub seq: u64,
     /// Trigger name when the fault came from a trigger point.
     pub trigger: Option<&'static str>,
@@ -203,6 +231,55 @@ struct Trigger {
 #[derive(Debug, Default)]
 struct SeqCounters {
     per_op: [AtomicU64; 3],
+}
+
+/// One directed `(from, to)` link's fault rule. All aspects of a link live
+/// in one rule so a partition, a delay and a drop probability can stack.
+#[derive(Debug)]
+struct LinkRule {
+    from: LocaleId,
+    to: LocaleId,
+    /// Every operation on the link fails with [`CommError::Partitioned`].
+    partitioned: bool,
+    /// Extra one-way spin charged before the link completes an operation.
+    delay: Duration,
+    /// Drop probability scaled to `[0, PROB_ONE]` (0 = never drop).
+    drop_threshold: u64,
+    /// The mesh backend perturbs this link's observed delivery order.
+    reorder: bool,
+    /// This link's decision-stream position (drop rolls, event seqs).
+    seq: u64,
+}
+
+impl LinkRule {
+    fn new(from: LocaleId, to: LocaleId) -> Self {
+        LinkRule {
+            from,
+            to,
+            partitioned: false,
+            delay: Duration::ZERO,
+            drop_threshold: 0,
+            reorder: false,
+            seq: 0,
+        }
+    }
+}
+
+/// Stream-id bit marking link streams, so a link's drop rolls never collide
+/// with a locale's `(from, op)` streams.
+const LINK_STREAM_BASE: u64 = 1 << 32;
+
+/// Stream-id bit marking trigger streams (the stream coordinate is a hash
+/// of the trigger's name; its `seq` is the hit count).
+const TRIGGER_STREAM_BASE: u64 = 1 << 33;
+
+/// FNV-1a over a trigger name, for its fingerprint stream coordinate.
+fn trigger_stream(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TRIGGER_STREAM_BASE | (h & 0xFFFF_FFFF)
 }
 
 const PROB_ONE: u64 = 1 << 32;
@@ -243,6 +320,9 @@ pub struct FaultPlan {
     /// Fast-path gate for [`hit`](Self::hit): true iff any trigger is armed.
     has_triggers: AtomicBool,
     triggers: Mutex<Vec<Trigger>>,
+    /// Fast-path gate for the per-link rules: true once any rule exists.
+    has_link_rules: AtomicBool,
+    links: Mutex<Vec<LinkRule>>,
     events: Mutex<Vec<FaultEvent>>,
 }
 
@@ -267,6 +347,8 @@ impl FaultPlan {
                 .collect(),
             has_triggers: AtomicBool::new(false),
             triggers: Mutex::new(Vec::new()),
+            has_link_rules: AtomicBool::new(false),
+            links: Mutex::new(Vec::new()),
             events: Mutex::new(Vec::new()),
         }
     }
@@ -362,6 +444,87 @@ impl FaultPlan {
         self.enabled && self.down.load(Ordering::Acquire) & (1u64 << locale.index()) != 0
     }
 
+    /// Find-or-create the rule for the directed link `from → to` and let
+    /// `f` mutate it.
+    fn edit_link(&self, from: LocaleId, to: LocaleId, f: impl FnOnce(&mut LinkRule)) {
+        assert_ne!(from, to, "a link rule targets a cross-locale link");
+        let mut links = self.links.lock();
+        let rule = match links.iter_mut().position(|r| r.from == from && r.to == to) {
+            Some(i) => &mut links[i],
+            None => {
+                links.push(LinkRule::new(from, to));
+                links.last_mut().expect("just pushed")
+            }
+        };
+        f(rule);
+        self.has_link_rules.store(true, Ordering::Release);
+    }
+
+    /// Partition the directed link `from → to`: every operation it carries
+    /// fails with [`CommError::Partitioned`]. The reverse direction is
+    /// unaffected (builder form of
+    /// [`set_link_partitioned`](Self::set_link_partitioned)).
+    pub fn partition_link(self, from: LocaleId, to: LocaleId) -> Self {
+        self.edit_link(from, to, |r| r.partitioned = true);
+        self
+    }
+
+    /// Partition both directions between `a` and `b` (a symmetric cut).
+    pub fn partition_between(self, a: LocaleId, b: LocaleId) -> Self {
+        self.partition_link(a, b).partition_link(b, a)
+    }
+
+    /// Charge `delay` extra one-way spin to every operation on the
+    /// directed link `from → to` (asymmetric latency: the reverse
+    /// direction stays fast).
+    pub fn delay_link(self, from: LocaleId, to: LocaleId, delay: Duration) -> Self {
+        self.edit_link(from, to, |r| r.delay = delay);
+        self
+    }
+
+    /// Drop operations on the directed link `from → to` with probability
+    /// `p` in `[0, 1]` ([`CommError::Transient`] — pairs with a
+    /// [`RetryPolicy`], which is the point).
+    pub fn drop_link(self, from: LocaleId, to: LocaleId, p: f64) -> Self {
+        self.edit_link(from, to, |r| r.drop_threshold = prob_to_threshold(p));
+        self
+    }
+
+    /// Mark the directed link `from → to` for delivery reordering: the
+    /// mesh backend swaps adjacent deliveries on it. Pure observation —
+    /// nothing fails, and the shmem backend (where send *is* delivery)
+    /// ignores it.
+    pub fn reorder_link(self, from: LocaleId, to: LocaleId) -> Self {
+        self.edit_link(from, to, |r| r.reorder = true);
+        self
+    }
+
+    /// Cut or heal the directed link `from → to` at runtime.
+    pub fn set_link_partitioned(&self, from: LocaleId, to: LocaleId, partitioned: bool) {
+        self.edit_link(from, to, |r| r.partitioned = partitioned);
+    }
+
+    /// Whether the directed link `from → to` is currently partitioned.
+    pub fn link_partitioned(&self, from: LocaleId, to: LocaleId) -> bool {
+        self.enabled
+            && self
+                .links
+                .lock()
+                .iter()
+                .any(|r| r.from == from && r.to == to && r.partitioned)
+    }
+
+    /// The directed links marked for delivery reordering (consumed by the
+    /// mesh backend at construction).
+    pub fn reorder_links(&self) -> Vec<(LocaleId, LocaleId)> {
+        self.links
+            .lock()
+            .iter()
+            .filter(|r| r.reorder)
+            .map(|r| (r.from, r.to))
+            .collect()
+    }
+
     /// Mark `locale` slow or back to normal at runtime.
     pub fn set_slow(&self, locale: LocaleId, slow: bool) {
         assert!(locale.index() < MAX_FAULT_LOCALES);
@@ -393,10 +556,14 @@ impl FaultPlan {
             self.log(FaultEvent {
                 from,
                 error: err,
+                stream: (from.index() as u64) << 2 | op.index() as u64,
                 seq,
                 trigger: None,
             });
             return Err(err);
+        }
+        if self.has_link_rules.load(Ordering::Acquire) {
+            self.check_link(from, to, op)?;
         }
         if self.slow.load(Ordering::Acquire) & (1u64 << to.index()) != 0 {
             crate::comm::spin_for(self.slow_delay);
@@ -411,6 +578,7 @@ impl FaultPlan {
             self.log(FaultEvent {
                 from,
                 error: err,
+                stream: (from.index() as u64) << 2 | op.index() as u64,
                 seq,
                 trigger: None,
             });
@@ -419,11 +587,72 @@ impl FaultPlan {
         Ok(())
     }
 
+    /// Apply the directed link rule for `from → to`, if any: partition,
+    /// one-way delay, then the probabilistic drop roll — in that order, so
+    /// a partitioned link refuses instantly without paying its delay.
+    fn check_link(&self, from: LocaleId, to: LocaleId, op: OpKind) -> Result<(), CommError> {
+        // Copy the rule out under the lock; spin and log after dropping it
+        // so a delayed link doesn't serialize every other link's checks.
+        let (partitioned, delay, drop_threshold, seq) = {
+            let mut links = self.links.lock();
+            let Some(rule) = links.iter_mut().find(|r| r.from == from && r.to == to) else {
+                return Ok(());
+            };
+            let seq = rule.seq;
+            rule.seq += 1;
+            (rule.partitioned, rule.delay, rule.drop_threshold, seq)
+        };
+        if partitioned {
+            let err = CommError::Partitioned { op, locale: to };
+            self.log(FaultEvent {
+                from,
+                error: err,
+                // The whole-link stream (op marker 3: any operation) —
+                // which *kind* of op drew a given link seq depends on
+                // task interleaving, so the per-op coordinate would make
+                // the fingerprint timing-sensitive.
+                stream: LINK_STREAM_BASE
+                    | (from.index() as u64) << 16
+                    | (to.index() as u64) << 2
+                    | 0b11,
+                seq,
+                trigger: None,
+            });
+            return Err(err);
+        }
+        if !delay.is_zero() {
+            crate::comm::spin_for(delay);
+        }
+        if drop_threshold > 0 {
+            let stream = LINK_STREAM_BASE
+                | (from.index() as u64) << 16
+                | (to.index() as u64) << 2
+                | op.index() as u64;
+            if self.roll_stream(stream, seq) < drop_threshold {
+                let err = CommError::Transient { op, locale: to };
+                self.log(FaultEvent {
+                    from,
+                    error: err,
+                    stream,
+                    seq,
+                    trigger: None,
+                });
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
     /// The deterministic dice roll for decision `seq` of stream
     /// `(locale, op)`: a splitmix64 finalizer over the stream coordinates,
     /// truncated to 32 bits so it compares against the thresholds.
     fn roll(&self, from: LocaleId, op: OpKind, seq: u64) -> u64 {
-        let stream = (from.index() as u64) << 2 | op.index() as u64;
+        self.roll_stream((from.index() as u64) << 2 | op.index() as u64, seq)
+    }
+
+    /// The roll for an arbitrary stream id (locale streams stay below
+    /// [`LINK_STREAM_BASE`]; link streams live above it).
+    fn roll_stream(&self, stream: u64, seq: u64) -> u64 {
         let mut x = self
             .seed
             .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
@@ -473,6 +702,7 @@ impl FaultPlan {
         self.log(FaultEvent {
             from,
             error: err,
+            stream: trigger_stream(name),
             seq: hits,
             trigger: Some(name),
         });
@@ -498,22 +728,32 @@ impl FaultPlan {
 
     /// An order-insensitive fingerprint of the event log: two runs of the
     /// same seeded workload must produce equal fingerprints even when
-    /// concurrent locales interleave their (per-locale deterministic)
-    /// streams differently in the shared log.
+    /// concurrent tasks interleave their draws on the shared decision
+    /// streams differently.
+    ///
+    /// The hash covers each event's *stream coordinates* — `(stream,
+    /// seq)` plus the error variant — and deliberately nothing from the
+    /// error payload: whether a given draw faults is a pure function of
+    /// the seed, but which destination (or, on a link stream, which op
+    /// kind) happens to consume that draw depends on how sibling tasks
+    /// interleave, so hashing it would make the fingerprint
+    /// timing-sensitive. The full pairing stays inspectable in
+    /// [`events`](Self::events).
     pub fn fingerprint(&self) -> u64 {
         self.events
             .lock()
             .iter()
             .map(|e| {
-                let mut x = (e.from.index() as u64) << 48
-                    | (e.error.op().index() as u64) << 40
-                    | (e.error.locale().index() as u64) << 32
-                    | e.seq;
+                let mut x = e
+                    .stream
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(e.seq);
                 x ^= match e.error {
                     CommError::Timeout { .. } => 0x1111_0000_0000_0000,
                     CommError::LocaleDown { .. } => 0x2222_0000_0000_0000,
                     CommError::Transient { .. } => 0x3333_0000_0000_0000,
                     CommError::Backpressure { .. } => 0x4444_0000_0000_0000,
+                    CommError::Partitioned { .. } => 0x5555_0000_0000_0000,
                 };
                 // splitmix64 finalizer, then fold by XOR (commutative).
                 x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -822,6 +1062,99 @@ mod tests {
         assert!(t.to_string().contains("transient"));
         assert!(d.to_string().contains("down"));
         assert!(o.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn partitioned_link_is_directed_and_heals() {
+        let p = FaultPlan::new(5).partition_link(l(0), l(1));
+        assert!(p.link_partitioned(l(0), l(1)));
+        assert!(!p.link_partitioned(l(1), l(0)));
+        assert!(matches!(
+            p.check(l(0), l(1), OpKind::Put),
+            Err(CommError::Partitioned {
+                op: OpKind::Put,
+                ..
+            })
+        ));
+        assert!(
+            p.check(l(1), l(0), OpKind::Put).is_ok(),
+            "the reverse direction is a different link"
+        );
+        assert!(p.check(l(0), l(2), OpKind::Put).is_ok(), "other links fine");
+        p.set_link_partitioned(l(0), l(1), false);
+        assert!(p.check(l(0), l(1), OpKind::Put).is_ok(), "healed");
+        let evs = p.events();
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(evs[0].error, CommError::Partitioned { .. }));
+    }
+
+    #[test]
+    fn partition_between_cuts_both_directions() {
+        let p = FaultPlan::new(5).partition_between(l(0), l(1));
+        assert!(p.check(l(0), l(1), OpKind::Get).is_err());
+        assert!(p.check(l(1), l(0), OpKind::Get).is_err());
+    }
+
+    #[test]
+    fn partitioned_is_a_standing_condition() {
+        let e = CommError::Partitioned {
+            op: OpKind::Get,
+            locale: l(1),
+        };
+        assert!(!e.is_retryable(), "retrying into a partition is futile");
+        assert_eq!(e.op(), OpKind::Get);
+        assert_eq!(e.locale(), l(1));
+        assert!(e.to_string().contains("partitioned"));
+    }
+
+    #[test]
+    fn delayed_link_is_one_way() {
+        let p = FaultPlan::new(5).delay_link(l(0), l(1), Duration::from_micros(300));
+        let t0 = Instant::now();
+        assert!(p.check(l(0), l(1), OpKind::Get).is_ok());
+        assert!(t0.elapsed() >= Duration::from_micros(300), "forward pays");
+        let t0 = Instant::now();
+        assert!(p.check(l(1), l(0), OpKind::Get).is_ok());
+        assert!(
+            t0.elapsed() < Duration::from_micros(300),
+            "reverse stays fast"
+        );
+    }
+
+    #[test]
+    fn drop_link_rate_tracks_probability_and_is_deterministic() {
+        let run = || {
+            let p = FaultPlan::new(77).drop_link(l(0), l(1), 0.25);
+            let outcomes: Vec<bool> = (0..2000)
+                .map(|_| p.check(l(0), l(1), OpKind::Put).is_ok())
+                .collect();
+            (outcomes, p.fingerprint())
+        };
+        let (a, fa) = run();
+        let (b, fb) = run();
+        assert_eq!(a, b, "same seed replays the same drop schedule");
+        assert_eq!(fa, fb);
+        let rate = a.iter().filter(|ok| !**ok).count() as f64 / a.len() as f64;
+        assert!((rate - 0.25).abs() < 0.05, "observed drop rate {rate}");
+        let p = FaultPlan::new(77).drop_link(l(0), l(1), 0.25);
+        for _ in 0..200 {
+            assert!(
+                p.check(l(1), l(0), OpKind::Put).is_ok(),
+                "reverse link has no rule"
+            );
+        }
+    }
+
+    #[test]
+    fn reorder_links_are_collected_not_checked() {
+        let p = FaultPlan::new(5)
+            .reorder_link(l(0), l(1))
+            .reorder_link(l(2), l(0));
+        assert_eq!(p.reorder_links(), vec![(l(0), l(1)), (l(2), l(0))]);
+        // Reordering is observational: the check path never fails for it.
+        for _ in 0..100 {
+            assert!(p.check(l(0), l(1), OpKind::Put).is_ok());
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::comm::CommLayer;
 use crate::locale::LocaleId;
 use crate::task;
+use crate::transport::CommMessage;
 use rcuarray_analysis::atomic::{AtomicU64, Ordering};
 use rcuarray_analysis::sync::{Mutex, MutexGuard};
 use std::sync::Arc;
@@ -80,11 +81,10 @@ impl GlobalLock {
         if from != self.home {
             self.remote_acquisitions.fetch_add(1, Ordering::Relaxed);
             if let Some(comm) = self.comm() {
-                // Reaching the remote lock word: one GET (read/try) and one
-                // PUT (the RMW write-back), the round trip a remote
-                // compare-and-swap costs on the wire.
-                let _ = comm.record_get(from, self.home, 8);
-                let _ = comm.record_put(from, self.home, 8);
+                // Reaching the remote lock word is one LockAcquire message,
+                // which lowers to the GET (read/try) + PUT (RMW write-back)
+                // round trip a remote compare-and-swap costs on the wire.
+                let _ = comm.send(from, self.home, CommMessage::LockAcquire);
             }
         }
         GlobalLockGuard {
@@ -101,8 +101,7 @@ impl GlobalLock {
         if from != self.home {
             self.remote_acquisitions.fetch_add(1, Ordering::Relaxed);
             if let Some(comm) = self.comm() {
-                let _ = comm.record_get(from, self.home, 8);
-                let _ = comm.record_put(from, self.home, 8);
+                let _ = comm.send(from, self.home, CommMessage::LockAcquire);
             }
         }
         Some(GlobalLockGuard {
@@ -121,8 +120,7 @@ impl GlobalLock {
         if from != self.home {
             self.remote_acquisitions.fetch_add(1, Ordering::Relaxed);
             if let Some(comm) = self.comm() {
-                let _ = comm.record_get(from, self.home, 8);
-                let _ = comm.record_put(from, self.home, 8);
+                let _ = comm.send(from, self.home, CommMessage::LockAcquire);
             }
         }
         Some(GlobalLockGuard {
@@ -169,7 +167,7 @@ impl Drop for GlobalLockGuard<'_> {
         let from = task::current_locale();
         if from != self.lock.home {
             if let Some(comm) = self.lock.comm() {
-                let _ = comm.record_put(from, self.lock.home, 8);
+                let _ = comm.send(from, self.lock.home, CommMessage::LockRelease);
             }
         }
     }

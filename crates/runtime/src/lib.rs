@@ -52,6 +52,7 @@ pub mod privatization;
 pub mod sync_var;
 pub mod task;
 pub mod topology;
+pub mod transport;
 
 pub use collectives::{all_reduce, broadcast, reduce, ClusterBarrier};
 pub use comm::{CommLayer, CommStats, FaultStats, LatencyModel};
@@ -63,6 +64,10 @@ pub use privatization::{Pid, PrivHandle, PrivTable};
 pub use sync_var::SyncVar;
 pub use task::{current_locale, TaskScope};
 pub use topology::Topology;
+pub use transport::{
+    CollectiveKind, CommMessage, LinkStats, MeshConfig, MeshTransport, ShmemTransport, Transport,
+    TransportKind,
+};
 
 use std::sync::Arc;
 
@@ -80,13 +85,15 @@ pub struct Cluster {
     privatization: PrivTable,
 }
 
-/// Step-by-step construction of a [`Cluster`]: topology, latency model and
-/// fault plan. Obtained from [`Cluster::builder`].
+/// Step-by-step construction of a [`Cluster`]: topology, latency model,
+/// fault plan and transport backend. Obtained from [`Cluster::builder`].
 #[derive(Debug, Default)]
 pub struct ClusterBuilder {
     topology: Option<Topology>,
     latency: LatencyModel,
     fault_plan: FaultPlan,
+    backend: Option<TransportKind>,
+    mesh: MeshConfig,
 }
 
 impl ClusterBuilder {
@@ -114,7 +121,23 @@ impl ClusterBuilder {
         self
     }
 
-    /// Build the cluster. Defaults: 1 locale, no latency, no faults.
+    /// Select the transport backend. Without this call the
+    /// `RCUARRAY_BACKEND` environment variable decides (default: shmem),
+    /// so the whole test suite can be re-run on the mesh without touching
+    /// a single call site.
+    pub fn backend(mut self, kind: TransportKind) -> Self {
+        self.backend = Some(kind);
+        self
+    }
+
+    /// Tune the mesh backend (ignored by shmem).
+    pub fn mesh_config(mut self, cfg: MeshConfig) -> Self {
+        self.mesh = cfg;
+        self
+    }
+
+    /// Build the cluster. Defaults: 1 locale, no latency, no faults, the
+    /// `RCUARRAY_BACKEND` transport (shmem when unset).
     pub fn build(self) -> Arc<Cluster> {
         let topology = self.topology.unwrap_or_else(|| Topology::new(1, 1));
         let n = topology.num_locales();
@@ -126,9 +149,10 @@ impl ClusterBuilder {
         let locales = (0..n)
             .map(|i| Locale::new(LocaleId::new(i as u32)))
             .collect();
+        let backend = self.backend.unwrap_or_else(TransportKind::from_env);
         Arc::new(Cluster {
             locales,
-            comm: CommLayer::with_faults(n, self.latency, self.fault_plan),
+            comm: CommLayer::with_transport(n, self.latency, self.fault_plan, backend, self.mesh),
             privatization: PrivTable::new(),
             topology,
         })
@@ -197,6 +221,45 @@ impl Cluster {
     #[inline]
     pub fn fault(&self) -> &FaultPlan {
         self.comm.fault()
+    }
+
+    /// Which transport backend this cluster's communication rides on.
+    #[inline]
+    pub fn backend(&self) -> TransportKind {
+        self.comm.transport().kind()
+    }
+
+    /// Send one typed message from the current task's locale to `target`
+    /// through the comm facade. A message to the task's own locale is a
+    /// no-op (nothing crosses a link, nothing is charged).
+    ///
+    /// This is the front door the upper layers use for composite traffic
+    /// (lock acquisition, collective legs, service dispatch); plain data
+    /// movement usually reads better as
+    /// [`try_get_from`](Self::try_get_from)/[`try_put_to`](Self::try_put_to).
+    #[inline]
+    pub fn send_to(&self, target: LocaleId, msg: CommMessage) -> Result<(), CommError> {
+        let from = task::current_locale();
+        if from == target {
+            return Ok(());
+        }
+        self.comm.send(from, target, msg)
+    }
+
+    /// Charge a `bytes`-byte transfer between two locales, initiated by
+    /// `from` (a third-party copy, e.g. resize replication moving a block
+    /// from its old home to its new one). Equal endpoints are a no-op.
+    #[inline]
+    pub fn copy_between(
+        &self,
+        from: LocaleId,
+        to: LocaleId,
+        bytes: usize,
+    ) -> Result<(), CommError> {
+        if from == to {
+            return Ok(());
+        }
+        self.comm.send(from, to, CommMessage::Put { bytes })
     }
 
     /// Execute `f` "on" locale `target`, like Chapel's `on` statement.

@@ -10,7 +10,7 @@ use crate::ticket::{Ticket, TicketSlot};
 use rcuarray::{Element, RcuArray, Scheme};
 use rcuarray_analysis::atomic::{AtomicUsize, Ordering};
 use rcuarray_analysis::thread::{self, JoinHandle};
-use rcuarray_runtime::{task, CommError, LocaleId};
+use rcuarray_runtime::{task, CommError, CommMessage, LocaleId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -133,6 +133,24 @@ impl<T: Element, S: Scheme> Core<T, S> {
         metrics::REQUESTS.inc();
         let (ticket, slot) = Ticket::new();
         let qi = self.queue_for(&req);
+        // Handing the request to another locale's worker pool is an
+        // active message through the transport. A partitioned or faulted
+        // link refuses it *here*, degrading the answer (`Failed`) rather
+        // than availability — the client gets an immediate error, never
+        // a hang.
+        let target = LocaleId::new((qi / self.cfg.workers_per_locale) as u32);
+        if self.array.config().account_comm
+            && task::current_locale() != target
+            && self
+                .array
+                .cluster()
+                .send_to(target, CommMessage::RemoteExec)
+                .is_err()
+        {
+            metrics::FAILURES.inc();
+            slot.complete(Response::Failed);
+            return ticket;
+        }
         let env = Envelope {
             req,
             slot,

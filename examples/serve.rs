@@ -17,8 +17,11 @@
 //! end-to-end latency into its two halves.
 //!
 //! ```text
-//! cargo run --release --example serve
+//! cargo run --release --example serve [-- --backend shmem|mesh]
 //! ```
+//!
+//! `--backend` selects the transport the cluster rides (default: the
+//! `RCUARRAY_BACKEND` environment variable, else `shmem`).
 
 use rcuarray_repro::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,8 +34,25 @@ const WRITERS: usize = 2;
 const OPS_PER_CLIENT: usize = 2_000;
 const START_CAPACITY: usize = 4_096;
 
+/// Parse `--backend <shmem|mesh>` from the command line, falling back
+/// to `RCUARRAY_BACKEND`, then `shmem`.
+fn backend_from_args() -> TransportKind {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--backend" {
+            let v = args.next().expect("--backend needs a value");
+            return v.parse().unwrap_or_else(|e| panic!("--backend: {e}"));
+        }
+    }
+    TransportKind::from_env()
+}
+
 fn main() {
-    let cluster = Cluster::new(Topology::new(LOCALES, 2));
+    let backend = backend_from_args();
+    let cluster = Cluster::builder()
+        .topology(Topology::new(LOCALES, 2))
+        .backend(backend)
+        .build();
     let array: EbrArray<u64> = EbrArray::new(&cluster);
     array.resize(START_CAPACITY);
 
@@ -47,7 +67,10 @@ fn main() {
             ..ServiceConfig::default()
         },
     );
-    println!("serving on {LOCALES} locales ({READERS} readers, {WRITERS} writers, 1 grower)\n");
+    println!(
+        "serving on {LOCALES} locales over the {backend} transport \
+         ({READERS} readers, {WRITERS} writers, 1 grower)\n"
+    );
 
     let served = AtomicU64::new(0);
     let retried = AtomicU64::new(0);

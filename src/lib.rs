@@ -43,8 +43,9 @@ pub mod prelude {
     pub use rcuarray_qsbr::QsbrDomain;
     pub use rcuarray_rcu::{EbrReclaim, QsbrReclaim, RcuList, RcuPtr, Reclaim};
     pub use rcuarray_runtime::{
-        current_locale, Cluster, CommError, FaultAction, FaultPlan, FaultStats, LatencyModel,
-        LocaleId, OpKind, RetryPolicy, SyncVar, Topology,
+        current_locale, Cluster, CollectiveKind, CommError, CommMessage, CommStats, FaultAction,
+        FaultPlan, FaultStats, LatencyModel, LocaleId, MeshConfig, MeshTransport, OpKind,
+        RetryPolicy, ShmemTransport, SyncVar, Topology, Transport, TransportKind,
     };
     pub use rcuarray_service::{
         slo_snapshot, Client, Request, Response, Service, ServiceConfig, SloSnapshot,
