@@ -1,6 +1,6 @@
 //! Source-level concurrency lint.
 //!
-//! Walks Rust sources and enforces nine repo rules:
+//! Walks Rust sources and enforces ten repo rules:
 //!
 //! 1. **`unsafe` sites must be justified**: every `unsafe` block, `unsafe
 //!    fn`, or `unsafe impl` must have a `// SAFETY:` comment (or a
@@ -61,6 +61,15 @@
 //!    through the `Transport` facade (`Cluster::send_to` /
 //!    `copy_between` / `CommLayer::send`), so backends stay swappable
 //!    and per-link fault rules apply uniformly (DESIGN.md §14).
+//! 10. **No raw block placement outside the placement map**: the
+//!     round-robin home-selection vocabulary (`RoundRobinCounter`,
+//!     `next_round_robin(`) may appear in `crates/rcuarray/` only inside
+//!     `src/placement.rs`. Every locale-indexed placement decision —
+//!     which locale homes a block, where a replica or repair copy lands —
+//!     must go through `PlacementMap`/`BlockGroup`, so replication,
+//!     failover, and membership-aware planning stay in one auditable
+//!     place (DESIGN.md §15). Ad-hoc cursors bypass the membership view
+//!     and break the bit-stable-at-RF-1 guarantee.
 //!
 //! Detection runs on *code only*: comments, strings (incl. raw strings)
 //! and char literals are stripped by a small state machine first, so
@@ -83,6 +92,9 @@ pub const RELAXED_ALLOWLIST: &[&str] = &[
     "crates/qsbr/src/defer_list.rs",
     "crates/rcuarray/src/array.rs",
     "crates/rcuarray/src/stats.rs",
+    // Replica-lag ledger: monotonic byte tallies drained at checkpoints;
+    // never used for synchronization (the groups Mutex orders stores).
+    "crates/rcuarray/src/placement.rs",
     // Per-element cells: Relaxed load/store is the paper's data-plane
     // contract (element visibility is ordered by snapshot publication).
     "crates/rcuarray/src/element.rs",
@@ -148,6 +160,9 @@ pub const COUNTER_ALLOWLIST: &[&str] = &[
     "crates/qsbr/src/domain.rs",
     // Per-array counters backing ArrayStats; obs handles ride along.
     "crates/rcuarray/src/array.rs",
+    // Per-locale replica-lag ledger backing ArrayStats::replica_lag_bytes;
+    // the obs gauge is set from the total in the same functions.
+    "crates/rcuarray/src/placement.rs",
     // Per-locale comm/fault accounting (locality assertions need the
     // per-locale split; cluster totals are mirrored to obs).
     "crates/runtime/src/comm.rs",
@@ -171,6 +186,14 @@ pub const BOUNDED_QUEUE_CRATES: &[&str] = &["crates/service/"];
 /// (rule 9). Only the runtime itself may speak them; every other crate
 /// sends typed `CommMessage`s through the `Transport` facade.
 pub const RAW_COMM_ALLOWLIST: &[&str] = &["crates/runtime/"];
+
+/// Crates whose locale-indexed block placement must go through the
+/// placement map (rule 10).
+pub const PLACEMENT_CRATES: &[&str] = &["crates/rcuarray/"];
+
+/// The one file inside [`PLACEMENT_CRATES`] allowed to speak the
+/// round-robin home-selection vocabulary (rule 10).
+pub const PLACEMENT_ALLOWLIST: &[&str] = &["crates/rcuarray/src/placement.rs"];
 
 /// Files allowed to name an `IS_QSBR`-style scheme flag. Only the
 /// reclamation core may ever need one (e.g. internally to a future
@@ -213,6 +236,7 @@ pub enum Rule {
     ForgetGuard,
     UnboundedQueue,
     RawComm,
+    RawPlacement,
 }
 
 impl std::fmt::Display for Violation {
@@ -227,6 +251,7 @@ impl std::fmt::Display for Violation {
             Rule::ForgetGuard => "forget-guard",
             Rule::UnboundedQueue => "unbounded-queue",
             Rule::RawComm => "raw-comm",
+            Rule::RawPlacement => "raw-placement",
         };
         write!(
             f,
@@ -725,6 +750,21 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Violation> {
                     .into(),
             });
         }
+        if (has_word(code, "RoundRobinCounter") || has_word(code, "next_round_robin"))
+            && allowlisted(path, PLACEMENT_CRATES)
+            && !allowlisted(path, PLACEMENT_ALLOWLIST)
+        {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: line_no,
+                rule: Rule::RawPlacement,
+                msg: "raw round-robin placement outside the placement map; \
+                      home selection in crates/rcuarray must go through \
+                      PlacementMap/BlockGroup so replication and failover \
+                      see every decision (DESIGN.md §15)"
+                    .into(),
+            });
+        }
     }
     if allowlisted(path, INSTRUMENTED_CRATES) {
         out.extend(guard_across_blocking(path, &code_lines));
@@ -1096,6 +1136,50 @@ mod tests {
             "let record_gets = stats.gets;\n// record_put is runtime-internal\nlet s = \"record_on\";\n",
         );
         assert!(!v.iter().any(|v| v.rule == Rule::RawComm));
+    }
+
+    #[test]
+    fn raw_placement_flagged_in_rcuarray_outside_placement_map() {
+        for src in [
+            "let home = cursor.take();\nlet next = home.next_round_robin(n);\n",
+            "let cursor = RoundRobinCounter::new(n);\n",
+        ] {
+            let v = lint_source(Path::new("crates/rcuarray/src/array.rs"), src);
+            assert_eq!(
+                v.iter().filter(|v| v.rule == Rule::RawPlacement).count(),
+                1,
+                "expected exactly one raw-placement hit for {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_placement_ok_inside_placement_map() {
+        let v = lint_source(
+            Path::new("crates/rcuarray/src/placement.rs"),
+            "let cursor = RoundRobinCounter::new(n);\nlet next = home.next_round_robin(n);\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::RawPlacement));
+    }
+
+    #[test]
+    fn raw_placement_not_enforced_outside_rcuarray() {
+        // The runtime defines the counter; collections use their own
+        // spreading logic — rule 10 scopes to crates/rcuarray only.
+        let v = lint_source(
+            Path::new("crates/runtime/src/dist.rs"),
+            "pub struct RoundRobinCounter { next: AtomicU32 }\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::RawPlacement));
+    }
+
+    #[test]
+    fn raw_placement_word_boundary_respected() {
+        let v = lint_source(
+            Path::new("crates/rcuarray/src/array.rs"),
+            "let my_next_round_robin_ish = 1;\ncall(XRoundRobinCounterY);\n",
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::RawPlacement));
     }
 
     #[test]

@@ -1,0 +1,12 @@
+// Lint fixture (rule 10): raw round-robin placement inside
+// `crates/rcuarray/` but outside `src/placement.rs`. The fixture lives
+// under a `crates/rcuarray/` path inside the fixtures tree so rule 10's
+// path scoping matches, while the `fixtures` directory itself is
+// skipped by the normal lint walk.
+
+fn home_the_block_by_hand(n: usize, cursor: &RoundRobinCounter) -> LocaleId {
+    // Should be `placement.plan_homes(1, &view)` — an ad-hoc cursor
+    // bypasses the membership view and the replica planner.
+    let home = cursor.take();
+    home.next_round_robin(n)
+}

@@ -17,7 +17,18 @@
 //!   --sample-ms N    gauge sampling interval               (default 1)
 //!   --backend B      transport backend: shmem | mesh
 //!                    (default: RCUARRAY_BACKEND env, else shmem)
+//!   --replication K  copies of every block incl. the primary
+//!                    (default 1: the paper's placement, no replicas)
 //! ```
+//!
+//! `--replication 2` puts the RF=1 vs RF=2 read/write cost on record:
+//! every write fans out to a replica, so the throughput delta against an
+//! RF=1 run of the same workload is the price of surviving a locale
+//! death. Clusters are widened to at least K locales (copies live on
+//! distinct locales), and the report gains `replication_factor`,
+//! per-variant `failover_reads` / `rereplicated_bytes`, and the
+//! process-wide failover-latency histogram — all structurally zero at
+//! RF = 1 (DESIGN.md §15).
 //!
 //! Each workload runs all four RCUArray reclamation schemes — EBR, QSBR,
 //! Amortized (budgeted QSBR drains), Leak (never frees: the structural
@@ -48,6 +59,7 @@ struct Options {
     increments: usize,
     sample_ms: u64,
     backend: TransportKind,
+    replication: usize,
 }
 
 fn parse_args() -> Options {
@@ -57,6 +69,7 @@ fn parse_args() -> Options {
         increments: 256,
         sample_ms: 1,
         backend: TransportKind::from_env(),
+        replication: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -83,8 +96,19 @@ fn parse_args() -> Options {
                     .parse()
                     .unwrap_or_else(|e| panic!("--backend: {e}"))
             }
+            "--replication" => {
+                opts.replication = args
+                    .next()
+                    .expect("--replication needs a value")
+                    .parse()
+                    .unwrap();
+                assert!(
+                    opts.replication >= 1,
+                    "--replication counts every copy including the primary"
+                );
+            }
             "--help" | "-h" => {
-                eprintln!("workloads: indexing resize checkpoint service all; options: --ops --increments --sample-ms --backend");
+                eprintln!("workloads: indexing resize checkpoint service all; options: --ops --increments --sample-ms --backend --replication");
                 std::process::exit(0);
             }
             other => opts.workloads.push(other.to_string()),
@@ -120,27 +144,36 @@ fn sampled_run<S: Scheme>(
     // delta around the run attributes them to this variant.
     let pressure_before = PressureEvents::totals();
     let result = work();
+    // Availability counters are per-array, so the run's totals ARE this
+    // variant's (both structurally zero at replication_factor = 1).
+    let avail = array.stats();
     VariantReport {
         name: name.into(),
         ops_per_sec: result.ops_per_sec,
         latency: result.latency,
         samples: sampler.finish(),
         pressure: PressureEvents::since(pressure_before),
+        failover_reads: avail.failover_reads,
+        rereplicated_bytes: avail.rereplicated_bytes,
     }
 }
 
-/// Build the bench cluster on the selected transport backend.
+/// Build the bench cluster on the selected transport backend. Widened to
+/// at least `--replication` locales: every copy of a block lives on a
+/// distinct locale, so RF = 2 needs two of them even for the one-locale
+/// checkpoint sweep.
 fn bench_cluster(opts: &Options, locales: usize, cores: usize) -> std::sync::Arc<Cluster> {
     Cluster::builder()
-        .topology(Topology::new(locales, cores))
+        .topology(Topology::new(locales.max(opts.replication), cores))
         .backend(opts.backend)
         .build()
 }
 
-fn bench_config() -> Config {
+fn bench_config(opts: &Options) -> Config {
     Config {
         block_size: 1024,
         account_comm: true,
+        replication_factor: opts.replication,
         ..Config::default()
     }
 }
@@ -161,17 +194,17 @@ fn indexing(opts: &Options) {
     let cluster = bench_cluster(opts, 2, 2);
     let mut variants = Vec::new();
 
-    let ebr = EbrArray::<u64>::with_config(&cluster, bench_config());
+    let ebr = EbrArray::<u64>::with_config(&cluster, bench_config(opts));
     variants.push(sampled_run("EBRArray", &ebr, opts.sample_ms, || {
         run_indexing(&ebr, &cluster, &params)
     }));
 
-    let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config());
+    let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config(opts));
     variants.push(sampled_run("QSBRArray", &qsbr, opts.sample_ms, || {
         run_indexing(&qsbr, &cluster, &params)
     }));
 
-    let amortized = AmortizedArray::<u64>::with_config(&cluster, bench_config());
+    let amortized = AmortizedArray::<u64>::with_config(&cluster, bench_config(opts));
     variants.push(sampled_run(
         "AmortizedArray",
         &amortized,
@@ -179,7 +212,7 @@ fn indexing(opts: &Options) {
         || run_indexing(&amortized, &cluster, &params),
     ));
 
-    let leak = LeakArray::<u64>::with_config(&cluster, bench_config());
+    let leak = LeakArray::<u64>::with_config(&cluster, bench_config(opts));
     variants.push(sampled_run("LeakArray", &leak, opts.sample_ms, || {
         run_indexing(&leak, &cluster, &params)
     }));
@@ -195,17 +228,17 @@ fn resize(opts: &Options) {
     let cluster = bench_cluster(opts, 2, 2);
     let mut variants = Vec::new();
 
-    let ebr = EbrArray::<u64>::with_config(&cluster, bench_config());
+    let ebr = EbrArray::<u64>::with_config(&cluster, bench_config(opts));
     variants.push(sampled_run("EBRArray", &ebr, opts.sample_ms, || {
         run_resize(&ebr, &params)
     }));
 
-    let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config());
+    let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config(opts));
     variants.push(sampled_run("QSBRArray", &qsbr, opts.sample_ms, || {
         run_resize(&qsbr, &params)
     }));
 
-    let amortized = AmortizedArray::<u64>::with_config(&cluster, bench_config());
+    let amortized = AmortizedArray::<u64>::with_config(&cluster, bench_config(opts));
     variants.push(sampled_run(
         "AmortizedArray",
         &amortized,
@@ -213,7 +246,7 @@ fn resize(opts: &Options) {
         || run_resize(&amortized, &params),
     ));
 
-    let leak = LeakArray::<u64>::with_config(&cluster, bench_config());
+    let leak = LeakArray::<u64>::with_config(&cluster, bench_config(opts));
     variants.push(sampled_run("LeakArray", &leak, opts.sample_ms, || {
         run_resize(&leak, &params)
     }));
@@ -236,12 +269,12 @@ fn checkpoint(opts: &Options) {
 
     // Checkpoint-free baselines: Fig. 4 reuses the EBR indexing number as
     // a flat line; Leak adds the no-reclamation-at-all upper bound.
-    let ebr = EbrArray::<u64>::with_config(&cluster, bench_config());
+    let ebr = EbrArray::<u64>::with_config(&cluster, bench_config(opts));
     variants.push(sampled_run("EBRArray", &ebr, opts.sample_ms, || {
         run_indexing(&ebr, &cluster, &base)
     }));
 
-    let leak = LeakArray::<u64>::with_config(&cluster, bench_config());
+    let leak = LeakArray::<u64>::with_config(&cluster, bench_config(opts));
     variants.push(sampled_run("LeakArray", &leak, opts.sample_ms, || {
         run_indexing(&leak, &cluster, &base)
     }));
@@ -252,7 +285,7 @@ fn checkpoint(opts: &Options) {
             ..base
         };
 
-        let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config());
+        let qsbr = QsbrArray::<u64>::with_config(&cluster, bench_config(opts));
         variants.push(sampled_run(
             format!("QSBRArray@ckpt={every}"),
             &qsbr,
@@ -260,7 +293,7 @@ fn checkpoint(opts: &Options) {
             || run_indexing(&qsbr, &cluster, &params),
         ));
 
-        let amortized = AmortizedArray::<u64>::with_config(&cluster, bench_config());
+        let amortized = AmortizedArray::<u64>::with_config(&cluster, bench_config(opts));
         variants.push(sampled_run(
             format!("AmortizedArray@ckpt={every}"),
             &amortized,
@@ -338,14 +371,14 @@ fn service(opts: &Options) {
     for max_batch in [32usize, 1] {
         variants.push(service_variant(
             format!("EBRArray@batch={max_batch}"),
-            EbrArray::<u64>::with_config(&cluster, bench_config()),
+            EbrArray::<u64>::with_config(&cluster, bench_config(opts)),
             max_batch,
             opts,
             &p,
         ));
         variants.push(service_variant(
             format!("QSBRArray@batch={max_batch}"),
-            QsbrArray::<u64>::with_config(&cluster, bench_config()),
+            QsbrArray::<u64>::with_config(&cluster, bench_config(opts)),
             max_batch,
             opts,
             &p,
@@ -362,9 +395,23 @@ fn service(opts: &Options) {
 }
 
 fn finish(workload: &str, opts: &Options, variants: Vec<VariantReport>) {
+    let snap = rcuarray_obs::snapshot();
+    // Lazily interned: absent (not zero) until the first failover read,
+    // so an RF=1 run reports an empty histogram.
+    let failover = snap
+        .histogram("rcuarray_failover_latency_ns")
+        .cloned()
+        .unwrap_or_default();
     let metrics = rcuarray_obs::json_snapshot();
-    let path = write_bench_report(workload, opts.backend.name(), &variants, &metrics)
-        .unwrap_or_else(|e| panic!("writing BENCH_{workload}.json: {e}"));
+    let path = write_bench_report(
+        workload,
+        opts.backend.name(),
+        opts.replication,
+        &failover,
+        &variants,
+        &metrics,
+    )
+    .unwrap_or_else(|e| panic!("writing BENCH_{workload}.json: {e}"));
     for v in &variants {
         println!(
             "{workload:>10} {:<22} {:>12.0} ops/s  lat p50/p99/max {}/{}/{} ns  \
@@ -385,7 +432,10 @@ fn finish(workload: &str, opts: &Options, variants: Vec<VariantReport>) {
 
 fn main() {
     let opts = parse_args();
-    println!("transport backend: {}", opts.backend);
+    println!(
+        "transport backend: {}  replication factor: {}",
+        opts.backend, opts.replication
+    );
     for w in opts.workloads.clone() {
         match w.as_str() {
             "indexing" => indexing(&opts),

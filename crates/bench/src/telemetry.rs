@@ -127,6 +127,12 @@ pub struct VariantReport {
     /// Pressure events (helping drains / refusals / overruns) charged
     /// while this variant ran.
     pub pressure: PressureEvents,
+    /// Reads this variant's array served from a replica because the
+    /// primary's home was not `Up` (structurally 0 at RF = 1).
+    pub failover_reads: u64,
+    /// Bytes this variant's array copied restoring replication after
+    /// locale loss (repair plus rejoin catch-up; 0 at RF = 1).
+    pub rereplicated_bytes: u64,
 }
 
 impl VariantReport {
@@ -159,17 +165,32 @@ impl VariantReport {
 /// Render a `BENCH_<workload>.json` document (hand-rolled JSON, matching
 /// the repo's no-serde policy). `backend` is the transport the cluster
 /// ran on (`shmem` | `mesh`) — a report is only comparable to another
-/// report on the same backend. `metrics_json` is the registry snapshot
-/// from [`rcuarray_obs::json_snapshot`] and is embedded verbatim.
+/// report on the same backend *and* the same `replication` factor, since
+/// RF > 1 adds replica fan-out to every write. `failover` is the
+/// process-wide `rcuarray_failover_latency_ns` histogram captured after
+/// the workload (empty at RF = 1: no primary ever dies). `metrics_json`
+/// is the registry snapshot from [`rcuarray_obs::json_snapshot`] and is
+/// embedded verbatim.
 pub fn bench_json(
     workload: &str,
     backend: &str,
+    replication: usize,
+    failover: &HistogramSnapshot,
     variants: &[VariantReport],
     metrics_json: &str,
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\"workload\":{workload:?},\"backend\":{backend:?},\"variants\":["
+        "{{\"workload\":{workload:?},\"backend\":{backend:?},\
+         \"replication_factor\":{replication},\
+         \"failover_latency_ns\":{{\"count\":{},\"mean\":{:.3},\
+         \"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},\"variants\":[",
+        failover.count,
+        failover.mean(),
+        failover.quantile(0.50),
+        failover.quantile(0.90),
+        failover.quantile(0.99),
+        failover.max,
     ));
     for (i, v) in variants.iter().enumerate() {
         if i > 0 {
@@ -179,7 +200,8 @@ pub fn bench_json(
             "{{\"name\":{:?},\"ops_per_sec\":{},\"peak_epoch_lag\":{},\
              \"peak_backlog_entries\":{},\"peak_backlog_bytes\":{},\
              \"forced_drains\":{},\"backpressure_refusals\":{},\
-             \"cap_overruns\":{},\"lat_count\":{},\"lat_mean_ns\":{},\
+             \"cap_overruns\":{},\"failover_reads\":{},\
+             \"rereplicated_bytes\":{},\"lat_count\":{},\"lat_mean_ns\":{},\
              \"lat_p50_ns\":{},\"lat_p90_ns\":{},\"lat_p99_ns\":{},\
              \"lat_max_ns\":{},\"series\":[",
             v.name,
@@ -190,6 +212,8 @@ pub fn bench_json(
             v.pressure.forced_drains,
             v.pressure.backpressure,
             v.pressure.cap_overruns,
+            v.failover_reads,
+            v.rereplicated_bytes,
             v.latency.count,
             v.latency.mean(),
             v.latency.quantile(0.50),
@@ -217,11 +241,23 @@ pub fn bench_json(
 pub fn write_bench_report(
     workload: &str,
     backend: &str,
+    replication: usize,
+    failover: &HistogramSnapshot,
     variants: &[VariantReport],
     metrics_json: &str,
 ) -> std::io::Result<std::path::PathBuf> {
     let path = std::path::PathBuf::from(format!("BENCH_{workload}.json"));
-    std::fs::write(&path, bench_json(workload, backend, variants, metrics_json))?;
+    std::fs::write(
+        &path,
+        bench_json(
+            workload,
+            backend,
+            replication,
+            failover,
+            variants,
+            metrics_json,
+        ),
+    )?;
     Ok(path)
 }
 
@@ -270,6 +306,8 @@ mod tests {
                 },
             ],
             pressure: PressureEvents::default(),
+            failover_reads: 0,
+            rereplicated_bytes: 0,
         };
         assert_eq!(v.peak_lag(), 5);
         assert_eq!(v.peak_backlog(), 10);
@@ -296,9 +334,24 @@ mod tests {
                 backpressure: 1,
                 cap_overruns: 0,
             },
+            failover_reads: 4,
+            rereplicated_bytes: 8192,
         };
-        let json = bench_json("indexing", "mesh", &[v], "{\"counters\":{}}");
+        let failover = rcuarray_obs::Histogram::new();
+        failover.record(500);
+        let json = bench_json(
+            "indexing",
+            "mesh",
+            2,
+            &failover.snapshot(),
+            &[v],
+            "{\"counters\":{}}",
+        );
         assert!(json.starts_with("{\"workload\":\"indexing\",\"backend\":\"mesh\""));
+        assert!(json.contains("\"replication_factor\":2"));
+        assert!(json.contains("\"failover_latency_ns\":{\"count\":1"));
+        assert!(json.contains("\"failover_reads\":4"));
+        assert!(json.contains("\"rereplicated_bytes\":8192"));
         assert!(json.contains("\"peak_epoch_lag\":2"));
         assert!(json.contains("\"peak_backlog_bytes\":99"));
         assert!(json.contains("\"forced_drains\":3"));

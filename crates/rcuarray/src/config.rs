@@ -40,6 +40,16 @@ pub struct Config {
     /// protocol beyond the bound is quarantined (QSBR family) or routed
     /// around via evacuation (EBR) so it cannot wedge reclamation.
     pub stall: StallPolicy,
+    /// Copies of every block, including the primary (DESIGN.md §15).
+    /// `1` (the default) reproduces the paper exactly: one home locale
+    /// per block and no replica traffic. `k > 1` places each block on a
+    /// primary plus `k - 1` replica locales: writes fan out to replicas
+    /// (primary-ack, replica charges drained at checkpoints), reads
+    /// fail over to a replica while the primary is `Down`, and the
+    /// array survives the loss of up to `k - 1` locales without losing
+    /// acknowledged writes. Must not exceed the cluster's locale count
+    /// (checked at array construction).
+    pub replication_factor: usize,
 }
 
 /// Default per-quiesce drain budget for `AmortizedScheme`: large enough
@@ -57,6 +67,7 @@ impl Default for Config {
             drain_budget: DEFAULT_DRAIN_BUDGET,
             pressure: PressureConfig::unbounded(),
             stall: StallPolicy::disabled(),
+            replication_factor: 1,
         }
     }
 }
@@ -84,6 +95,11 @@ impl Config {
              anything would leak by construction"
         );
         self.pressure.validate();
+        assert!(
+            self.replication_factor >= 1,
+            "replication_factor counts every copy including the primary; \
+             0 would place blocks nowhere"
+        );
     }
 
     /// Round an element count up to a whole number of blocks, in elements.
@@ -131,6 +147,17 @@ mod tests {
             ..Config::default()
         };
         c.validate();
+    }
+
+    #[test]
+    fn default_replication_is_one_and_zero_is_rejected() {
+        assert_eq!(Config::default().replication_factor, 1);
+        let c = Config {
+            replication_factor: 0,
+            ..Config::default()
+        };
+        let died = std::panic::catch_unwind(move || c.validate());
+        assert!(died.is_err(), "rf=0 must fail validation");
     }
 
     #[test]

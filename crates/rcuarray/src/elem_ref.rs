@@ -18,16 +18,50 @@ use rcuarray_runtime::{Cluster, LocaleId};
 ///
 /// Borrow-tied to the array handle it came from, which keeps the block
 /// registry (and thus the cell) alive.
+///
+/// Under replication (`Config::replication_factor > 1`) the reference
+/// captures the element's replica cells at creation time and fans every
+/// assignment out to them, so Lemma 6 holds on every replica: an update
+/// through a reference from an *old* snapshot is visible through every
+/// copy of the block. Reads always use the primary cell (failover is an
+/// array-level concern; see `RcuArray::read`). A replica swapped out by
+/// repair *after* the reference was taken no longer receives its
+/// assignments — like the snapshot, the replica set is captured, not
+/// tracked.
 pub struct ElemRef<'a, T: Element> {
     cell: &'a T::Repr,
     home: LocaleId,
     /// Present when the owning array accounts communication.
     comm: Option<&'a Cluster>,
+    /// Replica cells assignments fan out to (empty at `rf = 1`).
+    replicas: Vec<(LocaleId, &'a T::Repr)>,
 }
 
 impl<'a, T: Element> ElemRef<'a, T> {
     pub(crate) fn new(cell: &'a T::Repr, home: LocaleId, comm: Option<&'a Cluster>) -> Self {
-        ElemRef { cell, home, comm }
+        ElemRef {
+            cell,
+            home,
+            comm,
+            replicas: Vec::new(),
+        }
+    }
+
+    /// Attach a replica cell to fan assignments out to (`rf > 1` only).
+    pub(crate) fn push_replica(&mut self, home: LocaleId, cell: &'a T::Repr) {
+        self.replicas.push((home, cell));
+    }
+
+    /// Propagate a just-applied store to every captured replica cell,
+    /// charging one PUT per replica when the array accounts comm.
+    #[inline]
+    fn fan_out(&self, v: T) {
+        for &(loc, cell) in &self.replicas {
+            if let Some(cluster) = self.comm {
+                cluster.put_to(loc, T::byte_size());
+            }
+            T::store(cell, v);
+        }
     }
 
     /// The locale the underlying block is homed on.
@@ -45,13 +79,15 @@ impl<'a, T: Element> ElemRef<'a, T> {
         T::load(self.cell)
     }
 
-    /// Update the element (a PUT when the block is remote).
+    /// Update the element (a PUT when the block is remote; one more PUT
+    /// per replica under replication).
     #[inline]
     pub fn set(&self, v: T) {
         if let Some(cluster) = self.comm {
             cluster.put_to(self.home, T::byte_size());
         }
-        T::store(self.cell, v)
+        T::store(self.cell, v);
+        self.fan_out(v);
     }
 
     /// Read-modify-write through the reference. Not atomic as a whole —
@@ -72,7 +108,13 @@ impl<'a, T: Element> ElemRef<'a, T> {
             cluster.get_from(self.home, T::byte_size());
             cluster.put_to(self.home, T::byte_size());
         }
-        T::compare_exchange(self.cell, current, new)
+        let r = T::compare_exchange(self.cell, current, new);
+        if r.is_ok() {
+            // The exchange is decided by the primary cell; replicas just
+            // mirror the winning value.
+            self.fan_out(new);
+        }
+        r
     }
 
     /// *Atomic* read-modify-write: retries `f` under a compare-exchange
@@ -144,6 +186,37 @@ mod tests {
             }
         });
         assert_eq!(u64::load(&cell), 4000, "atomic RMW must not lose bumps");
+    }
+
+    #[test]
+    fn assignments_fan_out_to_replica_cells() {
+        let cell = u64::new_repr(0);
+        let replica = u64::new_repr(0);
+        let mut r: ElemRef<u64> = ElemRef::new(&cell, LocaleId::ZERO, None);
+        r.push_replica(LocaleId::new(1), &replica);
+        r.set(7);
+        assert_eq!(u64::load(&replica), 7, "set must reach the replica");
+        assert_eq!(r.compare_exchange(7, 9), Ok(7));
+        assert_eq!(u64::load(&replica), 9, "winning CAS must reach the replica");
+        assert_eq!(r.compare_exchange(7, 11), Err(9));
+        assert_eq!(
+            u64::load(&replica),
+            9,
+            "losing CAS must not touch the replica"
+        );
+        assert_eq!(r.get(), 9, "reads stay on the primary cell");
+    }
+
+    #[test]
+    fn replica_fan_out_is_charged_per_replica() {
+        let cluster = Cluster::new(Topology::new(3, 1));
+        let cell = u32::new_repr(0);
+        let replica = u32::new_repr(0);
+        let mut r: ElemRef<u32> = ElemRef::new(&cell, LocaleId::new(1), Some(&cluster));
+        r.push_replica(LocaleId::new(2), &replica);
+        task::with_locale(LocaleId::new(0), || r.set(5));
+        let s = cluster.comm_stats();
+        assert_eq!(s.puts, 2, "one PUT for the primary, one per replica");
     }
 
     #[test]

@@ -7,6 +7,15 @@
 //! Cost model: a broadcast PUTs the payload from the root to every other
 //! locale; a reduce GETs one contribution per non-root locale; a barrier
 //! costs one remote notification per non-home participant.
+//!
+//! Every collective operates on the **current membership view**
+//! ([`Cluster::membership`]): locales the failure detector has evicted
+//! (`Down`/`Rejoining`) are skipped by broadcast and reduce, and the
+//! barrier shrinks its required party count proportionally — so a dead
+//! or partitioned locale cannot wedge a cluster-wide resize lock behind
+//! an arrival that will never come. On a healthy cluster (the default:
+//! nothing probes, everyone is `Up`) the behaviour is byte-for-byte the
+//! pre-membership one.
 
 use crate::fault::{CommError, OpKind};
 use crate::locale::LocaleId;
@@ -21,10 +30,11 @@ use std::time::{Duration, Instant};
 /// `size_of::<T>()` per non-root locale.
 pub fn broadcast<T: Clone>(cluster: &Cluster, root: LocaleId, value: &T) -> Vec<T> {
     let bytes = std::mem::size_of::<T>();
+    let view = cluster.membership().view();
     (0..cluster.num_locales())
         .map(|i| {
             let dst = LocaleId::new(i as u32);
-            if dst != root {
+            if dst != root && view.in_view(dst) {
                 let _ = cluster.comm().send(
                     root,
                     dst,
@@ -52,9 +62,16 @@ where
     F: Fn(LocaleId) -> T,
 {
     let bytes = std::mem::size_of::<T>();
+    let view = cluster.membership().view();
     let mut acc = init;
     for i in 0..cluster.num_locales() {
         let src = LocaleId::new(i as u32);
+        if !view.in_view(src) {
+            // An evicted locale contributes nothing: there is no one
+            // there to produce a value, and GETting from it would hang
+            // a real cluster.
+            continue;
+        }
         let contribution = task::with_locale(src, || contribute(src));
         if src != root {
             let _ = cluster.comm().send(
@@ -129,9 +146,31 @@ impl ClusterBarrier {
         }
     }
 
-    /// Number of participating tasks.
+    /// Number of participating tasks (configured; the membership view
+    /// may shrink the number actually required per generation).
     pub fn parties(&self) -> usize {
         self.parties
+    }
+
+    /// Parties required to release a generation under the current
+    /// membership view. With every locale in the view this is exactly
+    /// `parties`. When locales are evicted, their share of the parties
+    /// is excused: for the common "k tasks per locale" shape
+    /// (`parties % num_locales == 0`) each evicted locale excuses
+    /// `parties / num_locales` arrivals; otherwise one arrival per
+    /// evicted locale is excused. Never below 1.
+    fn required_parties(&self, cluster: &Cluster) -> usize {
+        let n = cluster.num_locales();
+        let members = cluster.membership().view().num_members();
+        if members >= n {
+            return self.parties;
+        }
+        let excused = if self.parties.is_multiple_of(n) {
+            (self.parties / n) * (n - members)
+        } else {
+            n - members
+        };
+        self.parties.saturating_sub(excused).max(1)
     }
 
     /// Arrive and wait for all parties. Returns `true` on exactly one
@@ -145,16 +184,12 @@ impl ClusterBarrier {
         }
         let mut st = self.state.lock();
         st.arrived += 1;
-        if st.arrived == self.parties {
+        // `>=` with a view-dependent requirement: the count may already
+        // exceed a requirement that shrank since the previous arrival.
+        if st.arrived >= self.required_parties(cluster) {
             st.arrived = 0;
             st.generation += 1;
-            // Release: the home locale notifies every other locale once.
-            for i in 0..cluster.num_locales() {
-                let dst = LocaleId::new(i as u32);
-                if dst != self.home {
-                    let _ = cluster.comm().send(self.home, dst, Self::RELEASE);
-                }
-            }
+            self.release_view_members(cluster);
             drop(st);
             self.cond.notify_all();
             true
@@ -183,15 +218,10 @@ impl ClusterBarrier {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
         st.arrived += 1;
-        if st.arrived == self.parties {
+        if st.arrived >= self.required_parties(cluster) {
             st.arrived = 0;
             st.generation += 1;
-            for i in 0..cluster.num_locales() {
-                let dst = LocaleId::new(i as u32);
-                if dst != self.home {
-                    let _ = cluster.comm().send(self.home, dst, Self::RELEASE);
-                }
-            }
+            self.release_view_members(cluster);
             drop(st);
             self.cond.notify_all();
             return Ok(true);
@@ -211,6 +241,18 @@ impl ClusterBarrier {
             }
         }
         Ok(false)
+    }
+
+    /// Release notifications, addressed to view members only: a dead
+    /// locale gets no (and needs no) release PUT.
+    fn release_view_members(&self, cluster: &Cluster) {
+        let view = cluster.membership().view();
+        for i in 0..cluster.num_locales() {
+            let dst = LocaleId::new(i as u32);
+            if dst != self.home && view.in_view(dst) {
+                let _ = cluster.comm().send(self.home, dst, Self::RELEASE);
+            }
+        }
     }
 }
 
@@ -380,6 +422,71 @@ mod tests {
                 let leaders = &leaders;
                 s.spawn(move || {
                     task::with_locale(LocaleId::ZERO, || {
+                        if b.wait_timeout(c, std::time::Duration::from_secs(10))
+                            .unwrap()
+                        {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+
+    /// Drive the detector until `l` is `Down` (two missed probe rounds).
+    fn evict(c: &Cluster, l: LocaleId) {
+        c.fault().set_down(l, true);
+        c.probe_membership();
+        c.probe_membership();
+        assert!(!c.membership().view().in_view(l));
+    }
+
+    #[test]
+    fn broadcast_and_reduce_skip_evicted_locales() {
+        use crate::fault::FaultPlan;
+        let c = Cluster::builder()
+            .topology(Topology::new(3, 1))
+            .fault_plan(FaultPlan::new(9))
+            .build();
+        evict(&c, LocaleId::new(2));
+        let before = c.comm_stats();
+        let copies = broadcast(&c, LocaleId::ZERO, &7u64);
+        assert_eq!(copies.len(), 3, "per-locale shape is preserved");
+        let sum = reduce(
+            &c,
+            LocaleId::ZERO,
+            |l| l.index() as u64 + 1,
+            |a, b| a + b,
+            0,
+        );
+        assert_eq!(sum, 1 + 2, "the evicted locale contributes nothing");
+        let after = c.comm_stats();
+        // One broadcast PUT and one reduce GET to the surviving peer;
+        // nothing addressed to the dead locale.
+        assert_eq!(after.puts, before.puts + 1, "{after:?}");
+        assert_eq!(after.gets, before.gets + 1, "{after:?}");
+    }
+
+    #[test]
+    fn barrier_releases_without_the_dead_locales_arrival() {
+        use crate::fault::FaultPlan;
+        let c = Cluster::builder()
+            .topology(Topology::new(3, 1))
+            .fault_plan(FaultPlan::new(9))
+            .build();
+        let barrier = ClusterBarrier::new(LocaleId::ZERO, 3);
+        evict(&c, LocaleId::new(2));
+        // Only the two surviving locales arrive; without the view the
+        // barrier would wait forever for the third party.
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for i in 0..2u32 {
+                let b = &barrier;
+                let c = &c;
+                let leaders = &leaders;
+                s.spawn(move || {
+                    task::with_locale(LocaleId::new(i), || {
                         if b.wait_timeout(c, std::time::Duration::from_secs(10))
                             .unwrap()
                         {
